@@ -1,0 +1,28 @@
+"""E19 — Candidate-growth ablation: the paper's doubling strategy needs only
+``floor(log2 ell) + 1`` noisy releases, so its per-level error alpha stays
+~``ell log ell``; the one-letter-extension strategy of prior work [18, 51]
+splits the same budget over ``ell`` releases and its alpha degrades to
+~``ell^2``."""
+
+from repro.analysis import experiments
+
+
+def test_e19_candidate_growth_ablation(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_candidate_growth_ablation([8, 16, 32, 64], n=10),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E19", "Candidate growth: doubling vs one-letter extension", rows
+    )
+    for row in rows:
+        # The one-step strategy always pays at least as much noise per level.
+        assert row["alpha_onestep"] >= row["alpha_doubling"]
+        # Doubling uses exponentially fewer levels.
+        assert row["doubling_levels"] <= row["onestep_levels"]
+    # The advantage of doubling grows with ell (the alpha ratio approaches
+    # ell / log ell up to logarithmic factors).
+    ratios = [row["alpha_ratio"] for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,22 @@
+"""E17 — Design-choice ablation: heavy-path release vs per-node independent
+noise calibrated to the naive ell^2 sensitivity, on the same candidate trie."""
+
+from repro.analysis import experiments
+
+
+def test_e17_heavy_path_ablation(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_heavy_path_ablation(
+            [64, 256, 1024], n=9, epsilon=1.0, trials=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E17", "Ablation: heavy-path release vs per-node ell^2 noise", rows
+    )
+    # The per-node approach pays ~ell^2 noise, the heavy-path approach
+    # ~ell polylog: the ratio must move in favour of heavy paths as ell grows.
+    ratios = [row["per_node_over_heavy"] for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]

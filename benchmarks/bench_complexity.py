@@ -1,0 +1,38 @@
+"""E15 — Complexity claims: queries run in O(|P|) time (independent of the
+database size), and a direct micro-benchmark of a single query."""
+
+from repro.analysis import experiments
+from repro.core.construction import build_private_counting_structure
+from repro.core.params import ConstructionParams
+from repro.workloads.synthetic import periodic_documents
+
+import numpy as np
+
+
+def test_e15_query_time_linear_in_pattern_length(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_query_time_experiment(
+            [1, 2, 4, 8, 16, 32], n=40, ell=64, repetitions=2000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E15", "Query time vs pattern length (O(|P|) queries)", rows
+    )
+    times = [row["microseconds_per_query"] for row in rows]
+    lengths = [row["pattern_length"] for row in rows]
+    # Linear, not quadratic: growing |P| by 32x grows the time by far less
+    # than 32^2 (and typically close to 32x or less, dominated by overhead).
+    assert times[-1] <= times[0] * lengths[-1] * 4
+
+
+def test_e15_single_query_microbenchmark(benchmark):
+    """pytest-benchmark timing of one trie query on a realistic structure."""
+    database = periodic_documents(40, 32, np.random.default_rng(0))
+    params = ConstructionParams.pure(1.0, beta=0.1, noiseless=True, threshold=1.0)
+    structure = build_private_counting_structure(
+        database, params, rng=np.random.default_rng(0)
+    )
+    pattern = structure.patterns()[0]
+    benchmark(structure.query, pattern)

@@ -1,0 +1,15 @@
+"""E1 — Example 1 / Figure 1: exact counts on the running example and the
+trie of all suffixes."""
+
+from repro.analysis import experiments
+
+
+def test_e1_example_counts(benchmark, experiment_report):
+    rows = benchmark.pedantic(experiments.run_example_counts, rounds=1, iterations=1)
+    experiment_report.record(
+        "E1", "Example 1 / Figure 1: exact counts on the running example", rows
+    )
+    by_pattern = {row["pattern"]: row for row in rows}
+    # The paper's Example 1: count_1(ab, D) = 3 and count(ab, D) = 4.
+    assert by_pattern["ab"]["document_count"] == 3
+    assert by_pattern["ab"]["substring_count"] == 4

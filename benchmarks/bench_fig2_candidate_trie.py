@@ -1,0 +1,23 @@
+"""E2 — Examples 2-4 / Figure 2: candidate sets and the heavy-path
+decomposition of the candidate trie on the running example."""
+
+from repro.analysis import experiments
+
+
+def test_e2_candidate_sets_and_heavy_paths(benchmark, experiment_report):
+    rows = benchmark.pedantic(experiments.run_candidate_figure, rounds=1, iterations=1)
+    experiment_report.record(
+        "E2", "Examples 2-4 / Figure 2: exact candidate sets and heavy paths", rows
+    )
+    by_set = {row["set"]: row for row in rows}
+    # Example 2 of the paper (exact sets with threshold 1).
+    assert by_set["P_1"]["strings"] == "a b e s"
+    assert by_set["P_2"]["strings"] == "aa ab ba be bs ee es sa"
+    assert by_set["P_4"]["strings"] == "aaaa absa babe bees bsab"
+    # Example 3: C_5 contains exactly the strings covered by P_4 overlaps.
+    assert by_set["C_5"]["strings"] == "aaaaa absab"
+    # Every string in C_3 has its length-2 prefix and suffix in P_2
+    # (the paper's Example 3 lists a subset; see EXPERIMENTS.md).
+    p2 = set(by_set["P_2"]["strings"].split())
+    for pattern in by_set["C_3"]["strings"].split():
+        assert pattern[:2] in p2 and pattern[1:] in p2

@@ -1,0 +1,22 @@
+"""E3 — Figure 3: difference sequence and dyadic prefix sums on the topmost
+heavy path of the candidate trie."""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+def test_e3_difference_sequence_prefix_sums(benchmark, experiment_report):
+    rows = benchmark.pedantic(experiments.run_prefix_sum_figure, rounds=1, iterations=1)
+    experiment_report.record(
+        "E3", "Figure 3: difference sequence and prefix sums on a heavy path", rows
+    )
+    # The root of the trie spells the empty string and counts every position.
+    assert rows[0]["node"] == "(root)"
+    assert rows[0]["count"] == 23
+    # Reconstructing count(v) = count(root) + prefix sum must be exact.
+    for row in rows[1:]:
+        assert rows[0]["count"] + row["prefix_sum"] == pytest.approx(row["count"])
+    # Counts are non-increasing down a heavy path (Lemma 8's monotonicity).
+    counts = [row["count"] for row in rows]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,26 @@
+"""E16 — Lemmas 11/18: the binary-tree prefix-sum mechanism against naive
+per-element noise with the same budget."""
+
+from repro.analysis import experiments
+
+
+def test_e16_binary_tree_vs_naive_prefix_sums(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_prefix_sum_ablation(
+            [8, 64, 512], epsilon=1.0, trials=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E16", "Binary-tree prefix sums vs naive per-element noise", rows
+    )
+    for row in rows:
+        assert row["binary_tree_max_error"] <= row["binary_tree_bound"]
+    # The binary-tree mechanism wins for long sequences and its advantage
+    # grows with T (polylog vs polynomial error).
+    advantages = [
+        row["naive_max_error"] / row["binary_tree_max_error"] for row in rows
+    ]
+    assert advantages[-1] > advantages[0]
+    assert advantages[-1] > 3.0

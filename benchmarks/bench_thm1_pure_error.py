@@ -1,0 +1,26 @@
+"""E4 — Theorem 1: error of the pure-DP structure scales (near-)linearly in
+ell and stays below the analytic bound."""
+
+from repro.analysis import experiments
+
+
+def test_e4_pure_dp_error_scaling(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_error_scaling(
+            [8, 16, 24], n=15, epsilon=1.0, symbols=("a", "b"), trials=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E4", "Theorem 1: pure-DP stored-count error vs ell", rows
+    )
+    # Measured error never exceeds the analytic (implementation-constant) bound.
+    for row in rows:
+        assert row["max_error_worst"] <= row["analytic_bound"]
+    # The error grows with ell (the paper predicts ~linear growth).
+    errors = [row["max_error_mean"] for row in rows]
+    assert errors[-1] > errors[0]
+    # Growth is clearly sub-quadratic: tripling ell must not blow the error
+    # up by more than ~the bound's own growth factor.
+    assert errors[-1] / max(errors[0], 1e-9) < (rows[-1]["ell"] / rows[0]["ell"]) ** 2

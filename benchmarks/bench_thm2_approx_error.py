@@ -1,0 +1,24 @@
+"""E5 — Theorem 2: under approximate DP, Document Count (Delta = 1) beats
+Substring Count (Delta = ell) by roughly sqrt(ell)."""
+
+from repro.analysis import experiments
+
+
+def test_e5_document_vs_substring_counting(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_document_vs_substring(
+            [8, 16, 32], n=10, epsilon=1.0, delta=1e-6, symbols=("a", "b")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E5", "Theorem 2: Document Count vs Substring Count error (approx DP)", rows
+    )
+    for row in rows:
+        # Document counting is never worse, and the advantage tracks sqrt(ell)
+        # (within a factor ~3 to absorb noise).
+        assert row["document_count_error"] <= row["substring_count_error"] * 1.05
+        assert row["ratio"] > row["sqrt_ell"] / 3
+    # The advantage grows with ell.
+    assert rows[-1]["ratio"] > rows[0]["ratio"]

@@ -1,0 +1,22 @@
+"""E6 — Theorems 3 and 4: error of the fixed-length q-gram structures."""
+
+from repro.analysis import experiments
+
+
+def test_e6_qgram_error(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_qgram_error([2, 4, 8], n=40, ell=20, epsilon=1.0),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E6", "Theorems 3/4: q-gram stored-count error vs q", rows
+    )
+    for row in rows:
+        assert row["pure_max_error"] <= row["pure_bound"]
+        assert row["approx_max_error"] <= row["approx_bound"]
+        # Theorem 4 only ever stores q-grams that occur in the database.
+        assert row["approx_stored"] <= 40 * 20
+    # The pure-DP error bound does not grow with q (it depends on ell, not q),
+    # so the measured errors should stay within one bound across q.
+    assert max(row["pure_max_error"] for row in rows) <= rows[0]["pure_bound"]

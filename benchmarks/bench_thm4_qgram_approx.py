@@ -1,0 +1,25 @@
+"""E7 — Theorem 4: near-linear construction time of the approximate-DP
+q-gram structure."""
+
+from repro.analysis import experiments
+
+
+def test_e7_qgram_construction_time(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_qgram_timing(
+            [(50, 20), (100, 20), (200, 20), (400, 20)], q=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E7", "Theorem 4: q-gram construction time vs input size n*ell", rows
+    )
+    # Near-linear scaling: quadrupling the input must not increase the
+    # per-character cost by more than ~5x (the suffix-array substitution adds
+    # an O(log N) factor; a quadratic algorithm would grow ~8x here).
+    first = rows[0]["seconds_per_char"]
+    last = rows[-1]["seconds_per_char"]
+    assert last <= first * 5.0
+    # Absolute construction time stays laptop-friendly.
+    assert rows[-1]["construction_seconds"] < 30.0

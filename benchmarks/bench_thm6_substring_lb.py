@@ -1,0 +1,24 @@
+"""E11 — Theorem 6: on the a^ell / b^ell neighboring pair the substring-count
+error grows linearly in ell, matching the Omega(ell) lower bound."""
+
+from repro.analysis import experiments
+
+
+def test_e11_substring_count_lower_bound(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_substring_lb_experiment(
+            [16, 64, 256, 1024], n=8, epsilon=1.0, trials=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E11", "Theorem 6: worst-case substring-count error vs ell", rows
+    )
+    # The measured error always dominates the Omega(ell) lower bound ...
+    for row in rows:
+        assert row["max_error"] >= row["lower_bound"] / 2.0
+    # ... and it grows with ell roughly linearly (the paper's upper bound is
+    # ell * polylog, the lower bound is ell / 2).
+    errors = [row["error_on_D"] for row in rows]
+    assert errors[-1] > errors[0]

@@ -1,0 +1,22 @@
+"""E13 — Theorem 8: generic epsilon-DP counting on trees; the error grows
+only polylogarithmically with the universe size."""
+
+from repro.analysis import experiments
+
+
+def test_e13_tree_counting(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_tree_counting_experiment(
+            [64, 256, 1024], num_items=500, epsilon=1.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E13", "Theorem 8: hierarchical histograms (error vs universe size)", rows
+    )
+    for row in rows:
+        assert row["max_error"] <= row["analytic_bound"]
+    # Polylogarithmic growth: multiplying the universe by 16 must grow the
+    # error far less than 16x.
+    assert rows[-1]["max_error"] <= rows[0]["max_error"] * 8 + 1

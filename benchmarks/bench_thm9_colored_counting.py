@@ -1,0 +1,25 @@
+"""E14 — Theorem 9 and the colored tree counting application: approximate DP
+improves on pure DP for distinct-color counting on trees."""
+
+from repro.analysis import experiments
+
+
+def test_e14_colored_tree_counting(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_colored_counting_experiment(
+            [64, 256], num_items=400, num_colors=12, epsilon=1.0, delta=1e-6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E14", "Theorem 9: colored tree counting (pure vs approximate DP)", rows
+    )
+    by_key = {(row["universe"], row["flavour"]): row for row in rows}
+    for universe in (64, 256):
+        pure = by_key[(universe, "pure")]
+        approx = by_key[(universe, "approx")]
+        assert pure["max_error"] <= pure["analytic_bound"]
+        assert approx["max_error"] <= approx["analytic_bound"]
+        # Theorem 9's bound improves on Theorem 8's for this problem.
+        assert approx["analytic_bound"] < pure["analytic_bound"]

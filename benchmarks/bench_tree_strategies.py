@@ -1,0 +1,45 @@
+"""E18 — Hierarchical-histogram strategies on the same tree and items: the
+paper's heavy-path algorithm (Theorem 8), the range-counting reduction cited
+in Section 1.1.3, and the leaf-sum baseline of Zhang et al. [72].
+
+The two polylogarithmic strategies scale like ``polylog(u)`` in the universe
+size, while the leaf-sum baseline accumulates the noise of every descendant
+leaf and scales like ``sqrt(u)``; at laptop-scale universes the baseline's
+small constants still win, but its growth rate is clearly polynomial (the
+crossover predicted by the analytic bounds lies at ``u ~ 10^5``)."""
+
+from repro.analysis import experiments
+
+
+def test_e18_tree_strategy_comparison(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_tree_strategy_comparison(
+            [32, 128, 512], num_items=400, epsilon=1.0, trials=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E18",
+        "Hierarchical counting strategies (heavy paths vs range counting vs leaf sums)",
+        rows,
+    )
+    for row in rows:
+        # Measured errors must respect the analytic high-probability bounds.
+        assert row["heavy_path_max_error"] <= row["heavy_path_bound"]
+        assert row["range_counting_max_error"] <= row["range_counting_bound"]
+        assert row["leaf_sum_max_error"] <= row["leaf_sum_bound"]
+        # On additive hierarchical histograms the specialized range-counting
+        # reduction has smaller constants than the general heavy-path
+        # algorithm (which also covers non-additive functions).
+        assert row["range_counting_max_error"] <= row["heavy_path_max_error"]
+
+    def growth(key: str) -> float:
+        return rows[-1][key] / max(rows[0][key], 1e-9)
+
+    # The leaf-sum baseline's error grows polynomially (~sqrt(u)) while the
+    # other two grow polylogarithmically: its bound must grow strictly faster
+    # across the 16x universe sweep.
+    assert growth("leaf_sum_bound") > growth("heavy_path_bound")
+    assert growth("leaf_sum_bound") > growth("range_counting_bound")
+    assert growth("leaf_sum_max_error") > growth("range_counting_max_error") * 0.9

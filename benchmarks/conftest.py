@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark runs one experiment from DESIGN.md's index (E1-E19), records
+its rows through the ``experiment_report`` fixture and asserts the shape the
+paper predicts.  The collected tables are printed in the terminal summary (so
+they survive pytest's output capturing and end up in ``bench_output.txt``)
+and saved as JSON under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table, save_results
+
+_COLLECTED: list[tuple[str, str, list[dict]]] = []
+
+
+class ExperimentReporter:
+    """Collects experiment tables for the end-of-run summary."""
+
+    def record(self, experiment_id: str, title: str, rows: list[dict]) -> None:
+        _COLLECTED.append((experiment_id, title, rows))
+        try:
+            save_results(experiment_id, rows)
+        except OSError:  # pragma: no cover - read-only filesystems
+            pass
+
+
+@pytest.fixture
+def experiment_report() -> ExperimentReporter:
+    return ExperimentReporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not _COLLECTED:
+        return
+    terminalreporter.write_sep("=", "experiment tables (paper reproduction)")
+    for experiment_id, title, rows in _COLLECTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"[{experiment_id}] {title}")
+        for line in format_table(rows).splitlines():
+            terminalreporter.write_line(line)

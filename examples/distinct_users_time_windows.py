@@ -1,0 +1,117 @@
+"""Privately counting events and distinct users over time windows.
+
+Section 1.1.3 of the paper points out that its tree-counting technique covers
+the "counting distinct elements in a time window" problem: build a dyadic
+tree over time slots, let every data item carry its user id as a *color*, and
+release, for every dyadic window, the number of distinct users active in it.
+Because the distinct count is monotone but **not additive** (a user active in
+two child windows is counted once in the parent), the generic heavy-path
+algorithm (Theorems 8/9) is needed — the range-counting reduction only covers
+additive histograms.
+
+This example builds both releases on a synthetic activity log:
+
+1. events per window (additive) — via the range-counting reduction of
+   `repro.trees.range_counting`, and
+2. distinct users per window (non-additive) — via colored tree counting.
+
+Run with::
+
+    python examples/distinct_users_time_windows.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrivacyBudget, private_colored_counts
+from repro.trees.colored import ColoredItem, exact_colored_counts, exact_hierarchical_counts
+from repro.trees.hierarchy import build_balanced_hierarchy
+from repro.trees.range_counting import range_counting_tree_counts
+
+NUM_SLOTS = 128          # e.g. 128 five-minute buckets ~ one day
+NUM_USERS = 300
+NUM_EVENTS = 5000
+EPSILON = 2.0
+
+
+def window_label(node) -> str:
+    """Human-readable label of a tree node (a contiguous slot range)."""
+    if isinstance(node, tuple) and node[0] == "range":
+        return f"slots [{node[1]}, {node[2]})"
+    if isinstance(node, tuple) and node[0] == "leaf":
+        return f"slot {node[1]}"
+    return "all slots"
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    tree = build_balanced_hierarchy(list(range(NUM_SLOTS)), branching=2)
+
+    # Synthetic activity log: a daily rush-hour pattern with a stable user
+    # population; each event is (time slot, user id).
+    rush = np.clip(rng.normal(loc=NUM_SLOTS * 0.6, scale=NUM_SLOTS * 0.15, size=NUM_EVENTS), 0, NUM_SLOTS - 1)
+    slots = rush.astype(int)
+    users = rng.integers(0, NUM_USERS, size=NUM_EVENTS)
+    events = [ColoredItem(element=int(slot), color=int(user)) for slot, user in zip(slots, users)]
+
+    interesting_nodes = [
+        tree.root,
+        ("range", 64, 96),
+        ("range", 96, 128),
+        ("leaf", 80),
+    ]
+
+    # ------------------------------------------------------------------
+    # 1. Events per window: additive, so the range-counting reduction applies.
+    #    Replacing one event moves one unit between two slots => d = 2.
+    # ------------------------------------------------------------------
+    exact_events = exact_hierarchical_counts(tree, [item.element for item in events])
+    leaf_counts = {leaf: float(exact_events[leaf]) for leaf in tree.leaves()}
+    event_estimates, released = range_counting_tree_counts(
+        tree.root,
+        tree.children,
+        leaf_counts,
+        leaf_sensitivity=2.0,
+        budget=PrivacyBudget(EPSILON),
+        beta=0.05,
+        rng=rng,
+    )
+    print(f"events per window (range-counting reduction, epsilon = {EPSILON}):")
+    for node in interesting_nodes:
+        print(
+            f"  {window_label(node):18s} exact {exact_events[node]:6d}   "
+            f"noisy {event_estimates[node]:9.1f}"
+        )
+    print(f"  error bound for any window: {released.range_error_bound:.1f}")
+
+    # ------------------------------------------------------------------
+    # 2. Distinct users per window: monotone but not additive, so the
+    #    heavy-path algorithm (colored tree counting) is required.
+    #    Replacing one event touches at most two leaves' color sets => d = 2.
+    # ------------------------------------------------------------------
+    exact_users = exact_colored_counts(tree, events)
+    user_estimates = private_colored_counts(
+        tree, events, budget=PrivacyBudget(EPSILON), beta=0.05, rng=rng
+    )
+    print()
+    print(f"distinct active users per window (colored counting, epsilon = {EPSILON}):")
+    for node in interesting_nodes:
+        print(
+            f"  {window_label(node):18s} exact {exact_users[node]:6d}   "
+            f"noisy {user_estimates[node]:9.1f}"
+        )
+    worst = max(abs(user_estimates[node] - exact_users[node]) for node in tree.nodes())
+    print(
+        f"  max error over all {tree.num_nodes} windows: {worst:.1f} "
+        f"(analytic bound {user_estimates.error_bound:.1f})"
+    )
+    print()
+    print(
+        "Note: both releases are built once; querying any of the "
+        f"{tree.num_nodes} dyadic windows afterwards is free post-processing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments without the
+``wheel`` package (offline CI images), via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

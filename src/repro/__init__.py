@@ -1,0 +1,87 @@
+"""repro — differentially private substring and document counting.
+
+A from-scratch reproduction of "Differentially Private Substring and Document
+Counting with Near-Optimal Error" (Bernardini, Bille, Gørtz, Steiner;
+PODS 2025).  The package builds differentially private data structures that
+answer, for *every* possible pattern, how often it occurs in a collection of
+documents (Substring Count) or how many documents contain it (Document
+Count), with additive error nearly matching the paper's lower bounds.
+
+Quickstart::
+
+    from repro import StringDatabase, ConstructionParams
+    from repro import build_private_counting_structure
+
+    db = StringDatabase(["aaaa", "abe", "absab", "babe", "bee", "bees"])
+    params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
+    structure = build_private_counting_structure(db, params)
+    structure.query("ab")          # noisy substring count, post-processing
+    structure.mine(threshold=3.0)  # frequent-pattern mining, no extra privacy cost
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: candidate sets, the heavy-path construction
+    (Theorems 1-2), q-gram structures (Theorems 3-4), mining, baselines,
+    error bounds and lower-bound constructions.
+``repro.strings``
+    String-algorithm substrate (suffix arrays/trees, tries, Aho-Corasick).
+``repro.dp``
+    Differential-privacy substrate (mechanisms, composition, binary-tree
+    prefix sums).
+``repro.trees``
+    Heavy paths and private counting functions on trees (Theorems 8-9).
+``repro.workloads``
+    Synthetic workload generators (genome, transit, text, adversarial).
+``repro.analysis``
+    Error metrics, experiment runners, plain-text reporting.
+"""
+
+from repro.core import (
+    DOCUMENT_COUNT,
+    SUBSTRING_COUNT,
+    ConstructionParams,
+    ExactCountingOracle,
+    PrivateCountingTrie,
+    StringDatabase,
+    build_private_counting_structure,
+    build_qgram_structure,
+    build_simple_trie_baseline,
+    build_theorem1_structure,
+    build_theorem2_structure,
+    build_theorem3_qgram_structure,
+    build_theorem4_qgram_structure,
+    check_mining_guarantee,
+    mine_frequent_qgrams,
+    mine_frequent_substrings,
+)
+from repro.dp import GaussianMechanism, LaplaceMechanism, PrivacyBudget
+from repro.trees import private_colored_counts, private_hierarchical_counts, private_tree_counts
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DOCUMENT_COUNT",
+    "SUBSTRING_COUNT",
+    "ConstructionParams",
+    "ExactCountingOracle",
+    "PrivateCountingTrie",
+    "StringDatabase",
+    "build_private_counting_structure",
+    "build_qgram_structure",
+    "build_simple_trie_baseline",
+    "build_theorem1_structure",
+    "build_theorem2_structure",
+    "build_theorem3_qgram_structure",
+    "build_theorem4_qgram_structure",
+    "check_mining_guarantee",
+    "mine_frequent_qgrams",
+    "mine_frequent_substrings",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "PrivacyBudget",
+    "private_colored_counts",
+    "private_hierarchical_counts",
+    "private_tree_counts",
+    "__version__",
+]

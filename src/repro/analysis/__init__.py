@@ -1,0 +1,23 @@
+"""Analysis utilities: metrics, experiment runners and reporting."""
+
+from repro.analysis.metrics import (
+    ErrorSummary,
+    MiningQuality,
+    error_summary,
+    max_error_over_all_substrings,
+    mining_quality,
+    query_errors,
+)
+from repro.analysis.reporting import format_table, print_experiment, save_results
+
+__all__ = [
+    "ErrorSummary",
+    "MiningQuality",
+    "error_summary",
+    "max_error_over_all_substrings",
+    "mining_quality",
+    "query_errors",
+    "format_table",
+    "print_experiment",
+    "save_results",
+]

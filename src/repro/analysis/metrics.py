@@ -1,0 +1,206 @@
+"""Error metrics and mining-quality metrics.
+
+The paper's guarantees are about the *maximum additive error* over all
+patterns; the metrics here measure it empirically (against exact counts) for
+any structure with a ``query`` method, and evaluate mining output with the
+precision/recall-style quantities the applied literature reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.counts import exact_count_table
+from repro.core.database import StringDatabase
+
+__all__ = [
+    "QueryableStructure",
+    "ErrorSummary",
+    "query_errors",
+    "error_summary",
+    "max_error_over_all_substrings",
+    "MiningQuality",
+    "mining_quality",
+]
+
+
+class QueryableStructure(Protocol):
+    """Anything with a ``query(pattern) -> float`` method."""
+
+    def query(self, pattern: str) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of the additive error over a set of patterns."""
+
+    max_error: float
+    mean_error: float
+    median_error: float
+    num_patterns: int
+
+    def as_dict(self) -> dict:
+        return {
+            "max_error": self.max_error,
+            "mean_error": self.mean_error,
+            "median_error": self.median_error,
+            "num_patterns": self.num_patterns,
+        }
+
+
+def query_errors(
+    structure: QueryableStructure,
+    database: StringDatabase,
+    patterns: Sequence[str],
+    *,
+    delta_cap: int | None = None,
+) -> np.ndarray:
+    """Absolute error ``|structure.query(P) - count_Delta(P, D)|`` for every
+    pattern."""
+    cap = database.max_length if delta_cap is None else delta_cap
+    errors = np.zeros(len(patterns), dtype=np.float64)
+    for i, pattern in enumerate(patterns):
+        exact = database.count(pattern, cap)
+        errors[i] = abs(structure.query(pattern) - exact)
+    return errors
+
+
+def error_summary(
+    structure: QueryableStructure,
+    database: StringDatabase,
+    patterns: Sequence[str],
+    *,
+    delta_cap: int | None = None,
+) -> ErrorSummary:
+    """Error summary over an explicit set of query patterns."""
+    errors = query_errors(structure, database, patterns, delta_cap=delta_cap)
+    if len(errors) == 0:
+        return ErrorSummary(0.0, 0.0, 0.0, 0)
+    return ErrorSummary(
+        max_error=float(errors.max()),
+        mean_error=float(errors.mean()),
+        median_error=float(np.median(errors)),
+        num_patterns=len(errors),
+    )
+
+
+def max_error_over_all_substrings(
+    structure: QueryableStructure,
+    database: StringDatabase,
+    *,
+    delta_cap: int | None = None,
+    max_pattern_length: int | None = None,
+    include_stored_patterns: bool = True,
+) -> ErrorSummary:
+    """Error summary over *every* distinct substring of the database (up to
+    ``max_pattern_length``) plus, optionally, every pattern stored in the
+    structure (so spurious stored patterns with true count 0 are charged
+    too).
+
+    This is the empirical counterpart of the theorems' "maximum additive
+    error over all patterns": patterns that neither occur in the database nor
+    are stored in the structure contribute error 0 by construction.
+    """
+    cap = database.max_length if delta_cap is None else delta_cap
+    table = exact_count_table(database, cap, max_length=max_pattern_length)
+    patterns = set(table)
+    if include_stored_patterns and hasattr(structure, "items"):
+        patterns.update(pattern for pattern, _ in structure.items())
+    return error_summary(
+        structure, database, sorted(patterns), delta_cap=cap
+    )
+
+
+@dataclass(frozen=True)
+class MiningQuality:
+    """Quality of a mining run against exact counts.
+
+    ``precision``/``recall`` use the exact threshold ``tau``; the
+    ``guarantee_*`` fields use the relaxed contract of Definition 2 with
+    slack ``alpha`` (they must both be 1.0 for a correct algorithm whose
+    error bound holds).
+    """
+
+    precision: float
+    recall: float
+    guarantee_recall: float
+    guarantee_precision: float
+    num_reported: int
+    num_frequent: int
+
+    def as_dict(self) -> dict:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "guarantee_recall": self.guarantee_recall,
+            "guarantee_precision": self.guarantee_precision,
+            "num_reported": self.num_reported,
+            "num_frequent": self.num_frequent,
+        }
+
+
+def mining_quality(
+    reported: Iterable[str],
+    exact_counts: Mapping[str, int],
+    threshold: float,
+    alpha: float,
+    *,
+    restrict_to_length: int | None = None,
+) -> MiningQuality:
+    """Precision/recall of a mining output.
+
+    Parameters
+    ----------
+    reported:
+        The mined patterns.
+    exact_counts:
+        Exact counts of every pattern occurring in the database (patterns not
+        present have count 0).
+    threshold:
+        The mining threshold ``tau``.
+    alpha:
+        The approximation slack of the structure.
+    restrict_to_length:
+        Only evaluate patterns of this length (q-gram mining).
+    """
+    reported_set = {
+        p
+        for p in reported
+        if restrict_to_length is None or len(p) == restrict_to_length
+    }
+    def relevant(pattern: str) -> bool:
+        return restrict_to_length is None or len(pattern) == restrict_to_length
+
+    frequent = {p for p, c in exact_counts.items() if relevant(p) and c >= threshold}
+    clearly_frequent = {
+        p for p, c in exact_counts.items() if relevant(p) and c >= threshold + alpha
+    }
+    clearly_infrequent_reported = {
+        p for p in reported_set if exact_counts.get(p, 0) <= threshold - alpha
+    }
+
+    true_positives = len(reported_set & frequent)
+    precision = true_positives / len(reported_set) if reported_set else 1.0
+    recall = true_positives / len(frequent) if frequent else 1.0
+    guarantee_recall = (
+        len(reported_set & clearly_frequent) / len(clearly_frequent)
+        if clearly_frequent
+        else 1.0
+    )
+    guarantee_precision = (
+        1.0 - len(clearly_infrequent_reported) / len(reported_set)
+        if reported_set
+        else 1.0
+    )
+    return MiningQuality(
+        precision=precision,
+        recall=recall,
+        guarantee_recall=guarantee_recall,
+        guarantee_precision=guarantee_precision,
+        num_reported=len(reported_set),
+        num_frequent=len(frequent),
+    )

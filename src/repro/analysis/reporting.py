@@ -1,0 +1,87 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints the same kind of rows/series a paper table or
+figure would contain; this module renders them as aligned text tables and
+records them to the ``results/`` directory so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_value", "print_experiment", "save_results"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats are rounded, everything else uses ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    precision: int = 3,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), max(len(r[i]) for r in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    lines = [header, separator]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_experiment(
+    experiment_id: str,
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    notes: str = "",
+) -> None:
+    """Print one experiment's table with a header matching EXPERIMENTS.md."""
+    banner = f"[{experiment_id}] {title}"
+    print()
+    print(banner)
+    print("=" * len(banner))
+    print(format_table(rows, columns))
+    if notes:
+        print(notes)
+
+
+def save_results(
+    experiment_id: str,
+    rows: Sequence[Mapping[str, object]],
+    *,
+    directory: str | Path = "results",
+) -> Path:
+    """Persist the rows of one experiment as JSON under ``results/``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{experiment_id}.json"
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=2, sort_keys=True, default=str)
+    return target

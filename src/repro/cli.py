@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+``dpsc`` exposes the library's experiments and a tiny demo from the shell::
+
+    dpsc list                      # list every experiment (E1-E19)
+    dpsc run E1                    # regenerate one experiment's table
+    dpsc run all --save results    # regenerate every table (laptop-sized)
+    dpsc quickstart                # run the quickstart demo
+    dpsc mine --workload genome    # private mining demo
+
+The experiments are the same ones the benchmark harness runs; see DESIGN.md
+and EXPERIMENTS.md for the mapping to the paper's figures and theorems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis import experiments, reporting
+from repro.core.construction import build_private_counting_structure
+from repro.core.mining import mine_frequent_substrings
+from repro.core.params import ConstructionParams
+from repro.workloads.genome import genome_with_motifs
+from repro.workloads.transit import transit_trajectories
+
+__all__ = ["main", "EXPERIMENT_REGISTRY"]
+
+
+def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
+    """Experiment id -> (title, runner with benchmark-sized defaults)."""
+    return {
+        "E1": ("Example 1 / Figure 1: exact counts", experiments.run_example_counts),
+        "E2": (
+            "Examples 2-4 / Figure 2: candidate sets and heavy paths",
+            experiments.run_candidate_figure,
+        ),
+        "E3": (
+            "Figure 3: difference sequence and prefix sums",
+            experiments.run_prefix_sum_figure,
+        ),
+        "E4": (
+            "Theorem 1: pure-DP error scaling in ell",
+            lambda: experiments.run_error_scaling([8, 12, 16], trials=2),
+        ),
+        "E5": (
+            "Theorem 2: document vs substring counting",
+            lambda: experiments.run_document_vs_substring([8, 16, 32]),
+        ),
+        "E6": (
+            "Theorem 3/4: q-gram error",
+            lambda: experiments.run_qgram_error([2, 4]),
+        ),
+        "E7": (
+            "Theorem 4: q-gram construction time",
+            lambda: experiments.run_qgram_timing([(40, 20), (80, 20), (160, 20)]),
+        ),
+        "E8": (
+            "Baseline comparison (simple trie vs heavy paths)",
+            lambda: experiments.run_baseline_comparison([8, 16, 24]),
+        ),
+        "E9": (
+            "Private frequent-substring mining",
+            lambda: experiments.run_mining_experiment(n=200, epsilons=(20.0, 50.0)),
+        ),
+        "E10": (
+            "Theorem 5 packing lower bound",
+            lambda: experiments.run_packing_experiment([16, 24, 32]),
+        ),
+        "E11": (
+            "Theorem 6 substring-count lower bound",
+            lambda: experiments.run_substring_lb_experiment([8, 16, 32]),
+        ),
+        "E12": (
+            "Theorem 7 marginals reduction",
+            lambda: experiments.run_marginals_experiment([4, 8]),
+        ),
+        "E13": (
+            "Theorem 8 tree counting",
+            lambda: experiments.run_tree_counting_experiment([32, 128, 512]),
+        ),
+        "E14": (
+            "Theorem 9 / colored tree counting",
+            lambda: experiments.run_colored_counting_experiment([32, 128]),
+        ),
+        "E15": (
+            "Query-time linearity",
+            lambda: experiments.run_query_time_experiment([1, 2, 4, 8, 16]),
+        ),
+        "E16": (
+            "Binary-tree prefix sums vs naive noise",
+            lambda: experiments.run_prefix_sum_ablation([8, 32, 128]),
+        ),
+        "E17": (
+            "Heavy-path ablation",
+            lambda: experiments.run_heavy_path_ablation([8, 16]),
+        ),
+        "E18": (
+            "Hierarchical counting strategies (heavy paths vs range counting vs leaf sums)",
+            lambda: experiments.run_tree_strategy_comparison([32, 128, 512]),
+        ),
+        "E19": (
+            "Candidate-growth ablation (doubling vs one-letter extension)",
+            lambda: experiments.run_candidate_growth_ablation([8, 16, 32]),
+        ),
+    }
+
+
+EXPERIMENT_REGISTRY = _registry()
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for experiment_id, (title, _runner) in EXPERIMENT_REGISTRY.items():
+        print(f"{experiment_id:4s} {title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    requested = args.experiment.upper()
+    if requested == "ALL":
+        experiment_ids = list(EXPERIMENT_REGISTRY)
+    elif requested in EXPERIMENT_REGISTRY:
+        experiment_ids = [requested]
+    else:
+        print(f"unknown experiment {requested!r}; try 'dpsc list'", file=sys.stderr)
+        return 2
+    for experiment_id in experiment_ids:
+        title, runner = EXPERIMENT_REGISTRY[experiment_id]
+        rows = runner()
+        reporting.print_experiment(experiment_id, title, rows)
+        if args.save:
+            path = reporting.save_results(experiment_id, rows, directory=args.save)
+            print(f"saved to {path}")
+    return 0
+
+
+def _cmd_quickstart(_: argparse.Namespace) -> int:
+    database = experiments.example_database()
+    print(f"database: {list(database)}")
+    params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
+    structure = build_private_counting_structure(
+        database, params, rng=np.random.default_rng(0)
+    )
+    print(f"construction: {structure.metadata.construction}")
+    print(f"error bound alpha = {structure.error_bound:.1f}")
+    for pattern in ("ab", "be", "aaa"):
+        print(
+            f"  query({pattern!r}) = {structure.query(pattern):.1f}   "
+            f"(exact {database.substring_count(pattern)})"
+        )
+    print(
+        "Note: on a six-document toy database the calibrated noise dwarfs the "
+        "counts, so most queries return 0 — exactly the behaviour the error "
+        "bound promises.  See examples/ for realistic workloads."
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.workload == "genome":
+        database = genome_with_motifs(args.n, args.ell, rng)
+    else:
+        database = transit_trajectories(args.n, args.ell, rng)
+    params = ConstructionParams.pure(args.epsilon, beta=0.1)
+    structure = build_private_counting_structure(database, params, rng=rng)
+    result = mine_frequent_substrings(structure, structure.metadata.threshold)
+    print(
+        f"workload={args.workload} n={args.n} ell={args.ell} eps={args.epsilon} "
+        f"alpha={structure.error_bound:.1f} tau={result.threshold:.1f}"
+    )
+    for pattern, count in result.patterns[:20]:
+        print(f"  {pattern:12s} noisy count {count:10.1f}")
+    if not result.patterns:
+        print("  (no pattern exceeded the private threshold)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dpsc",
+        description="Differentially private substring and document counting",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list all experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment", help="experiment id, e.g. E4, or 'all' for every experiment"
+    )
+    run_parser.add_argument(
+        "--save", default="", help="directory to save the result rows to"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    quick_parser = subparsers.add_parser("quickstart", help="run the quickstart demo")
+    quick_parser.set_defaults(func=_cmd_quickstart)
+
+    mine_parser = subparsers.add_parser("mine", help="private mining demo")
+    mine_parser.add_argument("--workload", choices=("genome", "transit"), default="genome")
+    mine_parser.add_argument("--n", type=int, default=300)
+    mine_parser.add_argument("--ell", type=int, default=12)
+    mine_parser.add_argument("--epsilon", type=float, default=20.0)
+    mine_parser.add_argument("--seed", type=int, default=0)
+    mine_parser.set_defaults(func=_cmd_mine)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

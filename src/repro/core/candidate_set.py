@@ -1,0 +1,314 @@
+"""Step 1 of the construction: differentially private candidate sets.
+
+The construction algorithm first reduces the pattern universe from
+``|Sigma|^ell`` to at most ``n^2 ell^3`` strings by computing a *candidate
+set* ``C`` (Lemma 6 for pure DP, Lemma 15 for approximate DP):
+
+1. Build sets ``P_1, P_2, P_4, ..., P_{2^j}`` (``j = floor(log2 ell)``) by
+   length doubling: ``P_1`` keeps the letters whose noisy count reaches the
+   threshold ``tau = 2 alpha``; ``P_{2^k}`` keeps the concatenations of two
+   strings of ``P_{2^{k-1}}`` whose noisy count reaches ``tau``.  Crucially
+   the noisy counts are computed for **all** concatenations — including
+   strings that never occur in the database — which is what makes the
+   released candidate set differentially private.
+2. For every length ``m`` that is not a power of two, ``C_m`` contains every
+   string of length ``m`` whose length-``2^k`` prefix and suffix
+   (``k = floor(log2 m)``) both belong to ``P_{2^k}``.  These strings are
+   found through suffix/prefix overlaps and require no further access to the
+   database (post-processing).
+
+The algorithm aborts with the paper's explicit *fail* outcome when a noisy
+set grows beyond ``n * ell`` (this happens with negligible probability under
+the accuracy event).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.database import StringDatabase
+from repro.core.params import ConstructionParams
+from repro.dp.composition import PrivacyAccountant, PrivacyBudget
+from repro.dp.mechanisms import (
+    CountingMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    NoiselessMechanism,
+)
+from repro.exceptions import ConstructionAborted
+from repro.strings.lce import CollectionLCE
+
+__all__ = ["CandidateSet", "build_candidate_set", "candidate_alpha"]
+
+
+@dataclass
+class CandidateSet:
+    """The candidate set ``C`` together with its construction metadata.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[2**k]`` is the pruned set ``P_{2^k}`` (sorted lists for
+        determinism).
+    by_length:
+        ``by_length[m]`` is ``C_m`` for every length ``m`` that was completed
+        (powers of two map to the corresponding ``P`` set).
+    alpha:
+        The per-level noisy-count error bound used to set the threshold.
+    threshold:
+        The pruning threshold ``tau`` (``2 * alpha`` unless overridden).
+    noisy_counts:
+        Noisy counts of the strings that were *kept* during the doubling
+        phase (useful for inspection; not needed by later stages).
+    accountant:
+        Privacy expenditure of the doubling phase.
+    """
+
+    levels: dict[int, list[str]]
+    by_length: dict[int, list[str]]
+    alpha: float
+    threshold: float
+    noisy_counts: dict[str, float] = field(default_factory=dict)
+    accountant: PrivacyAccountant = field(default_factory=PrivacyAccountant)
+
+    def all_strings(self) -> set[str]:
+        """The full candidate set ``C`` (union over all lengths)."""
+        result: set[str] = set()
+        for strings in self.by_length.values():
+            result.update(strings)
+        return result
+
+    @property
+    def size(self) -> int:
+        return len(self.all_strings())
+
+    def max_level_length(self) -> int:
+        return max(self.levels, default=0)
+
+
+def _level_mechanism(
+    budget: PrivacyBudget, num_levels: int, noiseless: bool
+) -> CountingMechanism:
+    """The per-level mechanism: the total budget is split evenly across the
+    ``floor(log2 ell) + 1`` doubling levels (simple composition)."""
+    if noiseless:
+        return NoiselessMechanism()
+    share = budget.split(num_levels)
+    if budget.is_pure:
+        return LaplaceMechanism(share.epsilon)
+    return GaussianMechanism(share.epsilon, share.delta)
+
+
+def candidate_alpha(
+    database_size: int,
+    ell: int,
+    alphabet_size: int,
+    mechanism: CountingMechanism,
+    beta_per_level: float,
+    delta_cap: int,
+) -> float:
+    """The per-level error bound ``alpha`` of the noisy counts.
+
+    The number of counts released at any level is at most
+    ``max(ell^2 n^2, |Sigma|)``; the counts of fixed-length patterns have L1
+    sensitivity ``2 ell`` (Corollary 3) and L2 sensitivity
+    ``sqrt(2 ell Delta)`` (Corollary 6).
+    """
+    num_queries = max(ell * ell * database_size * database_size, alphabet_size, 1)
+    l1 = 2.0 * ell
+    l2 = math.sqrt(2.0 * ell * delta_cap)
+    return mechanism.sup_error_bound(
+        num_queries, beta_per_level, l1_sensitivity=l1, l2_sensitivity=l2
+    )
+
+
+def _prune_by_noisy_count(
+    patterns: Sequence[str],
+    exact_counts: Sequence[float],
+    mechanism: CountingMechanism,
+    ell: int,
+    delta_cap: int,
+    threshold: float,
+    rng: np.random.Generator,
+) -> tuple[list[str], dict[str, float]]:
+    """Add calibrated noise to the exact counts and keep the patterns whose
+    noisy count reaches the threshold."""
+    if not patterns:
+        return [], {}
+    values = np.asarray(exact_counts, dtype=np.float64)
+    noisy = mechanism.randomize(
+        values,
+        l1_sensitivity=2.0 * ell,
+        l2_sensitivity=math.sqrt(2.0 * ell * delta_cap),
+        rng=rng,
+    )
+    kept: list[str] = []
+    kept_counts: dict[str, float] = {}
+    for pattern, value in zip(patterns, noisy):
+        if value >= threshold:
+            kept.append(pattern)
+            kept_counts[pattern] = float(value)
+    return kept, kept_counts
+
+
+def suffix_prefix_overlaps(
+    strings: Sequence[str], overlap: int, lce: CollectionLCE | None = None
+) -> list[tuple[int, int]]:
+    """All ordered pairs ``(i, j)`` such that the length-``overlap`` suffix of
+    ``strings[i]`` equals the length-``overlap`` prefix of ``strings[j]``.
+
+    Uses the longest-common-extension structure over the collection, as in
+    the paper's efficient implementation (Lemma 7, Step 2).
+    """
+    if lce is None:
+        encoded = [np.fromiter((ord(c) for c in s), dtype=np.int64, count=len(s)) for s in strings]
+        lce = CollectionLCE(encoded)
+    pairs: list[tuple[int, int]] = []
+    for i in range(len(strings)):
+        for j in range(len(strings)):
+            if lce.has_overlap(i, j, overlap):
+                pairs.append((i, j))
+    return pairs
+
+
+def build_candidate_set(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    budget: PrivacyBudget | None = None,
+    rng: np.random.Generator | None = None,
+    doubling_limit: int | None = None,
+    lengths: Sequence[int] | None = None,
+) -> CandidateSet:
+    """Run the differentially private candidate-set construction.
+
+    Parameters
+    ----------
+    database:
+        The database ``D``.
+    params:
+        Construction parameters (the contribution cap, ``beta``, threshold
+        override and noiseless flag are taken from here).
+    budget:
+        The budget for this stage.  Defaults to ``params.budget`` — callers
+        that embed the candidate stage in a larger pipeline (Theorem 1/2
+        constructions) pass the stage's share explicitly.
+    rng:
+        Randomness source.
+    doubling_limit:
+        Stop the doubling once strings of this length have been built
+        (defaults to ``ell``; the q-gram constructions pass ``q``).
+    lengths:
+        Which candidate lengths ``C_m`` to complete (defaults to every
+        ``m in [1, ell]``; the q-gram constructions pass ``[q]``).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    stage_budget = budget if budget is not None else params.budget
+    ell = params.resolve_max_length(database.max_length)
+    delta_cap = params.resolve_delta_cap(ell)
+    n = database.num_documents
+    capacity = n * ell
+
+    limit = ell if doubling_limit is None else min(doubling_limit, ell)
+    num_levels = int(math.floor(math.log2(max(1, limit)))) + 1
+    mechanism = _level_mechanism(stage_budget, num_levels, params.noiseless)
+    beta_per_level = params.beta / num_levels
+    alpha = candidate_alpha(
+        n, ell, database.alphabet_size, mechanism, beta_per_level, delta_cap
+    )
+    threshold = params.threshold if params.threshold is not None else 2.0 * alpha
+
+    accountant = PrivacyAccountant()
+    levels: dict[int, list[str]] = {}
+    noisy_counts: dict[str, float] = {}
+    index = database.index
+
+    # ------------------------------------------------------------------
+    # Level 0: single letters.  Every letter of the (public) alphabet gets a
+    # noisy count, including letters that never occur.
+    # ------------------------------------------------------------------
+    letters = list(database.alphabet)
+    exact = [index.count(letter, delta_cap) for letter in letters]
+    kept, kept_counts = _prune_by_noisy_count(
+        letters, exact, mechanism, ell, delta_cap, threshold, rng
+    )
+    accountant.spend("candidates level 1", mechanism.epsilon, mechanism.delta)
+    if len(kept) > capacity:
+        raise ConstructionAborted(
+            f"candidate set P_1 grew to {len(kept)} > n*ell = {capacity}", level=1
+        )
+    levels[1] = sorted(kept)
+    noisy_counts.update(kept_counts)
+
+    # ------------------------------------------------------------------
+    # Doubling levels: P_{2^k} from P_{2^{k-1}} o P_{2^{k-1}}.
+    # ------------------------------------------------------------------
+    length = 1
+    while length * 2 <= limit:
+        length *= 2
+        previous = levels[length // 2]
+        pairs = [left + right for left in previous for right in previous]
+        # Deduplicate while keeping order deterministic.
+        pairs = sorted(set(pairs))
+        exact = [index.count(pattern, delta_cap) for pattern in pairs]
+        kept, kept_counts = _prune_by_noisy_count(
+            pairs, exact, mechanism, ell, delta_cap, threshold, rng
+        )
+        accountant.spend(
+            f"candidates level {length}", mechanism.epsilon, mechanism.delta
+        )
+        if len(kept) > capacity:
+            raise ConstructionAborted(
+                f"candidate set P_{length} grew to {len(kept)} > n*ell = {capacity}",
+                level=length,
+            )
+        levels[length] = sorted(kept)
+        noisy_counts.update(kept_counts)
+
+    # ------------------------------------------------------------------
+    # Completion: C_m for non-powers of two via suffix/prefix overlaps.
+    # This is post-processing of the released sets P_{2^k}.
+    # ------------------------------------------------------------------
+    if lengths is None:
+        lengths = list(range(1, ell + 1))
+    by_length: dict[int, list[str]] = {}
+    lce_cache: dict[int, CollectionLCE] = {}
+    for m in sorted(set(lengths)):
+        if m < 1 or m > ell:
+            continue
+        power = 1 << int(math.floor(math.log2(m)))
+        if power not in levels:
+            by_length[m] = []
+            continue
+        if m == power:
+            by_length[m] = list(levels[power])
+            continue
+        base = levels[power]
+        if not base:
+            by_length[m] = []
+            continue
+        overlap = 2 * power - m
+        if power not in lce_cache:
+            encoded = [database.alphabet.encode(s) for s in base]
+            lce_cache[power] = CollectionLCE(encoded)
+        lce = lce_cache[power]
+        candidates: set[str] = set()
+        for i, left in enumerate(base):
+            for j, right in enumerate(base):
+                if lce.has_overlap(i, j, overlap):
+                    candidates.add(left + right[overlap:])
+        by_length[m] = sorted(candidates)
+
+    return CandidateSet(
+        levels=levels,
+        by_length=by_length,
+        alpha=alpha,
+        threshold=threshold,
+        noisy_counts=noisy_counts,
+        accountant=accountant,
+    )

@@ -1,0 +1,314 @@
+"""The main construction algorithms (Theorems 1 and 2).
+
+Given a database ``D`` and a privacy budget, the construction produces a
+:class:`~repro.core.private_trie.PrivateCountingTrie` for ``count_Delta`` with
+additive error ``O(ell polylog)`` under pure DP (Theorem 1) and
+``O(sqrt(ell Delta) polylog)`` under approximate DP (Theorem 2).  The six
+steps follow Section 3 of the paper:
+
+1. **Candidate set** — :func:`repro.core.candidate_set.build_candidate_set`
+   reduces the universe to at most ``n^2 ell^3`` strings (Lemmas 6/15).
+2. **Trie + heavy paths** — the candidates are arranged in a trie ``T_C``
+   whose heavy path decomposition bounds, for any single document, the number
+   of heavy paths whose counts it can influence (Lemmas 9/10).
+3. **Noisy heavy-path roots** — the counts of all heavy-path roots are
+   released with one Laplace/Gaussian mechanism invocation (Corollaries 4/7).
+4. **Noisy prefix sums of difference sequences** — along every heavy path the
+   binary-tree mechanism releases all prefix sums of the count differences
+   (Corollaries 5/8).
+5. **Combine** — every node's noisy count is its path root's noisy count plus
+   the noisy prefix sum at its offset.
+6. **Prune** — subtrees whose noisy count falls below ``2 alpha`` are
+   removed, which bounds the stored size by ``O(n ell^2)`` nodes with high
+   probability.
+
+The same code serves both privacy flavours: the mechanisms are selected from
+the budget (``delta = 0`` -> Laplace, ``delta > 0`` -> Gaussian).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.candidate_set import CandidateSet, build_candidate_set
+from repro.core.database import StringDatabase
+from repro.core.params import ConstructionParams
+from repro.core.private_trie import PrivateCountingTrie, StructureMetadata
+from repro.dp.composition import PrivacyAccountant, PrivacyBudget
+from repro.dp.mechanisms import (
+    CountingMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    NoiselessMechanism,
+)
+from repro.dp.prefix_sums import PrefixSumMechanism
+from repro.strings.trie import Trie, TrieNode
+from repro.trees.heavy_path import HeavyPathDecomposition
+
+__all__ = [
+    "build_private_counting_structure",
+    "build_theorem1_structure",
+    "build_theorem2_structure",
+    "annotate_trie_with_exact_counts",
+]
+
+
+def _stage_mechanism(
+    budget: PrivacyBudget, noiseless: bool
+) -> CountingMechanism:
+    if noiseless:
+        return NoiselessMechanism()
+    if budget.is_pure:
+        return LaplaceMechanism(budget.epsilon)
+    return GaussianMechanism(budget.epsilon, budget.delta)
+
+
+def annotate_trie_with_exact_counts(
+    trie: Trie, database: StringDatabase, delta_cap: int
+) -> None:
+    """Store ``count_Delta(str(v), D)`` in ``node.count`` for every node of
+    the candidate trie.
+
+    The counts of all prefixes of a candidate string are computed
+    incrementally by narrowing the suffix-array interval one character at a
+    time, so the whole trie is annotated in
+    ``O(num_nodes * (log N + cost of a capped count))``.
+    """
+    index = database.index
+    root_interval = (0, len(index.suffix_array))
+    trie.root.count = float(index.count("", delta_cap))
+    stack: list[tuple[TrieNode, tuple[int, int]]] = [(trie.root, root_interval)]
+    while stack:
+        node, (lo, hi) = stack.pop()
+        for char, child in node.children.items():
+            child_lo, child_hi = index.extend_interval(lo, hi, node.depth, char)
+            child.count = float(index.count_of_interval(child_lo, child_hi, delta_cap))
+            stack.append((child, (child_lo, child_hi)))
+
+
+def build_private_counting_structure(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+    candidate_set: CandidateSet | None = None,
+) -> PrivateCountingTrie:
+    """Build the differentially private counting structure of Theorem 1
+    (pure budgets) or Theorem 2 (approximate budgets).
+
+    Parameters
+    ----------
+    database:
+        The database ``D``.
+    params:
+        Privacy budget, failure probability, contribution cap and knobs.
+    rng:
+        Randomness source (fresh default generator when omitted).
+    candidate_set:
+        Pre-built candidate set.  When supplied, the candidate stage is
+        skipped entirely and its budget is **not** consumed — callers are
+        responsible for having built it privately (used by ablation
+        benchmarks and tests).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    started = time.perf_counter()
+
+    ell = params.resolve_max_length(database.max_length)
+    delta_cap = params.resolve_delta_cap(ell)
+    n = database.num_documents
+    beta_stage = params.beta / 3.0
+    accountant = PrivacyAccountant()
+
+    # ------------------------------------------------------------------
+    # Budget split: candidate stage gets `candidate_budget_fraction`, the
+    # remaining budget is shared evenly by the roots and prefix-sum stages.
+    # When the caller supplies a pre-built candidate set, the candidate stage
+    # consumes nothing here and the whole budget goes to the two counting
+    # stages.
+    # ------------------------------------------------------------------
+    if candidate_set is None:
+        candidate_budget = params.budget.scaled(params.candidate_budget_fraction)
+        remaining_fraction = (1.0 - params.candidate_budget_fraction) / 2.0
+    else:
+        candidate_budget = None
+        remaining_fraction = 0.5
+    stage_budget = params.budget.scaled(remaining_fraction)
+
+    # ------------------------------------------------------------------
+    # Step 1: candidate set.
+    # ------------------------------------------------------------------
+    if candidate_set is None:
+        candidate_set = build_candidate_set(
+            database, params, budget=candidate_budget, rng=rng
+        )
+        for record in candidate_set.accountant.records:
+            accountant.spend(record.label, record.epsilon, record.delta)
+
+    # ------------------------------------------------------------------
+    # Step 2: candidate trie and heavy path decomposition.
+    # ------------------------------------------------------------------
+    trie = Trie()
+    for pattern in sorted(candidate_set.all_strings()):
+        trie.insert(pattern)
+    annotate_trie_with_exact_counts(trie, database, delta_cap)
+    decomposition = HeavyPathDecomposition(
+        trie.root, lambda node: list(node.children.values())
+    )
+    trie_size = trie.num_nodes
+    log_trie = math.floor(math.log2(max(2, trie_size))) + 1
+
+    # ------------------------------------------------------------------
+    # Step 3: noisy counts of the heavy-path roots.
+    # A document of length <= ell influences the counts of at most
+    # ell * (log|T_C| + 1) heavy-path roots in total (Lemma 10), hence the
+    # L1 sensitivity is 2 ell (log|T_C| + 1); every coordinate changes by at
+    # most Delta, so the L2 sensitivity is sqrt(L1 * Delta) (Lemma 14).
+    # ------------------------------------------------------------------
+    roots_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+    roots = decomposition.path_roots()
+    roots_l1 = 2.0 * ell * log_trie
+    roots_l2 = math.sqrt(roots_l1 * delta_cap)
+    root_values = np.array([node.count for node in roots], dtype=np.float64)
+    noisy_roots = roots_mechanism.randomize(
+        root_values, l1_sensitivity=roots_l1, l2_sensitivity=roots_l2, rng=rng
+    )
+    accountant.spend(
+        "heavy-path roots", roots_mechanism.epsilon if not params.noiseless else 0.0,
+        roots_mechanism.delta if not params.noiseless else 0.0,
+    )
+    roots_error = roots_mechanism.sup_error_bound(
+        max(1, len(roots)),
+        beta_stage,
+        l1_sensitivity=roots_l1,
+        l2_sensitivity=roots_l2,
+    )
+
+    # ------------------------------------------------------------------
+    # Step 4: noisy prefix sums of the difference sequences along every
+    # heavy path (binary-tree mechanism; Lemmas 11/18).
+    # ------------------------------------------------------------------
+    sums_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+    sequences = decomposition.difference_sequences(lambda node: node.count)
+    max_sequence_length = max(1, max((len(seq) for seq in sequences), default=0))
+    prefix_mechanism = PrefixSumMechanism(
+        sums_mechanism,
+        total_l1_sensitivity=2.0 * ell * log_trie,
+        per_sequence_l1_sensitivity=2.0 * delta_cap,
+        max_length=max_sequence_length,
+    )
+    noisy_sums = prefix_mechanism.release_many(sequences, rng)
+    accountant.spend(
+        "difference-sequence prefix sums",
+        sums_mechanism.epsilon if not params.noiseless else 0.0,
+        sums_mechanism.delta if not params.noiseless else 0.0,
+    )
+    sums_error = prefix_mechanism.sup_error_bound(max(1, len(sequences)), beta_stage)
+
+    # ------------------------------------------------------------------
+    # Step 5: combine into per-node noisy counts.
+    # ------------------------------------------------------------------
+    for path, root_estimate, sums in zip(decomposition.paths, noisy_roots, noisy_sums):
+        for offset, node in enumerate(path.nodes):
+            if offset == 0:
+                node.noisy_count = float(root_estimate)
+            else:
+                node.noisy_count = float(root_estimate) + sums.prefix(offset)
+
+    alpha_counts = roots_error + sums_error
+    prune_threshold = (
+        params.threshold if params.threshold is not None else 2.0 * alpha_counts
+    )
+
+    # ------------------------------------------------------------------
+    # Step 6: prune subtrees with small noisy counts (post-processing).
+    # ------------------------------------------------------------------
+    nodes_before_pruning = trie.num_nodes
+    _prune(trie, prune_threshold)
+
+    elapsed = time.perf_counter() - started
+    construction_name = "theorem-1 (pure DP)" if params.is_pure else "theorem-2 (approx DP)"
+    metadata = StructureMetadata(
+        epsilon=params.budget.epsilon,
+        delta=params.budget.delta,
+        beta=params.beta,
+        delta_cap=delta_cap,
+        max_length=ell,
+        num_documents=n,
+        alphabet_size=database.alphabet_size,
+        error_bound=alpha_counts,
+        threshold=prune_threshold,
+        construction=construction_name,
+    )
+    report = {
+        "candidate_size": candidate_set.size,
+        "candidate_alpha": candidate_set.alpha,
+        "candidate_threshold": candidate_set.threshold,
+        "trie_nodes_before_pruning": nodes_before_pruning,
+        "trie_nodes_after_pruning": trie.num_nodes,
+        "num_heavy_paths": len(decomposition.paths),
+        "max_heavy_path_length": decomposition.max_path_length(),
+        "roots_error_bound": roots_error,
+        "prefix_sums_error_bound": sums_error,
+        "absent_pattern_bound": max(
+            3.0 * candidate_set.alpha, prune_threshold + alpha_counts
+        ),
+        "construction_seconds": elapsed,
+        "privacy_spent_epsilon": accountant.total_epsilon,
+        "privacy_spent_delta": accountant.total_delta,
+    }
+    return PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+
+
+def _prune(trie: Trie, threshold: float) -> None:
+    """Remove every subtree whose root has a noisy count below the threshold
+    (the trie root itself is never removed)."""
+    stack = [trie.root]
+    while stack:
+        node = stack.pop()
+        for child in list(node.children.values()):
+            noisy = child.noisy_count if child.noisy_count is not None else -math.inf
+            if noisy < threshold:
+                trie.delete_subtree(child)
+            else:
+                stack.append(child)
+
+
+# ----------------------------------------------------------------------
+# Named wrappers matching the paper's theorem statements.
+# ----------------------------------------------------------------------
+def build_theorem1_structure(
+    database: StringDatabase,
+    epsilon: float,
+    *,
+    beta: float = 0.05,
+    delta_cap: int | None = None,
+    rng: np.random.Generator | None = None,
+    threshold: float | None = None,
+) -> PrivateCountingTrie:
+    """Theorem 1: the epsilon-differentially private structure."""
+    params = ConstructionParams.pure(
+        epsilon, beta=beta, delta_cap=delta_cap, threshold=threshold
+    )
+    return build_private_counting_structure(database, params, rng=rng)
+
+
+def build_theorem2_structure(
+    database: StringDatabase,
+    epsilon: float,
+    delta: float,
+    *,
+    beta: float = 0.05,
+    delta_cap: int | None = None,
+    rng: np.random.Generator | None = None,
+    threshold: float | None = None,
+) -> PrivateCountingTrie:
+    """Theorem 2: the (epsilon, delta)-differentially private structure."""
+    params = ConstructionParams.approximate(
+        epsilon, delta, beta=beta, delta_cap=delta_cap, threshold=threshold
+    )
+    return build_private_counting_structure(database, params, rng=rng)

@@ -1,0 +1,62 @@
+"""Reference implementations of the paper's counting queries on a database.
+
+These functions mirror Section 1.1's definitions exactly and are used as the
+ground truth in tests, metrics and benchmarks.  They accept either a
+:class:`repro.core.database.StringDatabase` or a plain sequence of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.database import StringDatabase
+from repro.strings import naive
+
+__all__ = [
+    "substring_count",
+    "document_count",
+    "count_delta",
+    "exact_count_table",
+]
+
+
+def _documents(database: StringDatabase | Sequence[str]) -> Sequence[str]:
+    if isinstance(database, StringDatabase):
+        return database.documents
+    return database
+
+
+def substring_count(database: StringDatabase | Sequence[str], pattern: str) -> int:
+    """``count(P, D)`` — total occurrences of ``P`` in the collection."""
+    return naive.substring_count(pattern, _documents(database))
+
+
+def document_count(database: StringDatabase | Sequence[str], pattern: str) -> int:
+    """``count_1(P, D)`` — number of documents containing ``P``."""
+    return naive.document_count(pattern, _documents(database))
+
+
+def count_delta(
+    database: StringDatabase | Sequence[str], pattern: str, delta: int
+) -> int:
+    """``count_Delta(P, D)`` — per-document contributions capped at
+    ``delta``."""
+    return naive.count_delta(pattern, _documents(database), delta)
+
+
+def exact_count_table(
+    database: StringDatabase | Sequence[str],
+    delta: int,
+    max_length: int | None = None,
+) -> Mapping[str, int]:
+    """Exact ``count_Delta`` of every distinct substring of the collection
+    with length at most ``max_length``.
+
+    Only substrings that occur in the collection appear in the table; all
+    other patterns have count 0 by definition.
+    """
+    documents = _documents(database)
+    table: dict[str, int] = {}
+    for pattern in naive.all_substrings(documents, max_length=max_length):
+        table[pattern] = naive.count_delta(pattern, documents, delta)
+    return table

@@ -1,0 +1,129 @@
+"""The string database abstraction.
+
+:class:`StringDatabase` models the paper's database ``D = S_1, ..., S_n`` of
+documents over a public alphabet ``Sigma`` with a public maximum length
+``ell``.  It owns the exact (non-private) counting index and provides the
+neighboring-database operation used by sensitivity tests and lower-bound
+experiments.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.exceptions import InvalidDocumentError
+from repro.strings.alphabet import Alphabet, infer_alphabet
+from repro.strings.generalized_index import GeneralizedSuffixIndex
+
+__all__ = ["StringDatabase"]
+
+
+class StringDatabase:
+    """A collection of documents ``D = S_1, ..., S_n`` from ``Sigma^[1, ell]``.
+
+    Parameters
+    ----------
+    documents:
+        The documents.  They must be non-empty and respect ``max_length``.
+    alphabet:
+        Public alphabet of the data universe.  Inferred from the documents
+        when omitted; note that for formal differential privacy the alphabet
+        (like ``max_length``) should be public, data-independent information.
+    max_length:
+        Public bound ``ell`` on the document length; defaults to the longest
+        observed document.
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[str],
+        alphabet: Alphabet | None = None,
+        max_length: int | None = None,
+    ) -> None:
+        if not documents:
+            raise InvalidDocumentError("a database must contain at least one document")
+        self.documents: tuple[str, ...] = tuple(documents)
+        self.alphabet: Alphabet = (
+            alphabet if alphabet is not None else infer_alphabet(self.documents)
+        )
+        observed = max(len(document) for document in self.documents)
+        self.max_length: int = max_length if max_length is not None else observed
+        for document in self.documents:
+            self.alphabet.validate_document(document, self.max_length)
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.documents)
+
+    def __getitem__(self, index: int) -> str:
+        return self.documents[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StringDatabase(n={self.num_documents}, ell={self.max_length}, "
+            f"sigma={self.alphabet.size})"
+        )
+
+    @property
+    def num_documents(self) -> int:
+        """``n`` — the number of documents."""
+        return len(self.documents)
+
+    @property
+    def alphabet_size(self) -> int:
+        """``|Sigma|``."""
+        return self.alphabet.size
+
+    @property
+    def total_length(self) -> int:
+        return sum(len(document) for document in self.documents)
+
+    # ------------------------------------------------------------------
+    # Exact counting (non-private)
+    # ------------------------------------------------------------------
+    @cached_property
+    def index(self) -> GeneralizedSuffixIndex:
+        """The exact counting index over the collection (built lazily)."""
+        return GeneralizedSuffixIndex(self.documents, self.alphabet)
+
+    def substring_count(self, pattern: str) -> int:
+        """Exact ``count(P, D)``."""
+        return self.index.substring_count(pattern)
+
+    def document_count(self, pattern: str) -> int:
+        """Exact ``count_1(P, D)``."""
+        return self.index.document_count(pattern)
+
+    def count(self, pattern: str, delta_cap: int | None = None) -> int:
+        """Exact ``count_Delta(P, D)``; ``delta_cap=None`` means
+        ``Delta = ell`` (Substring Count)."""
+        delta = self.max_length if delta_cap is None else delta_cap
+        return self.index.count(pattern, delta)
+
+    # ------------------------------------------------------------------
+    # Neighboring databases
+    # ------------------------------------------------------------------
+    def replace_document(self, index: int, replacement: str) -> "StringDatabase":
+        """Return the neighboring database where document ``index`` has been
+        replaced by ``replacement``."""
+        if not 0 <= index < self.num_documents:
+            raise IndexError(f"document index {index} out of range")
+        documents = list(self.documents)
+        documents[index] = replacement
+        return StringDatabase(documents, self.alphabet, self.max_length)
+
+    def is_neighbor_of(self, other: "StringDatabase") -> bool:
+        """``True`` when the two databases differ in exactly one document
+        (same size, same order convention)."""
+        if self.num_documents != other.num_documents:
+            return False
+        differences = sum(
+            1 for a, b in zip(self.documents, other.documents) if a != b
+        )
+        return differences == 1

@@ -1,0 +1,245 @@
+"""Analytic error bounds.
+
+Two families of formulas live here:
+
+* **Implementation bounds** — the exact high-probability error bounds implied
+  by the mechanisms this library actually runs (same constants).  Tests use
+  them to assert ``measured error <= bound`` without slack guessing, and
+  benchmarks print them next to the measured errors.
+* **Paper asymptotics** — the Theta-shaped expressions stated by the paper's
+  theorems (no constants).  Benchmarks use them to check *shape*: how the
+  measured error scales with ``ell``, ``n``, ``|Sigma|``, ``epsilon`` and
+  ``Delta``, and where pure DP and approximate DP part ways.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.candidate_set import candidate_alpha
+from repro.core.params import ConstructionParams
+from repro.dp.composition import PrivacyBudget
+from repro.dp.mechanisms import (
+    CountingMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+)
+from repro.dp.prefix_sums import PrefixSumMechanism
+
+__all__ = [
+    "candidate_stage_bound",
+    "counting_stage_bound",
+    "structure_error_bound",
+    "theorem1_asymptotic",
+    "theorem2_asymptotic",
+    "theorem3_asymptotic",
+    "theorem4_asymptotic",
+    "theorem5_lower_bound",
+    "theorem6_lower_bound",
+    "theorem7_lower_bound",
+    "baseline_error_bound",
+]
+
+
+def _stage_mechanism(budget: PrivacyBudget) -> CountingMechanism:
+    if budget.is_pure:
+        return LaplaceMechanism(budget.epsilon)
+    return GaussianMechanism(budget.epsilon, budget.delta)
+
+
+# ----------------------------------------------------------------------
+# Implementation bounds (exact constants of this library).
+# ----------------------------------------------------------------------
+def candidate_stage_bound(
+    n: int, ell: int, alphabet_size: int, params: ConstructionParams
+) -> float:
+    """Error bound of the candidate-stage noisy counts (Lemmas 6/15): any
+    pattern left out of the candidate set has true count below roughly three
+    times this value."""
+    budget = params.budget.scaled(params.candidate_budget_fraction)
+    num_levels = int(math.floor(math.log2(max(1, ell)))) + 1
+    mechanism = _stage_mechanism(budget.split(num_levels))
+    return candidate_alpha(
+        n,
+        ell,
+        alphabet_size,
+        mechanism,
+        params.beta / num_levels,
+        params.resolve_delta_cap(ell),
+    )
+
+
+def counting_stage_bound(
+    n: int,
+    ell: int,
+    params: ConstructionParams,
+    *,
+    trie_size: int | None = None,
+    num_paths: int | None = None,
+    max_path_length: int | None = None,
+) -> float:
+    """Error bound on the stored noisy counts of the main construction
+    (Corollaries 4+5 for pure DP, 7+8 for approximate DP).
+
+    The data-dependent quantities default to their worst-case values from the
+    paper: ``|T_C| <= n^2 ell^4`` trie nodes, ``n^2 ell^3`` heavy paths and
+    path length ``ell``.
+    """
+    delta_cap = params.resolve_delta_cap(ell)
+    trie_size = trie_size if trie_size is not None else max(2, n * n * ell**4)
+    num_paths = num_paths if num_paths is not None else max(1, n * n * ell**3)
+    max_path_length = max_path_length if max_path_length is not None else max(1, ell)
+    beta_stage = params.beta / 3.0
+    remaining_fraction = (1.0 - params.candidate_budget_fraction) / 2.0
+    stage_budget = params.budget.scaled(remaining_fraction)
+    mechanism = _stage_mechanism(stage_budget)
+
+    log_trie = math.floor(math.log2(max(2, trie_size))) + 1
+    roots_l1 = 2.0 * ell * log_trie
+    roots_l2 = math.sqrt(roots_l1 * delta_cap)
+    roots_error = mechanism.sup_error_bound(
+        num_paths, beta_stage, l1_sensitivity=roots_l1, l2_sensitivity=roots_l2
+    )
+    prefix_mechanism = PrefixSumMechanism(
+        mechanism,
+        total_l1_sensitivity=2.0 * ell * log_trie,
+        per_sequence_l1_sensitivity=2.0 * delta_cap,
+        max_length=max_path_length,
+    )
+    sums_error = prefix_mechanism.sup_error_bound(num_paths, beta_stage)
+    return roots_error + sums_error
+
+
+def structure_error_bound(
+    n: int,
+    ell: int,
+    alphabet_size: int,
+    params: ConstructionParams,
+    *,
+    trie_size: int | None = None,
+    num_paths: int | None = None,
+    max_path_length: int | None = None,
+) -> float:
+    """Bound on ``|noisy count - true count|`` for *any* pattern: stored
+    patterns are covered by the counting-stage bound, absent patterns by the
+    candidate-stage bound and the pruning threshold."""
+    alpha_counts = counting_stage_bound(
+        n,
+        ell,
+        params,
+        trie_size=trie_size,
+        num_paths=num_paths,
+        max_path_length=max_path_length,
+    )
+    alpha_candidates = candidate_stage_bound(n, ell, alphabet_size, params)
+    return max(3.0 * alpha_counts, 3.0 * alpha_candidates)
+
+
+def baseline_error_bound(
+    n: int, ell: int, params: ConstructionParams, *, max_nodes: int = 100_000
+) -> float:
+    """Error bound of the simple-trie baseline: noise calibrated to L1
+    sensitivity ``ell (ell + 1)``, i.e. Theta(ell^2 / epsilon) up to logs."""
+    delta_cap = params.resolve_delta_cap(ell)
+    mechanism = _stage_mechanism(params.budget)
+    l1 = float(ell * (ell + 1))
+    l2 = math.sqrt(l1 * delta_cap)
+    return mechanism.sup_error_bound(
+        max_nodes, params.beta, l1_sensitivity=l1, l2_sensitivity=l2
+    )
+
+
+# ----------------------------------------------------------------------
+# Paper asymptotics (Theta shapes, no constants).
+# ----------------------------------------------------------------------
+def theorem1_asymptotic(
+    n: int, ell: int, alphabet_size: int, epsilon: float, beta: float = 0.05
+) -> float:
+    """Theorem 1: ``ell log(ell) (log^2(n ell / beta) + log|Sigma|) / eps``."""
+    log_nl = math.log2(max(2.0, n * ell / beta))
+    return ell * math.log2(max(2, ell)) * (log_nl**2 + math.log2(max(2, alphabet_size))) / epsilon
+
+
+def theorem2_asymptotic(
+    n: int,
+    ell: int,
+    alphabet_size: int,
+    epsilon: float,
+    delta: float,
+    delta_cap: int,
+    beta: float = 0.05,
+) -> float:
+    """Theorem 2: ``sqrt(ell Delta log(1/delta)) log(ell)
+    (log(n ell / beta) + sqrt(log|Sigma| log log ell)) / eps``."""
+    log_nl = math.log2(max(2.0, n * ell / beta))
+    loglog_ell = math.log2(max(2.0, math.log2(max(2, ell))))
+    return (
+        math.sqrt(ell * delta_cap * math.log(1.0 / delta))
+        * math.log2(max(2, ell))
+        * (log_nl + math.sqrt(math.log2(max(2, alphabet_size)) * loglog_ell))
+        / epsilon
+    )
+
+
+def theorem3_asymptotic(
+    n: int, ell: int, alphabet_size: int, epsilon: float, beta: float = 0.05
+) -> float:
+    """Theorem 3: ``ell log(ell) (log(n ell / beta) + log|Sigma|) / eps``."""
+    log_nl = math.log2(max(2.0, n * ell / beta))
+    return ell * math.log2(max(2, ell)) * (log_nl + math.log2(max(2, alphabet_size))) / epsilon
+
+
+def theorem4_asymptotic(
+    n: int,
+    ell: int,
+    q: int,
+    alphabet_size: int,
+    epsilon: float,
+    delta: float,
+    delta_cap: int,
+    beta: float = 0.05,
+) -> float:
+    """Theorem 4: ``sqrt(ell Delta log(n ell)) log(q)
+    (eps + log log q + log(|Sigma| / (delta beta))) / eps``."""
+    log_nl = math.log2(max(2.0, n * ell))
+    log_q = math.log2(max(2, q))
+    loglog_q = math.log2(max(2.0, log_q))
+    return (
+        math.sqrt(ell * delta_cap * log_nl)
+        * log_q
+        * (epsilon + loglog_q + math.log2(max(2.0, alphabet_size / (delta * beta))))
+        / epsilon
+    )
+
+
+def theorem5_lower_bound(n: int, ell: int, alphabet_size: int, epsilon: float) -> float:
+    """Theorem 5 packing lower bound: ``Omega(min(n, ell log|Sigma| / eps))``.
+
+    The constant follows the proof: with ``m k ~ ell`` code positions the
+    packing argument forces ``B >= (ell/2) ln(|Sigma| - 2) / eps`` and the
+    error is ``B / 2``.
+    """
+    if alphabet_size < 4:
+        raise ValueError("the packing argument needs |Sigma| >= 4")
+    packing = (ell / 2.0) * math.log(max(2, alphabet_size - 2)) / epsilon / 2.0
+    return min(float(n), packing)
+
+
+def theorem6_lower_bound(ell: int) -> float:
+    """Theorem 6: Substring Count requires additive error ``Omega(ell)``;
+    the explicit pair in the proof forces error at least ``ell / 2``."""
+    return ell / 2.0
+
+
+def theorem7_lower_bound(
+    n: int, ell: int, alphabet_size: int, epsilon: float, delta: float
+) -> float:
+    """Theorem 7 Document Count lower bound (via 1-way marginals):
+    ``Omega(sqrt(ell) / (eps log ell))`` for ``delta > 0`` and
+    ``Omega(ell / eps)`` shapes for ``delta = 0`` (both capped at ``n``)."""
+    base = math.log(max(2, alphabet_size - 1))
+    if delta > 0:
+        value = math.sqrt(ell) / (epsilon * max(1.0, math.log2(max(2, ell))))
+    else:
+        value = ell / (epsilon * max(1.0, base))
+    return min(float(n), value)

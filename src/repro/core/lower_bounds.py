@@ -1,0 +1,220 @@
+"""Lower-bound constructions (Theorems 5, 6 and 7).
+
+The paper's lower bounds are information-theoretic statements about *every*
+differentially private algorithm; they cannot be "run".  What can be run —
+and what the benchmarks do — is the explicit hard instances used in the
+proofs:
+
+* **Theorem 6** builds the neighboring pair ``D = {a^ell, b^ell, ...}`` vs
+  ``D' = {b^ell, b^ell, ...}`` on which the substring count of the single
+  letter ``a`` differs by ``ell``; any private structure must err by
+  ``Omega(ell)`` on at least one of the two.
+* **Theorem 5** builds the packing instances ``D(P_1, ..., P_k)`` in which
+  ``k = ell / m`` secret patterns are embedded at coded positions; accurate
+  mining would reveal the embedded patterns, so the error must be
+  ``Omega(min(n, ell log|Sigma| / eps))``.
+* **Theorem 7** reduces 1-way marginals to Document Count: each binary vector
+  becomes a document of position gadgets ``code(j) . Y_i[j] . '$'`` and the
+  ``j``-th marginal is recovered by querying ``code(j) . '1'``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.database import StringDatabase
+from repro.strings.alphabet import Alphabet
+
+__all__ = [
+    "substring_lower_bound_pair",
+    "PackingInstance",
+    "packing_patterns",
+    "packing_database",
+    "MarginalsReduction",
+    "marginals_reduction",
+    "exact_marginals",
+]
+
+
+# ----------------------------------------------------------------------
+# Theorem 6: the a^ell vs b^ell pair.
+# ----------------------------------------------------------------------
+def substring_lower_bound_pair(
+    ell: int, n: int, symbols: tuple[str, str] = ("a", "b")
+) -> tuple[StringDatabase, StringDatabase, str]:
+    """The neighboring databases of Theorem 6's proof and the distinguishing
+    pattern.
+
+    ``D`` contains one copy of ``a^ell`` and ``n - 1`` copies of ``b^ell``;
+    ``D'`` replaces the ``a^ell`` document by ``b^ell``.  The substring count
+    of ``P = a`` is ``ell`` on ``D`` and ``0`` on ``D'``.
+    """
+    if ell < 1 or n < 1:
+        raise ValueError("ell and n must be at least 1")
+    a, b = symbols
+    alphabet = Alphabet(tuple(sorted({a, b})))
+    documents = [a * ell] + [b * ell] * (n - 1)
+    neighbors = [b * ell] * n
+    database = StringDatabase(documents, alphabet, max_length=ell)
+    neighbor = StringDatabase(neighbors, alphabet, max_length=ell)
+    return database, neighbor, a
+
+
+# ----------------------------------------------------------------------
+# Theorem 5: packing instances.
+# ----------------------------------------------------------------------
+@dataclass
+class PackingInstance:
+    """One packing instance ``D(P_1, ..., P_k)``.
+
+    Attributes
+    ----------
+    database:
+        ``B`` copies of the pattern-carrying document and ``n - B`` filler
+        documents.
+    planted_patterns:
+        The embedded query strings ``P_i . code(i)`` of length ``m`` whose
+        counts reveal the secret patterns.
+    secret_patterns:
+        The secret half-length patterns ``P_1, ..., P_k``.
+    copies:
+        ``B`` — the number of documents carrying the secret patterns.
+    """
+
+    database: StringDatabase
+    planted_patterns: list[str]
+    secret_patterns: list[str]
+    copies: int
+
+
+def _binary_code(value: int, length: int, zero: str, one: str) -> str:
+    bits = []
+    for position in range(length - 1, -1, -1):
+        bits.append(one if (value >> position) & 1 else zero)
+    return "".join(bits)
+
+
+def packing_patterns(
+    k: int, m: int, symbols: Sequence[str], rng: np.random.Generator
+) -> list[str]:
+    """Draw ``k`` secret patterns of length ``m // 2`` over the reduced
+    alphabet ``Sigma \\ {0, 1}`` used by the packing construction."""
+    if m % 2 != 0:
+        raise ValueError("the packing pattern length m must be even")
+    if not symbols:
+        raise ValueError("the reduced alphabet must be non-empty")
+    half = m // 2
+    choices = rng.integers(0, len(symbols), size=(k, half))
+    return ["".join(symbols[int(c)] for c in row) for row in choices]
+
+
+def packing_database(
+    secret_patterns: Sequence[str],
+    ell: int,
+    n: int,
+    copies: int,
+    alphabet: Alphabet,
+    zero: str = "0",
+    one: str = "1",
+) -> PackingInstance:
+    """Build the packing instance of Theorem 5's proof.
+
+    Each carrying document is ``P_1 c_1 P_2 c_2 ... P_k c_k`` where ``c_i``
+    is the binary position code of ``i``; the remaining ``n - copies``
+    documents are all-``zero`` filler.  The planted query strings are
+    ``P_i c_i`` (length ``m``); their count is ``copies`` on this database
+    and ``0`` on any database built from different secret patterns.
+    """
+    if not secret_patterns:
+        raise ValueError("at least one secret pattern is required")
+    half = len(secret_patterns[0])
+    if any(len(p) != half for p in secret_patterns):
+        raise ValueError("all secret patterns must have the same length")
+    m = 2 * half
+    code_length = half
+    carrier_parts = []
+    planted = []
+    for i, pattern in enumerate(secret_patterns):
+        code = _binary_code(i, code_length, zero, one)
+        carrier_parts.append(pattern + code)
+        planted.append(pattern + code)
+    carrier = "".join(carrier_parts)
+    if len(carrier) > ell:
+        raise ValueError(
+            f"k * m = {len(carrier)} exceeds the document length ell = {ell}"
+        )
+    carrier = carrier + zero * (ell - len(carrier))
+    filler = zero * ell
+    if not 0 <= copies <= n:
+        raise ValueError("copies must lie in [0, n]")
+    documents = [carrier] * copies + [filler] * (n - copies)
+    database = StringDatabase(documents, alphabet, max_length=ell)
+    return PackingInstance(
+        database=database,
+        planted_patterns=planted,
+        secret_patterns=list(secret_patterns),
+        copies=copies,
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 7: reduction from 1-way marginals to Document Count.
+# ----------------------------------------------------------------------
+@dataclass
+class MarginalsReduction:
+    """The Document Count instance encoding a 1-way marginals instance."""
+
+    database: StringDatabase
+    #: query pattern whose document count (divided by n) is the j-th marginal.
+    column_patterns: list[str]
+    #: number of rows n of the marginals instance.
+    num_rows: int
+
+    def marginals_from_counts(self, counts: Sequence[float]) -> np.ndarray:
+        """Convert (noisy) document counts of the column patterns into
+        marginal estimates."""
+        return np.asarray(counts, dtype=np.float64) / float(self.num_rows)
+
+
+def marginals_reduction(matrix: np.ndarray) -> MarginalsReduction:
+    """Encode a binary matrix ``Y`` (``n x d``) as a Document Count instance
+    (Theorem 7's reduction with ``b = 3``, i.e. alphabet ``{0, 1, $}``).
+
+    Document ``i`` is the concatenation of the position gadgets
+    ``code(j) Y[i, j] '$'`` over all columns ``j``; the marginal of column
+    ``j`` equals ``count_1(code(j) '1', D) / n``.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("the marginals matrix must be two-dimensional")
+    if not np.isin(matrix, (0, 1)).all():
+        raise ValueError("the marginals matrix must be binary")
+    n, d = matrix.shape
+    if n < 1 or d < 1:
+        raise ValueError("the marginals matrix must be non-empty")
+    code_length = max(1, math.ceil(math.log2(max(2, d))))
+    alphabet = Alphabet(("$", "0", "1"))
+
+    codes = [_binary_code(j, code_length, "0", "1") for j in range(d)]
+    documents = []
+    for i in range(n):
+        gadgets = [
+            codes[j] + ("1" if matrix[i, j] else "0") + "$" for j in range(d)
+        ]
+        documents.append("".join(gadgets))
+    ell = d * (code_length + 2)
+    database = StringDatabase(documents, alphabet, max_length=ell)
+    column_patterns = [codes[j] + "1" for j in range(d)]
+    return MarginalsReduction(
+        database=database, column_patterns=column_patterns, num_rows=n
+    )
+
+
+def exact_marginals(matrix: np.ndarray) -> np.ndarray:
+    """The exact 1-way marginals ``q_j(Y) = (1/n) sum_i Y[i, j]``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return matrix.mean(axis=0)

@@ -1,0 +1,158 @@
+"""Frequent substring and q-gram mining on top of the private structures.
+
+Given a private counting structure, alpha-approximate Substring Mining
+(Definition 2) reduces to a traversal: report every stored pattern whose noisy
+count reaches the threshold ``tau``.  Because the structure was built by a
+differentially private algorithm, any number of thresholds (and any number of
+mining runs) can be evaluated without further privacy loss.
+
+The guarantee inherited from the structure's error bound ``alpha`` is:
+
+* every pattern with true count ``>= tau + alpha`` is reported, and
+* no pattern with true count ``<= tau - alpha`` is reported;
+
+patterns with true count inside ``(tau - alpha, tau + alpha)`` may go either
+way.  :func:`check_mining_guarantee` verifies exactly this contract against
+exact counts and is used heavily by the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.counts import exact_count_table
+from repro.core.database import StringDatabase
+from repro.core.private_trie import PrivateCountingTrie
+
+__all__ = [
+    "MiningResult",
+    "mine_frequent_substrings",
+    "mine_frequent_qgrams",
+    "check_mining_guarantee",
+]
+
+
+@dataclass
+class MiningResult:
+    """Outcome of one mining run."""
+
+    threshold: float
+    patterns: list[tuple[str, float]]
+    #: the structure's error bound alpha, i.e. the approximation slack of
+    #: Definition 2 that the result is guaranteed to satisfy (w.h.p.).
+    alpha: float
+
+    def pattern_set(self) -> set[str]:
+        return {pattern for pattern, _ in self.patterns}
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+
+def mine_frequent_substrings(
+    structure: PrivateCountingTrie,
+    threshold: float,
+    *,
+    min_length: int = 1,
+    max_length: int | None = None,
+) -> MiningResult:
+    """alpha-approximate Substring Mining: all stored patterns with a noisy
+    count at least ``threshold``."""
+    patterns = structure.mine(
+        threshold, min_length=min_length, max_length=max_length
+    )
+    alpha = (
+        structure.mining_alpha(threshold)
+        if hasattr(structure, "mining_alpha")
+        else structure.error_bound
+    )
+    return MiningResult(threshold=threshold, patterns=patterns, alpha=alpha)
+
+
+def mine_frequent_qgrams(
+    structure: PrivateCountingTrie, threshold: float, q: int
+) -> MiningResult:
+    """alpha-approximate q-Gram Mining: stored length-``q`` patterns with a
+    noisy count at least ``threshold``."""
+    patterns = structure.mine(threshold, exact_length=q)
+    alpha = (
+        structure.mining_alpha(threshold)
+        if hasattr(structure, "mining_alpha")
+        else structure.error_bound
+    )
+    return MiningResult(threshold=threshold, patterns=patterns, alpha=alpha)
+
+
+@dataclass
+class GuaranteeViolations:
+    """Violations of the alpha-approximate mining contract."""
+
+    #: patterns with true count >= tau + alpha that were not reported.
+    missed: list[str]
+    #: reported patterns with true count <= tau - alpha.
+    spurious: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.missed and not self.spurious
+
+
+def check_mining_guarantee(
+    result: MiningResult,
+    exact_counts: Mapping[str, int] | StringDatabase,
+    *,
+    delta_cap: int | None = None,
+    alpha: float | None = None,
+    restrict_to_length: int | None = None,
+    candidate_patterns: Sequence[str] | None = None,
+) -> GuaranteeViolations:
+    """Verify the alpha-approximate mining contract (Definition 2).
+
+    Parameters
+    ----------
+    result:
+        The mining output to check.
+    exact_counts:
+        Either a mapping from pattern to exact count, or a database from
+        which the exact counts of all its substrings are computed.
+    delta_cap:
+        Contribution cap used when ``exact_counts`` is a database.
+    alpha:
+        Approximation slack; defaults to the structure's error bound carried
+        by ``result``.
+    restrict_to_length:
+        Only check patterns of this length (for q-gram mining).
+    candidate_patterns:
+        Restrict the "missed" check to these patterns (defaults to every
+        pattern appearing in ``exact_counts``).  Patterns not occurring in
+        the database have count 0 and can never be missed.
+    """
+    slack = result.alpha if alpha is None else alpha
+    if isinstance(exact_counts, StringDatabase):
+        cap = exact_counts.max_length if delta_cap is None else delta_cap
+        table: Mapping[str, int] = exact_count_table(exact_counts, cap)
+    else:
+        table = exact_counts
+    reported = result.pattern_set()
+    universe = candidate_patterns if candidate_patterns is not None else list(table)
+
+    missed = []
+    for pattern in universe:
+        if restrict_to_length is not None and len(pattern) != restrict_to_length:
+            continue
+        if table.get(pattern, 0) >= result.threshold + slack and pattern not in reported:
+            missed.append(pattern)
+    spurious = []
+    for pattern in reported:
+        if restrict_to_length is not None and len(pattern) != restrict_to_length:
+            continue
+        # Strictly below tau - alpha: at alpha = 0 a count exactly equal to
+        # the threshold satisfies both clauses of Definition 2, so it is not
+        # a violation to report it.
+        if table.get(pattern, 0) < result.threshold - slack:
+            spurious.append(pattern)
+    return GuaranteeViolations(missed=sorted(missed), spurious=sorted(spurious))

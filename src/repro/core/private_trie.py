@@ -1,0 +1,204 @@
+"""The output data structure: a trie of noisy counts.
+
+Both main constructions (Theorems 1 and 2) and the q-gram constructions
+(Theorems 3 and 4) output a :class:`PrivateCountingTrie`: a pruned trie whose
+nodes store differentially private counts for the strings they spell.  Since
+the *construction* satisfies differential privacy, the structure can be
+queried (and mined, and serialized) arbitrarily often without any further
+privacy loss — every operation here is post-processing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.dp.composition import PrivacyBudget
+from repro.strings.trie import Trie, TrieNode
+
+__all__ = ["PrivateCountingTrie", "StructureMetadata"]
+
+
+@dataclass(frozen=True)
+class StructureMetadata:
+    """Public metadata attached to a private counting structure."""
+
+    #: the privacy budget the construction was run with.
+    epsilon: float
+    delta: float
+    #: failure probability of the accuracy guarantee.
+    beta: float
+    #: contribution cap Delta of count_Delta.
+    delta_cap: int
+    #: declared maximum document length ell.
+    max_length: int
+    #: number of documents n.
+    num_documents: int
+    #: alphabet size |Sigma|.
+    alphabet_size: int
+    #: high-probability additive error bound of the stored counts.
+    error_bound: float
+    #: pruning threshold used by the construction.
+    threshold: float
+    #: fixed pattern length for q-gram structures (None for the general ones).
+    qgram_length: int | None = None
+    #: free-form name of the construction that produced the structure.
+    construction: str = ""
+
+
+@dataclass
+class PrivateCountingTrie:
+    """A trie storing an (epsilon, delta)-differentially private count for
+    every string it contains.
+
+    Queries run in ``O(|P|)`` time: the pattern is matched in the trie and the
+    stored noisy count is returned, or 0 when the pattern is absent (patterns
+    absent from the structure have true count below the error bound with high
+    probability).
+    """
+
+    trie: Trie
+    metadata: StructureMetadata
+    #: optional per-construction diagnostics (sizes, stage error bounds, ...).
+    report: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Queries (post-processing; no privacy cost)
+    # ------------------------------------------------------------------
+    def query(self, pattern: str) -> float:
+        """Noisy ``count_Delta(pattern, D)`` estimate (0 when absent)."""
+        node = self.trie.find(pattern)
+        if node is None or node.noisy_count is None:
+            return 0.0
+        return float(node.noisy_count)
+
+    def __contains__(self, pattern: str) -> bool:
+        node = self.trie.find(pattern)
+        return node is not None and node.noisy_count is not None
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        """Iterate over ``(pattern, noisy count)`` pairs for every stored
+        node (excluding the root / empty pattern)."""
+        stack: list[tuple[TrieNode, str]] = [(self.trie.root, "")]
+        while stack:
+            node, prefix = stack.pop()
+            if prefix and node.noisy_count is not None:
+                yield prefix, float(node.noisy_count)
+            for char, child in node.children.items():
+                stack.append((child, prefix + char))
+
+    def patterns(self) -> list[str]:
+        return [pattern for pattern, _ in self.items()]
+
+    def mine(
+        self,
+        threshold: float,
+        *,
+        min_length: int = 1,
+        max_length: int | None = None,
+        exact_length: int | None = None,
+    ) -> list[tuple[str, float]]:
+        """All stored patterns whose noisy count reaches ``threshold``.
+
+        This implements alpha-approximate Substring Mining (Definition 2)
+        and, with ``exact_length=q``, alpha-approximate q-Gram Mining.  Any
+        number of thresholds can be tried without additional privacy loss.
+        """
+        results = []
+        for pattern, count in self.items():
+            if count < threshold:
+                continue
+            if exact_length is not None and len(pattern) != exact_length:
+                continue
+            if len(pattern) < min_length:
+                continue
+            if max_length is not None and len(pattern) > max_length:
+                continue
+            results.append((pattern, count))
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.trie.num_nodes
+
+    @property
+    def num_stored_patterns(self) -> int:
+        return sum(1 for _ in self.items())
+
+    @property
+    def error_bound(self) -> float:
+        return self.metadata.error_bound
+
+    def mining_alpha(self, threshold: float) -> float:
+        """The approximation slack with which mining at ``threshold``
+        satisfies Definition 2.
+
+        Stored patterns carry error at most ``error_bound``.  Patterns absent
+        from the structure have true count below
+        ``report['absent_pattern_bound']`` (they were either excluded from
+        the candidate set or pruned), so they can only be "clearly frequent"
+        when the threshold is small; the slack accounts for that.
+        """
+        absent_bound = float(
+            self.report.get(
+                "absent_pattern_bound",
+                self.metadata.threshold + self.metadata.error_bound,
+            )
+        )
+        return max(self.metadata.error_bound, absent_bound - threshold)
+
+    @property
+    def privacy_budget(self) -> PrivacyBudget:
+        return PrivacyBudget(self.metadata.epsilon, self.metadata.delta)
+
+    def depth(self) -> int:
+        return self.trie.height()
+
+    # ------------------------------------------------------------------
+    # Serialization (post-processing)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation of the structure."""
+        return {
+            "metadata": self.metadata.__dict__,
+            "counts": {pattern: count for pattern, count in self.items()},
+            "report": self.report,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PrivateCountingTrie":
+        metadata = StructureMetadata(**payload["metadata"])
+        trie = Trie()
+        for pattern, count in payload["counts"].items():
+            node = trie.insert(pattern)
+            node.noisy_count = float(count)
+        return cls(trie=trie, metadata=metadata, report=dict(payload.get("report", {})))
+
+    @classmethod
+    def from_json(cls, payload: str) -> "PrivateCountingTrie":
+        return cls.from_dict(json.loads(payload))
+
+    def save(self, path: "str | Path") -> "Path":
+        """Write the structure to ``path`` as JSON and return the path.
+
+        The file contains only the released (noisy) counts and public
+        metadata, so sharing it carries no privacy cost beyond the
+        construction's budget.
+        """
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "PrivateCountingTrie":
+        """Read a structure previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,43 @@
+"""Differential-privacy substrate: mechanisms, composition, prefix sums."""
+
+from repro.dp.composition import CompositionRecord, PrivacyAccountant, PrivacyBudget
+from repro.dp.distributions import (
+    gaussian_sum_std,
+    gaussian_tail_bound,
+    laplace_sum_tail_bound,
+    laplace_tail_bound,
+    sample_gaussian,
+    sample_laplace,
+)
+from repro.dp.mechanisms import (
+    CountingMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    NoiselessMechanism,
+)
+from repro.dp.prefix_sums import (
+    NoisyPrefixSums,
+    PrefixSumMechanism,
+    canonical_cover,
+    dyadic_intervals,
+)
+
+__all__ = [
+    "CompositionRecord",
+    "PrivacyAccountant",
+    "PrivacyBudget",
+    "gaussian_sum_std",
+    "gaussian_tail_bound",
+    "laplace_sum_tail_bound",
+    "laplace_tail_bound",
+    "sample_gaussian",
+    "sample_laplace",
+    "CountingMechanism",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "NoiselessMechanism",
+    "NoisyPrefixSums",
+    "PrefixSumMechanism",
+    "canonical_cover",
+    "dyadic_intervals",
+]

@@ -1,0 +1,118 @@
+"""Privacy budgets, simple composition and accounting.
+
+The paper's constructions split a global budget ``(epsilon, delta)`` across a
+fixed number of sub-algorithms and rely on *simple composition* (Lemma 1): a
+sequence of ``(epsilon_i, delta_i)``-DP algorithms is
+``(sum epsilon_i, sum delta_i)``-DP.  :class:`PrivacyBudget` models a budget
+and its splits; :class:`PrivacyAccountant` records what each construction
+stage actually spent, so the total privacy cost of a run can be audited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PrivacyParameterError
+
+__all__ = ["PrivacyBudget", "PrivacyAccountant", "CompositionRecord"]
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """An ``(epsilon, delta)`` differential-privacy budget."""
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise PrivacyParameterError("epsilon must be positive")
+        if not 0 <= self.delta < 1:
+            raise PrivacyParameterError("delta must lie in [0, 1)")
+
+    @property
+    def is_pure(self) -> bool:
+        return self.delta == 0.0
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+    def split(self, parts: int) -> "PrivacyBudget":
+        """Budget of one of ``parts`` equal shares (simple composition)."""
+        if parts < 1:
+            raise PrivacyParameterError("parts must be at least 1")
+        return PrivacyBudget(self.epsilon / parts, self.delta / parts)
+
+    def scaled(self, fraction: float) -> "PrivacyBudget":
+        """Budget scaled by a fraction in ``(0, 1]``."""
+        if not 0 < fraction <= 1:
+            raise PrivacyParameterError("fraction must lie in (0, 1]")
+        return PrivacyBudget(self.epsilon * fraction, self.delta * fraction)
+
+    def compose(self, other: "PrivacyBudget") -> "PrivacyBudget":
+        """Simple composition of two budgets (Lemma 1)."""
+        return PrivacyBudget(self.epsilon + other.epsilon, self.delta + other.delta)
+
+
+@dataclass(frozen=True)
+class CompositionRecord:
+    """One accounted privacy expenditure."""
+
+    label: str
+    epsilon: float
+    delta: float
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks privacy expenditures under simple composition.
+
+    Construction algorithms register every sub-mechanism they run; tests then
+    assert that the total never exceeds the user-supplied budget.
+    """
+
+    records: list[CompositionRecord] = field(default_factory=list)
+
+    def spend(self, label: str, epsilon: float, delta: float = 0.0) -> None:
+        """Record an ``(epsilon, delta)``-DP sub-algorithm invocation."""
+        if epsilon < 0 or delta < 0:
+            raise PrivacyParameterError("cannot spend a negative budget")
+        self.records.append(CompositionRecord(label, epsilon, delta))
+
+    @property
+    def total_epsilon(self) -> float:
+        return sum(record.epsilon for record in self.records)
+
+    @property
+    def total_delta(self) -> float:
+        return sum(record.delta for record in self.records)
+
+    def total(self) -> PrivacyBudget:
+        """The composed budget of everything spent so far."""
+        epsilon = self.total_epsilon
+        delta = self.total_delta
+        if epsilon == 0:
+            # An accountant with no expenditure composes to the trivial
+            # guarantee; report an infinitesimally small positive epsilon so
+            # PrivacyBudget's validation is satisfied.
+            return PrivacyBudget(epsilon=1e-12, delta=delta)
+        return PrivacyBudget(epsilon=epsilon, delta=delta)
+
+    def within(self, budget: PrivacyBudget, tolerance: float = 1e-9) -> bool:
+        """``True`` when the composed expenditure stays within ``budget``
+        (up to floating-point tolerance)."""
+        return (
+            self.total_epsilon <= budget.epsilon + tolerance
+            and self.total_delta <= budget.delta + tolerance
+        )
+
+    def summary(self) -> str:
+        """Human-readable breakdown of the expenditures."""
+        lines = [
+            f"  {record.label}: epsilon={record.epsilon:.6g}, delta={record.delta:.3g}"
+            for record in self.records
+        ]
+        lines.append(
+            f"  total: epsilon={self.total_epsilon:.6g}, delta={self.total_delta:.3g}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Differential-privacy noise mechanisms.
+
+Three mechanisms share a common interface (:class:`CountingMechanism`) so the
+paper's construction algorithms can be written once and instantiated with
+either privacy flavour:
+
+* :class:`LaplaceMechanism` — the epsilon-DP Laplace mechanism (Lemma 3 /
+  Corollary 1); calibrated to the ``L1`` sensitivity of the released vector.
+* :class:`GaussianMechanism` — the (epsilon, delta)-DP Gaussian mechanism
+  (Lemma 5 / Corollary 2); calibrated to the ``L2`` sensitivity.
+* :class:`NoiselessMechanism` — adds no noise at all.  It exists purely so
+  that tests and illustrative figures can exercise the construction pipeline
+  deterministically; **it provides no privacy whatsoever** and its
+  ``epsilon`` is reported as infinity.
+
+Every mechanism exposes the exact high-probability sup-norm error bound of
+the noise it injects, which is what the analytic bounds of
+:mod:`repro.core.error_bounds` are assembled from.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.distributions import (
+    gaussian_tail_bound,
+    laplace_tail_bound,
+    sample_gaussian,
+    sample_laplace,
+)
+from repro.exceptions import PrivacyParameterError, SensitivityError
+
+__all__ = [
+    "CountingMechanism",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "NoiselessMechanism",
+]
+
+
+def _check_sensitivity(value: float, name: str) -> None:
+    if value <= 0 or not math.isfinite(value):
+        raise SensitivityError(f"{name} must be positive and finite, got {value}")
+
+
+class CountingMechanism(ABC):
+    """Common interface of the noise mechanisms used by the constructions.
+
+    The construction algorithms compute both an ``L1`` and an ``L2``
+    sensitivity bound for each vector of counts they release; a concrete
+    mechanism uses whichever norm its privacy analysis needs.
+    """
+
+    #: epsilon of the guarantee provided by one invocation of the mechanism.
+    epsilon: float
+    #: delta of the guarantee (0 for pure DP).
+    delta: float
+
+    @property
+    def is_pure(self) -> bool:
+        """``True`` when the mechanism satisfies pure (delta = 0) DP."""
+        return self.delta == 0.0
+
+    @abstractmethod
+    def noise_scale(self, l1_sensitivity: float, l2_sensitivity: float) -> float:
+        """The scale parameter of the injected noise (Laplace scale ``b`` or
+        Gaussian standard deviation ``sigma``)."""
+
+    @abstractmethod
+    def randomize(
+        self,
+        values: np.ndarray,
+        *,
+        l1_sensitivity: float,
+        l2_sensitivity: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return ``values`` plus freshly sampled noise."""
+
+    @abstractmethod
+    def sup_error_bound(
+        self,
+        num_queries: int,
+        beta: float,
+        *,
+        l1_sensitivity: float,
+        l2_sensitivity: float,
+    ) -> float:
+        """A bound ``alpha`` such that with probability at least ``1 - beta``
+        the noise added to every one of ``num_queries`` released values has
+        absolute value at most ``alpha``."""
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism(CountingMechanism):
+    """The epsilon-differentially private Laplace mechanism (Lemma 3)."""
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise PrivacyParameterError("epsilon must be positive")
+        if self.delta != 0.0:
+            raise PrivacyParameterError("the Laplace mechanism has delta = 0")
+
+    def noise_scale(self, l1_sensitivity: float, l2_sensitivity: float) -> float:
+        _check_sensitivity(l1_sensitivity, "l1_sensitivity")
+        return l1_sensitivity / self.epsilon
+
+    def randomize(
+        self,
+        values: np.ndarray,
+        *,
+        l1_sensitivity: float,
+        l2_sensitivity: float = 0.0,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        scale = self.noise_scale(l1_sensitivity, l2_sensitivity)
+        return values + sample_laplace(scale, values.shape, rng)
+
+    def sup_error_bound(
+        self,
+        num_queries: int,
+        beta: float,
+        *,
+        l1_sensitivity: float,
+        l2_sensitivity: float = 0.0,
+    ) -> float:
+        # Corollary 1: ||noise||_inf <= (Delta_1 / epsilon) * ln(k / beta)
+        # with probability >= 1 - beta (union bound over k coordinates).
+        scale = self.noise_scale(l1_sensitivity, l2_sensitivity)
+        return laplace_tail_bound(scale, beta / max(1, num_queries))
+
+
+@dataclass(frozen=True)
+class GaussianMechanism(CountingMechanism):
+    """The (epsilon, delta)-differentially private Gaussian mechanism
+    (Lemma 5), with ``sigma = sqrt(2 ln(1.25 / delta)) * Delta_2 / epsilon``.
+    """
+
+    epsilon: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise PrivacyParameterError("epsilon must be positive")
+        if not 0 < self.delta < 1:
+            raise PrivacyParameterError("delta must lie in (0, 1)")
+
+    def noise_scale(self, l1_sensitivity: float, l2_sensitivity: float) -> float:
+        _check_sensitivity(l2_sensitivity, "l2_sensitivity")
+        c = math.sqrt(2.0 * math.log(1.25 / self.delta))
+        return c * l2_sensitivity / self.epsilon
+
+    def randomize(
+        self,
+        values: np.ndarray,
+        *,
+        l1_sensitivity: float = 0.0,
+        l2_sensitivity: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        sigma = self.noise_scale(l1_sensitivity, l2_sensitivity)
+        return values + sample_gaussian(sigma, values.shape, rng)
+
+    def sup_error_bound(
+        self,
+        num_queries: int,
+        beta: float,
+        *,
+        l1_sensitivity: float = 0.0,
+        l2_sensitivity: float,
+    ) -> float:
+        # Corollary 2: sigma * sqrt(2 ln(2k / beta)) bounds every coordinate
+        # with probability >= 1 - beta.
+        sigma = self.noise_scale(l1_sensitivity, l2_sensitivity)
+        return gaussian_tail_bound(sigma, beta / max(1, num_queries))
+
+
+@dataclass(frozen=True)
+class NoiselessMechanism(CountingMechanism):
+    """A mechanism that adds no noise.
+
+    .. warning::
+       This mechanism is **not differentially private**.  It is provided so
+       the structural plumbing of the construction algorithms (candidate
+       sets, heavy-path bookkeeping, prefix sums, pruning) can be verified
+       exactly in tests and so the paper's illustrative figures (which show
+       exact counts) can be regenerated.  Its ``epsilon`` is infinity.
+    """
+
+    epsilon: float = math.inf
+    delta: float = 0.0
+
+    def noise_scale(self, l1_sensitivity: float, l2_sensitivity: float) -> float:
+        return 0.0
+
+    def randomize(
+        self,
+        values: np.ndarray,
+        *,
+        l1_sensitivity: float = 0.0,
+        l2_sensitivity: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64).copy()
+
+    def sup_error_bound(
+        self,
+        num_queries: int,
+        beta: float,
+        *,
+        l1_sensitivity: float = 0.0,
+        l2_sensitivity: float = 0.0,
+    ) -> float:
+        return 0.0

@@ -1,0 +1,253 @@
+"""Differentially private prefix sums via the binary-tree mechanism.
+
+This module implements the generalized binary-tree mechanism of Lemma 11
+(pure DP) and Lemma 18 (approximate DP): given ``k`` sequences whose summed
+L1 sensitivity is ``L`` (and, for the Gaussian variant, whose per-sequence
+L1 sensitivity is at most ``Delta``), it releases *all prefix sums of all
+sequences* with additive error
+
+* ``O(epsilon^{-1} L log T log(Tk / beta))`` under pure DP, and
+* ``O(epsilon^{-1} sqrt(L Delta) log T log(Tk / beta))`` under approximate DP,
+
+where ``T`` is the maximum sequence length.  The paper applies it to the
+difference sequences along the heavy paths of the candidate trie (Step 4 of
+the construction and Corollaries 5/8) and to generic tree counting
+(Theorems 8/9).
+
+The mechanism decomposes ``[0, T)`` into dyadic intervals, releases one noisy
+partial sum per interval per sequence, and reconstructs each prefix sum from
+at most ``floor(log T) + 1`` noisy partial sums.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.dp.distributions import (
+    gaussian_tail_bound,
+    laplace_sum_tail_bound,
+    sample_gaussian,
+    sample_laplace,
+)
+from repro.dp.mechanisms import (
+    CountingMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    NoiselessMechanism,
+)
+from repro.exceptions import SensitivityError
+
+__all__ = [
+    "dyadic_intervals",
+    "canonical_cover",
+    "NoisyPrefixSums",
+    "PrefixSumMechanism",
+]
+
+
+def dyadic_intervals(length: int) -> list[tuple[int, int]]:
+    """All dyadic intervals of ``[0, length)``.
+
+    Intervals are half-open ``[lo, hi)`` with ``hi - lo = 2^i`` for
+    ``i = 0 .. floor(log2 length)``; the last interval of each level is
+    clipped to ``length``.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    intervals: list[tuple[int, int]] = []
+    if length == 0:
+        return intervals
+    max_level = int(math.floor(math.log2(length))) if length > 1 else 0
+    for level in range(max_level + 1):
+        width = 1 << level
+        start = 0
+        while start < length:
+            intervals.append((start, min(start + width, length)))
+            start += width
+    return intervals
+
+
+def canonical_cover(prefix_length: int, total_length: int) -> list[tuple[int, int]]:
+    """Decompose ``[0, prefix_length)`` into at most ``floor(log2 T) + 1``
+    disjoint dyadic intervals of ``[0, total_length)``.
+
+    The greedy decomposition repeatedly takes the largest power-of-two block
+    aligned at the current position that fits inside the remaining prefix.
+    """
+    if not 0 <= prefix_length <= total_length:
+        raise ValueError("prefix_length must lie in [0, total_length]")
+    cover: list[tuple[int, int]] = []
+    position = 0
+    remaining = prefix_length
+    while remaining > 0:
+        # Largest power of two that divides `position` (or everything when
+        # position == 0) and does not exceed `remaining`.
+        if position == 0:
+            width = 1 << (remaining.bit_length() - 1)
+        else:
+            alignment = position & (-position)
+            width = min(alignment, 1 << (remaining.bit_length() - 1))
+        cover.append((position, position + width))
+        position += width
+        remaining -= width
+    return cover
+
+
+@dataclass
+class NoisyPrefixSums:
+    """Noisy prefix sums of one sequence.
+
+    ``values[i]`` estimates ``a[0] + ... + a[i]`` (the ``(i+1)``-st prefix
+    sum).  ``partial_sums`` maps each dyadic interval to its noisy partial
+    sum, which callers may reuse (e.g. for suffix sums).
+    """
+
+    values: np.ndarray
+    partial_sums: dict[tuple[int, int], float]
+
+    def prefix(self, length: int) -> float:
+        """Noisy estimate of the sum of the first ``length`` elements."""
+        if length == 0:
+            return 0.0
+        return float(self.values[length - 1])
+
+
+class PrefixSumMechanism:
+    """Binary-tree mechanism for ``k`` sequences sharing one privacy budget.
+
+    Parameters
+    ----------
+    mechanism:
+        The noise mechanism carrying the ``(epsilon, delta)`` budget for the
+        *whole* collection of prefix sums.  :class:`LaplaceMechanism` yields
+        Lemma 11, :class:`GaussianMechanism` yields Lemma 18 and
+        :class:`NoiselessMechanism` yields exact prefix sums (testing only).
+    total_l1_sensitivity:
+        ``L`` — bound on the summed L1 distance of all ``k`` sequences between
+        neighboring databases.
+    per_sequence_l1_sensitivity:
+        ``Delta`` — bound on the L1 distance of any single sequence between
+        neighboring databases.  Only used by the Gaussian variant (where it
+        sharpens the L2 sensitivity via Hoelder / Lemma 14); defaults to
+        ``L``.
+    max_length:
+        ``T`` — an upper bound on the length of every sequence.  The noise
+        scale depends on ``floor(log2 T) + 1``, so the same bound must be
+        used for privacy accounting and for error bounds.
+    """
+
+    def __init__(
+        self,
+        mechanism: CountingMechanism,
+        *,
+        total_l1_sensitivity: float,
+        max_length: int,
+        per_sequence_l1_sensitivity: float | None = None,
+    ) -> None:
+        if total_l1_sensitivity <= 0:
+            raise SensitivityError("total_l1_sensitivity must be positive")
+        if max_length < 1:
+            raise ValueError("max_length must be at least 1")
+        self.mechanism = mechanism
+        self.total_l1_sensitivity = float(total_l1_sensitivity)
+        self.per_sequence_l1_sensitivity = float(
+            per_sequence_l1_sensitivity
+            if per_sequence_l1_sensitivity is not None
+            else total_l1_sensitivity
+        )
+        if self.per_sequence_l1_sensitivity > self.total_l1_sensitivity:
+            self.per_sequence_l1_sensitivity = self.total_l1_sensitivity
+        self.max_length = int(max_length)
+        #: number of dyadic levels: floor(log2 T) + 1.
+        self.levels = int(math.floor(math.log2(self.max_length))) + 1
+
+    # ------------------------------------------------------------------
+    # Noise calibration
+    # ------------------------------------------------------------------
+    def partial_sum_noise_scale(self) -> float:
+        """Scale of the noise added to each individual partial sum.
+
+        Any element contributes to at most ``levels`` partial sums, so the L1
+        sensitivity of the full vector of partial sums is ``L * levels`` and
+        its L2 sensitivity is ``sqrt(L * Delta * levels)`` (Lemma 14).
+        """
+        l1 = self.total_l1_sensitivity * self.levels
+        l2 = math.sqrt(
+            self.total_l1_sensitivity * self.per_sequence_l1_sensitivity * self.levels
+        )
+        return self.mechanism.noise_scale(l1, l2)
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def release(
+        self, sequence: Sequence[float] | np.ndarray, rng: np.random.Generator
+    ) -> NoisyPrefixSums:
+        """Release all prefix sums of one sequence.
+
+        Call once per sequence; the noise scale already accounts for all
+        ``k`` sequences through ``total_l1_sensitivity``.
+        """
+        array = np.asarray(sequence, dtype=np.float64)
+        if len(array) > self.max_length:
+            raise ValueError(
+                f"sequence of length {len(array)} exceeds max_length={self.max_length}"
+            )
+        scale = self.partial_sum_noise_scale()
+        intervals = dyadic_intervals(len(array))
+        partial_sums: dict[tuple[int, int], float] = {}
+        if intervals:
+            exact = np.array([array[lo:hi].sum() for lo, hi in intervals])
+            noise = self._sample(scale, len(intervals), rng)
+            for (interval, value) in zip(intervals, exact + noise):
+                partial_sums[interval] = float(value)
+        prefix_values = np.zeros(len(array), dtype=np.float64)
+        for m in range(1, len(array) + 1):
+            cover = canonical_cover(m, max(len(array), 1))
+            prefix_values[m - 1] = sum(partial_sums[interval] for interval in cover)
+        return NoisyPrefixSums(values=prefix_values, partial_sums=partial_sums)
+
+    def release_many(
+        self, sequences: Sequence[Sequence[float]], rng: np.random.Generator
+    ) -> list[NoisyPrefixSums]:
+        """Release all prefix sums of all ``k`` sequences."""
+        return [self.release(sequence, rng) for sequence in sequences]
+
+    def _sample(
+        self, scale: float, size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if isinstance(self.mechanism, NoiselessMechanism) or scale == 0.0:
+            return np.zeros(size)
+        if isinstance(self.mechanism, LaplaceMechanism):
+            return sample_laplace(scale, size, rng)
+        if isinstance(self.mechanism, GaussianMechanism):
+            return sample_gaussian(scale, size, rng)
+        raise TypeError(f"unsupported mechanism type {type(self.mechanism)!r}")
+
+    # ------------------------------------------------------------------
+    # Error bounds
+    # ------------------------------------------------------------------
+    def sup_error_bound(self, num_sequences: int, beta: float) -> float:
+        """High-probability bound on the error of *every* prefix sum of
+        ``num_sequences`` sequences (Lemma 11 / Lemma 18 with the constants
+        of this implementation)."""
+        if not 0 < beta < 1:
+            raise ValueError("beta must lie in (0, 1)")
+        scale = self.partial_sum_noise_scale()
+        if scale == 0.0:
+            return 0.0
+        total_prefixes = max(1, num_sequences * self.max_length)
+        per_prefix_beta = beta / total_prefixes
+        if isinstance(self.mechanism, LaplaceMechanism):
+            # Each prefix sum adds at most `levels` independent Laplace
+            # variables (Lemma 12).
+            return laplace_sum_tail_bound(scale, self.levels, per_prefix_beta)
+        if isinstance(self.mechanism, GaussianMechanism):
+            # The sum of `levels` Gaussians is Gaussian with std
+            # scale * sqrt(levels) (Fact 1).
+            return gaussian_tail_bound(scale * math.sqrt(self.levels), per_prefix_beta)
+        return 0.0

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class.  Construction algorithms additionally use
+:class:`ConstructionAborted` to signal the paper's explicit "fail" outcome
+(when a noisy candidate set grows beyond ``n * ell``), which is part of the
+algorithm's specification rather than a programming error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidDocumentError(ReproError):
+    """A document violates the data-universe contract (empty, too long,
+    or containing characters outside the declared alphabet)."""
+
+
+class InvalidPatternError(ReproError):
+    """A query pattern is malformed (e.g. contains a sentinel character)."""
+
+
+class PrivacyParameterError(ReproError):
+    """Privacy parameters are out of range (``epsilon <= 0``,
+    ``delta`` outside ``[0, 1)``, ``beta`` outside ``(0, 1)``, ...)."""
+
+
+class SensitivityError(ReproError):
+    """A mechanism was invoked with a non-positive or inconsistent
+    sensitivity bound."""
+
+
+class ConstructionAborted(ReproError):
+    """The differentially private construction algorithm returned its
+    explicit *fail* outcome.
+
+    The paper's candidate-set construction (Lemma 6 / Lemma 15) aborts and
+    returns a fail message whenever a noisy candidate set ``P_{2^k}`` exceeds
+    ``n * ell`` elements.  Conditioned on the high-probability accuracy event
+    this never happens; the exception carries the offending level so callers
+    (and tests) can inspect it.
+    """
+
+    def __init__(self, message: str, level: int | None = None) -> None:
+        super().__init__(message)
+        self.level = level

@@ -1,0 +1,142 @@
+"""Aho-Corasick multi-pattern matching.
+
+The differentially private construction algorithms repeatedly need exact
+counts of *batches* of candidate strings against the database (Step 1 of the
+construction, the baseline trie expansion, the test oracles).  The
+Aho-Corasick automaton counts all occurrences of every pattern of a batch in
+one pass over each document, independent of the number of matches, by
+aggregating visit counts over the suffix-link tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+__all__ = ["AhoCorasick"]
+
+
+class AhoCorasick:
+    """Aho-Corasick automaton over Python strings.
+
+    Usage::
+
+        automaton = AhoCorasick(["ab", "be"])
+        automaton.count_occurrences("abe")   # {"ab": 1, "be": 1}
+    """
+
+    def __init__(self, patterns: Iterable[str] = ()) -> None:
+        # State 0 is the root.
+        self._children: list[dict[str, int]] = [{}]
+        self._fail: list[int] = [0]
+        self._depth: list[int] = [0]
+        # pattern index terminating at each state (-1 when none).
+        self._terminal: list[int] = [-1]
+        self.patterns: list[str] = []
+        self._built = False
+        for pattern in patterns:
+            self.add_pattern(pattern)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_pattern(self, pattern: str) -> int:
+        """Add a non-empty pattern; returns its index.  Duplicate patterns
+        share an index."""
+        if not pattern:
+            raise ValueError("patterns must be non-empty")
+        if self._built:
+            raise RuntimeError("cannot add patterns after the automaton is built")
+        state = 0
+        for char in pattern:
+            nxt = self._children[state].get(char)
+            if nxt is None:
+                nxt = len(self._children)
+                self._children.append({})
+                self._fail.append(0)
+                self._depth.append(self._depth[state] + 1)
+                self._terminal.append(-1)
+                self._children[state][char] = nxt
+            state = nxt
+        if self._terminal[state] >= 0:
+            return self._terminal[state]
+        index = len(self.patterns)
+        self.patterns.append(pattern)
+        self._terminal[state] = index
+        return index
+
+    def build(self) -> None:
+        """Compute failure links (idempotent)."""
+        if self._built:
+            return
+        queue: deque[int] = deque()
+        for child in self._children[0].values():
+            self._fail[child] = 0
+            queue.append(child)
+        while queue:
+            state = queue.popleft()
+            for char, child in self._children[state].items():
+                # Follow failure links of the parent to find the failure of
+                # the child.
+                fallback = self._fail[state]
+                while fallback and char not in self._children[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[child] = self._children[fallback].get(char, 0)
+                if self._fail[child] == child:
+                    self._fail[child] = 0
+                queue.append(child)
+        self._built = True
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _step(self, state: int, char: str) -> int:
+        while state and char not in self._children[state]:
+            state = self._fail[state]
+        return self._children[state].get(char, 0)
+
+    def _visit_counts(self, text: str) -> list[int]:
+        """Number of times each state is visited while scanning ``text``."""
+        visits = [0] * len(self._children)
+        state = 0
+        for char in text:
+            state = self._step(state, char)
+            visits[state] += 1
+        return visits
+
+    def count_occurrences(self, text: str) -> dict[str, int]:
+        """Exact number of (possibly overlapping) occurrences of every
+        pattern in ``text``."""
+        self.build()
+        visits = self._visit_counts(text)
+        # Aggregate visit counts bottom-up over the suffix-link tree: a state
+        # is "reached" whenever any state in its suffix-link subtree is
+        # visited.  Processing states in order of decreasing depth guarantees
+        # children are handled before their suffix-link parents.
+        order = sorted(range(len(self._children)), key=lambda s: -self._depth[s])
+        totals = list(visits)
+        for state in order:
+            if state:
+                totals[self._fail[state]] += totals[state]
+        result = {pattern: 0 for pattern in self.patterns}
+        for state, pattern_index in enumerate(self._terminal):
+            if pattern_index >= 0:
+                result[self.patterns[pattern_index]] = totals[state]
+        return result
+
+    def count_over_documents(
+        self, documents: Sequence[str], delta: int
+    ) -> dict[str, int]:
+        """``count_delta(P, D)`` for every pattern ``P`` of the automaton.
+
+        Equivalent to summing ``min(delta, count(P, S))`` over the documents.
+        """
+        if delta < 1:
+            raise ValueError("delta must be at least 1")
+        self.build()
+        totals = {pattern: 0 for pattern in self.patterns}
+        for document in documents:
+            per_document = self.count_occurrences(document)
+            for pattern, occurrences in per_document.items():
+                totals[pattern] += min(delta, occurrences)
+        return totals

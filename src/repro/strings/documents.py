@@ -1,0 +1,139 @@
+"""Document collections and their sentinel-separated concatenation.
+
+The paper indexes the database ``D = S_1, ..., S_n`` through the generalized
+string ``S = S_1 $_1 S_2 $_2 ... S_n $_n`` where the sentinels ``$_i`` are
+distinct symbols outside the alphabet.  :class:`ConcatenatedText` materializes
+that string as an integer array together with the bookkeeping needed to map
+text positions back to documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidDocumentError
+from repro.strings.alphabet import Alphabet, infer_alphabet
+
+__all__ = ["ConcatenatedText", "concatenate_documents"]
+
+
+@dataclass(frozen=True)
+class ConcatenatedText:
+    """The generalized string ``S_1 $_1 ... S_n $_n`` in integer form.
+
+    Attributes
+    ----------
+    alphabet:
+        Alphabet used for the character codes.
+    codes:
+        Integer array of length ``sum(|S_i|) + n`` containing character codes
+        followed by a unique sentinel code after each document.
+    doc_ids:
+        ``doc_ids[p]`` is the index of the document that position ``p``
+        belongs to (sentinel positions belong to their own document).
+    doc_starts:
+        ``doc_starts[i]`` is the position of the first character of
+        document ``i`` inside :attr:`codes`.
+    doc_lengths:
+        Length of each document (excluding its sentinel).
+    """
+
+    alphabet: Alphabet
+    codes: np.ndarray
+    doc_ids: np.ndarray
+    doc_starts: np.ndarray
+    doc_lengths: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def num_documents(self) -> int:
+        return len(self.doc_starts)
+
+    @property
+    def total_length(self) -> int:
+        """Total number of characters across all documents (no sentinels)."""
+        return int(self.doc_lengths.sum())
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    # ------------------------------------------------------------------
+    def is_sentinel_position(self, position: int) -> bool:
+        """Return ``True`` if the given text position holds a sentinel."""
+        return self.alphabet.is_sentinel(int(self.codes[position]))
+
+    def document_of(self, position: int) -> int:
+        """Return the document index owning a text position."""
+        return int(self.doc_ids[position])
+
+    def offset_in_document(self, position: int) -> int:
+        """Return the offset of a text position within its document."""
+        doc = self.document_of(position)
+        return position - int(self.doc_starts[doc])
+
+    def remaining_in_document(self, position: int) -> int:
+        """Number of document characters from ``position`` to the end of its
+        document (0 when ``position`` is the sentinel)."""
+        doc = self.document_of(position)
+        end = int(self.doc_starts[doc]) + int(self.doc_lengths[doc])
+        return max(0, end - position)
+
+    def substring(self, position: int, length: int) -> str:
+        """Decode ``length`` characters starting at ``position``.
+
+        The slice must not contain sentinels; this is checked.
+        """
+        chunk = self.codes[position : position + length]
+        if len(chunk) < length or any(self.alphabet.is_sentinel(int(c)) for c in chunk):
+            raise InvalidDocumentError(
+                "requested substring crosses a document boundary"
+            )
+        return self.alphabet.decode(chunk)
+
+
+def concatenate_documents(
+    documents: Sequence[str], alphabet: Alphabet | None = None
+) -> ConcatenatedText:
+    """Build the sentinel-separated concatenation of a document collection.
+
+    Parameters
+    ----------
+    documents:
+        Non-empty documents over ``alphabet``.
+    alphabet:
+        The alphabet.  When omitted it is inferred from the documents.
+    """
+    if not documents:
+        raise InvalidDocumentError("the document collection is empty")
+    if alphabet is None:
+        alphabet = infer_alphabet(documents)
+
+    pieces: list[np.ndarray] = []
+    doc_ids: list[np.ndarray] = []
+    doc_starts = np.zeros(len(documents), dtype=np.int64)
+    doc_lengths = np.zeros(len(documents), dtype=np.int64)
+
+    cursor = 0
+    for index, document in enumerate(documents):
+        alphabet.validate_document(document)
+        encoded = alphabet.encode(document)
+        sentinel = np.array([alphabet.sentinel_code(index)], dtype=np.int64)
+        pieces.append(encoded)
+        pieces.append(sentinel)
+        doc_starts[index] = cursor
+        doc_lengths[index] = len(document)
+        doc_ids.append(np.full(len(document) + 1, index, dtype=np.int64))
+        cursor += len(document) + 1
+
+    codes = np.concatenate(pieces)
+    ids = np.concatenate(doc_ids)
+    return ConcatenatedText(
+        alphabet=alphabet,
+        codes=codes,
+        doc_ids=ids,
+        doc_starts=doc_starts,
+        doc_lengths=doc_lengths,
+    )

@@ -1,0 +1,107 @@
+"""Longest-common-extension (LCE) queries.
+
+An LCE query asks for the length of the longest common prefix of two suffixes
+of an indexed text.  The candidate-set completion step of the paper
+(Lemma 7, Step 2) asks LCE queries between candidate strings to detect
+suffix/prefix overlaps: two length-``2^k`` strings ``Q_1, Q_2`` overlap by
+``2^{k+1} - m`` characters exactly when
+``LCE_{Q_1,Q_2}(m - 2^k, 0) >= 2^{k+1} - m``.
+
+Two structures are provided:
+
+* :class:`LCEIndex` — LCE over a single integer text (rank + RMQ over LCP),
+  with ``O(1)`` queries after ``O(N log N)`` preprocessing.
+* :class:`CollectionLCE` — LCE between positions of different strings of a
+  collection, built by concatenating the collection with unique separators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.strings.rmq import SparseTableRMQ
+from repro.strings.suffix_array import SuffixArray
+
+__all__ = ["LCEIndex", "CollectionLCE"]
+
+
+class LCEIndex:
+    """Constant-time LCE queries over one integer text."""
+
+    def __init__(self, suffix_array: SuffixArray) -> None:
+        self._sa = suffix_array
+        self._rmq = SparseTableRMQ(suffix_array.lcp)
+        self._n = len(suffix_array.text)
+
+    @classmethod
+    def from_text(cls, text: np.ndarray) -> "LCEIndex":
+        return cls(SuffixArray.build(text))
+
+    def lce(self, i: int, j: int) -> int:
+        """Length of the longest common prefix of ``text[i:]`` and
+        ``text[j:]``."""
+        if i == j:
+            return self._n - i
+        if i >= self._n or j >= self._n:
+            return 0
+        ri, rj = int(self._sa.rank[i]), int(self._sa.rank[j])
+        lo, hi = (ri, rj) if ri < rj else (rj, ri)
+        return self._rmq.query(lo + 1, hi + 1)
+
+
+class CollectionLCE:
+    """LCE queries between positions of different strings of a collection.
+
+    The strings are concatenated with unique separator symbols (encoded as
+    integers above every string symbol), so an LCE can never extend past the
+    end of either string.
+    """
+
+    def __init__(self, strings: Sequence[np.ndarray]) -> None:
+        self._strings = [np.asarray(s, dtype=np.int64) for s in strings]
+        if self._strings:
+            max_symbol = max(
+                (int(s.max()) for s in self._strings if len(s)), default=0
+            )
+        else:
+            max_symbol = 0
+        pieces: list[np.ndarray] = []
+        starts = np.zeros(len(self._strings), dtype=np.int64)
+        cursor = 0
+        for index, string in enumerate(self._strings):
+            separator = np.array([max_symbol + 1 + index], dtype=np.int64)
+            pieces.append(string)
+            pieces.append(separator)
+            starts[index] = cursor
+            cursor += len(string) + 1
+        text = (
+            np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+        )
+        self._starts = starts
+        self._index = LCEIndex.from_text(text) if len(text) else None
+
+    def lce(self, string_a: int, offset_a: int, string_b: int, offset_b: int) -> int:
+        """LCE of ``strings[string_a][offset_a:]`` and
+        ``strings[string_b][offset_b:]``."""
+        if self._index is None:
+            return 0
+        len_a = len(self._strings[string_a])
+        len_b = len(self._strings[string_b])
+        if offset_a >= len_a or offset_b >= len_b:
+            return 0
+        i = int(self._starts[string_a]) + offset_a
+        j = int(self._starts[string_b]) + offset_b
+        value = self._index.lce(i, j)
+        return min(value, len_a - offset_a, len_b - offset_b)
+
+    def has_overlap(self, string_a: int, string_b: int, overlap: int) -> bool:
+        """Return ``True`` when the length-``overlap`` suffix of string ``a``
+        equals the length-``overlap`` prefix of string ``b``."""
+        if overlap == 0:
+            return True
+        len_a = len(self._strings[string_a])
+        if overlap > len_a or overlap > len(self._strings[string_b]):
+            return False
+        return self.lce(string_a, len_a - overlap, string_b, 0) >= overlap

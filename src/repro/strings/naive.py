@@ -1,0 +1,112 @@
+"""Naive reference implementations of the paper's counting functions.
+
+These quadratic-time routines define the ground truth used throughout the
+test-suite; every optimized structure (suffix array index, Aho-Corasick
+automaton, private tries) is validated against them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "count_occurrences",
+    "count_capped",
+    "substring_count",
+    "document_count",
+    "count_delta",
+    "all_substrings",
+    "substring_count_table",
+    "document_count_table",
+]
+
+
+def count_occurrences(pattern: str, document: str) -> int:
+    """Number of (possibly overlapping) occurrences of ``pattern`` in
+    ``document``.
+
+    Following the paper's convention, the empty pattern occurs ``|document|``
+    times.
+    """
+    if pattern == "":
+        return len(document)
+    count = 0
+    start = 0
+    while True:
+        index = document.find(pattern, start)
+        if index < 0:
+            return count
+        count += 1
+        start = index + 1
+
+
+def count_capped(pattern: str, document: str, delta: int) -> int:
+    """``count_delta(P, S) = min(delta, count(P, S))``."""
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    return min(delta, count_occurrences(pattern, document))
+
+
+def count_delta(pattern: str, documents: Sequence[str], delta: int) -> int:
+    """``count_delta(P, D) = sum_S min(delta, count(P, S))``."""
+    return sum(count_capped(pattern, document, delta) for document in documents)
+
+
+def substring_count(pattern: str, documents: Sequence[str]) -> int:
+    """Total number of occurrences of ``pattern`` across ``documents``
+    (the paper's Substring Count, ``delta = ell``)."""
+    return sum(count_occurrences(pattern, document) for document in documents)
+
+
+def document_count(pattern: str, documents: Sequence[str]) -> int:
+    """Number of documents containing ``pattern`` (Document Count,
+    ``delta = 1``)."""
+    if pattern == "":
+        return sum(1 for document in documents if document)
+    return sum(1 for document in documents if pattern in document)
+
+
+def all_substrings(
+    documents: Iterable[str], min_length: int = 1, max_length: int | None = None
+) -> set[str]:
+    """Return the set of distinct substrings of the collection with lengths in
+    ``[min_length, max_length]``."""
+    result: set[str] = set()
+    for document in documents:
+        limit = len(document) if max_length is None else min(max_length, len(document))
+        for length in range(min_length, limit + 1):
+            for start in range(len(document) - length + 1):
+                result.add(document[start : start + length])
+    return result
+
+
+def substring_count_table(
+    documents: Sequence[str], max_length: int | None = None
+) -> Mapping[str, int]:
+    """Exact substring counts of every distinct substring (up to
+    ``max_length``) of the collection."""
+    table: Counter[str] = Counter()
+    for document in documents:
+        limit = len(document) if max_length is None else min(max_length, len(document))
+        for length in range(1, limit + 1):
+            for start in range(len(document) - length + 1):
+                table[document[start : start + length]] += 1
+    return table
+
+
+def document_count_table(
+    documents: Sequence[str], max_length: int | None = None
+) -> Mapping[str, int]:
+    """Exact document counts of every distinct substring (up to
+    ``max_length``) of the collection."""
+    table: Counter[str] = Counter()
+    for document in documents:
+        limit = len(document) if max_length is None else min(max_length, len(document))
+        seen: set[str] = set()
+        for length in range(1, limit + 1):
+            for start in range(len(document) - length + 1):
+                seen.add(document[start : start + length])
+        for substring in seen:
+            table[substring] += 1
+    return table

@@ -1,0 +1,66 @@
+"""q-gram utilities.
+
+A *q-gram* is a pattern of fixed length ``q``.  These helpers enumerate
+q-grams and compute their exact (capped) counts, providing the ground truth
+for the fixed-length structures of Theorems 3 and 4 and for mining metrics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "iter_qgrams",
+    "distinct_qgrams",
+    "qgram_substring_counts",
+    "qgram_document_counts",
+    "qgram_capped_counts",
+]
+
+
+def iter_qgrams(document: str, q: int) -> Iterator[str]:
+    """Yield the q-grams of ``document`` in order of occurrence (with
+    repetitions)."""
+    if q < 1:
+        raise ValueError("q must be at least 1")
+    for start in range(len(document) - q + 1):
+        yield document[start : start + q]
+
+
+def distinct_qgrams(documents: Iterable[str], q: int) -> set[str]:
+    """The set of distinct q-grams occurring in the collection."""
+    result: set[str] = set()
+    for document in documents:
+        result.update(iter_qgrams(document, q))
+    return result
+
+
+def qgram_substring_counts(documents: Sequence[str], q: int) -> Mapping[str, int]:
+    """Exact substring counts (``delta = ell``) of every occurring q-gram."""
+    counts: Counter[str] = Counter()
+    for document in documents:
+        counts.update(iter_qgrams(document, q))
+    return counts
+
+
+def qgram_document_counts(documents: Sequence[str], q: int) -> Mapping[str, int]:
+    """Exact document counts (``delta = 1``) of every occurring q-gram."""
+    counts: Counter[str] = Counter()
+    for document in documents:
+        counts.update(set(iter_qgrams(document, q)))
+    return counts
+
+
+def qgram_capped_counts(
+    documents: Sequence[str], q: int, delta: int
+) -> Mapping[str, int]:
+    """Exact capped counts ``count_delta`` of every occurring q-gram."""
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    totals: Counter[str] = Counter()
+    for document in documents:
+        per_document = Counter(iter_qgrams(document, q))
+        for qgram, occurrences in per_document.items():
+            totals[qgram] += min(delta, occurrences)
+    return totals

@@ -1,0 +1,68 @@
+"""Sparse-table range-minimum queries.
+
+Used for constant-time longest-common-extension (LCE) queries over the LCP
+array, which the candidate-set construction (Lemma 7) needs to detect
+suffix/prefix overlaps between candidate strings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparseTableRMQ"]
+
+
+class SparseTableRMQ:
+    """Static range-minimum structure with ``O(N log N)`` preprocessing and
+    ``O(1)`` queries.
+
+    Parameters
+    ----------
+    values:
+        The array to preprocess.  A copy is stored.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        self._n = len(values)
+        if self._n == 0:
+            self._table = np.zeros((1, 0), dtype=np.int64)
+            self._log = np.zeros(1, dtype=np.int64)
+            return
+        levels = max(1, self._n.bit_length())
+        table = np.empty((levels, self._n), dtype=np.int64)
+        table[0] = values
+        length = 1
+        for level in range(1, levels):
+            span = length * 2
+            limit = self._n - span + 1
+            if limit <= 0:
+                table = table[:level]
+                break
+            table[level, :limit] = np.minimum(
+                table[level - 1, :limit], table[level - 1, length : length + limit]
+            )
+            length = span
+        self._table = table
+        # Precomputed floor(log2(i)) for i in [1, n].
+        log = np.zeros(self._n + 1, dtype=np.int64)
+        for i in range(2, self._n + 1):
+            log[i] = log[i // 2] + 1
+        self._log = log
+
+    def __len__(self) -> int:
+        return self._n
+
+    def query(self, lo: int, hi: int) -> int:
+        """Minimum of ``values[lo:hi]`` (half-open interval).
+
+        Raises :class:`ValueError` on an empty interval.
+        """
+        if not 0 <= lo < hi <= self._n:
+            raise ValueError(f"invalid RMQ interval [{lo}, {hi})")
+        span = hi - lo
+        level = int(self._log[span])
+        length = 1 << level
+        left = int(self._table[level, lo])
+        right = int(self._table[level, hi - length])
+        return min(left, right)

@@ -1,0 +1,46 @@
+"""Tree substrate: heavy paths, private counting on trees, applications."""
+
+from repro.trees.colored import (
+    ColoredItem,
+    exact_colored_counts,
+    exact_hierarchical_counts,
+    private_colored_counts,
+    private_hierarchical_counts,
+)
+from repro.trees.heavy_path import HeavyPath, HeavyPathDecomposition
+from repro.trees.range_counting import (
+    RangeCountingResult,
+    leaf_sum_tree_counts,
+    private_range_counts,
+    range_counting_tree_counts,
+)
+from repro.trees.hierarchy import (
+    DomainTree,
+    build_balanced_hierarchy,
+    build_hierarchy_from_paths,
+)
+from repro.trees.tree_counting import (
+    TreeCountingResult,
+    private_tree_counts,
+    tree_counting_error_bound,
+)
+
+__all__ = [
+    "ColoredItem",
+    "exact_colored_counts",
+    "exact_hierarchical_counts",
+    "private_colored_counts",
+    "private_hierarchical_counts",
+    "HeavyPath",
+    "HeavyPathDecomposition",
+    "RangeCountingResult",
+    "leaf_sum_tree_counts",
+    "private_range_counts",
+    "range_counting_tree_counts",
+    "DomainTree",
+    "build_balanced_hierarchy",
+    "build_hierarchy_from_paths",
+    "TreeCountingResult",
+    "private_tree_counts",
+    "tree_counting_error_bound",
+]

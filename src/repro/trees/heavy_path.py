@@ -1,0 +1,206 @@
+"""Heavy path decomposition (Sleator-Tarjan).
+
+A heavy path decomposition partitions the edges of a rooted tree into *heavy*
+and *light* edges: every internal node has exactly one heavy edge, pointing to
+the child whose subtree contains the most nodes.  Maximal chains of heavy
+edges are *heavy paths*.  The key property (Lemma 9 of the paper) is that any
+root-to-leaf path crosses at most ``floor(log2 N)`` light edges, hence at most
+``floor(log2 N) + 1`` heavy paths.
+
+The decomposition is generic: it works on any rooted tree described by a root
+object and a ``children`` callable, so the same code serves the candidate trie
+``T_C`` (nodes are :class:`repro.strings.trie.TrieNode`), the generic tree
+counting of Theorems 8/9 (nodes are arbitrary hashables) and the test-suite's
+random trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
+
+__all__ = ["HeavyPath", "HeavyPathDecomposition"]
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+@dataclass
+class HeavyPath(Generic[Node]):
+    """One heavy path, listed from its topmost node (the *root* of the path)
+    downwards."""
+
+    index: int
+    nodes: list[Node]
+
+    @property
+    def root(self) -> Node:
+        return self.nodes[0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+class HeavyPathDecomposition(Generic[Node]):
+    """Heavy path decomposition of a rooted tree.
+
+    Parameters
+    ----------
+    root:
+        The root node.
+    children:
+        Callable returning the children of a node.  The tree must be finite
+        and acyclic; nodes must be hashable.
+    """
+
+    def __init__(self, root: Node, children: Callable[[Node], Iterable[Node]]) -> None:
+        self.root = root
+        self._children = children
+        self.subtree_size: dict[Node, int] = {}
+        self.parent: dict[Node, Node | None] = {}
+        self.depth: dict[Node, int] = {}
+        self.paths: list[HeavyPath[Node]] = []
+        #: node -> (path index, position within the path)
+        self.position: dict[Node, tuple[int, int]] = {}
+        self._decompose()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _decompose(self) -> None:
+        order = self._postorder()
+        # Subtree sizes bottom-up.
+        for node in order:
+            self.subtree_size[node] = 1 + sum(
+                self.subtree_size[child] for child in self._children(node)
+            )
+        # Heavy child of every internal node.
+        heavy_child: dict[Node, Node] = {}
+        for node in order:
+            children = list(self._children(node))
+            if children:
+                heavy_child[node] = max(children, key=lambda c: self.subtree_size[c])
+        # Build the paths: each path starts at the tree root or at a node
+        # reached through a light edge.
+        path_starts: list[Node] = [self.root]
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            heavy = heavy_child.get(node)
+            for child in self._children(node):
+                if child is not heavy:
+                    path_starts.append(child)
+                stack.append(child)
+        for start in path_starts:
+            nodes = [start]
+            current = start
+            while current in heavy_child:
+                current = heavy_child[current]
+                nodes.append(current)
+            path = HeavyPath(index=len(self.paths), nodes=nodes)
+            self.paths.append(path)
+            for offset, node in enumerate(nodes):
+                self.position[node] = (path.index, offset)
+
+    def _postorder(self) -> list[Node]:
+        """Iterative post-order traversal (children before parents)."""
+        order: list[Node] = []
+        stack: list[Node] = [self.root]
+        self.parent[self.root] = None
+        self.depth[self.root] = 0
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for child in self._children(node):
+                self.parent[child] = node
+                self.depth[child] = self.depth[node] + 1
+                stack.append(child)
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.subtree_size)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    def path_roots(self) -> list[Node]:
+        """The topmost node of every heavy path."""
+        return [path.root for path in self.paths]
+
+    def path_of(self, node: Node) -> HeavyPath[Node]:
+        """The heavy path containing ``node``."""
+        index, _ = self.position[node]
+        return self.paths[index]
+
+    def offset_on_path(self, node: Node) -> int:
+        """Position of ``node`` within its heavy path (0 for the path root)."""
+        _, offset = self.position[node]
+        return offset
+
+    def is_path_root(self, node: Node) -> bool:
+        return self.offset_on_path(node) == 0
+
+    def light_edges_to(self, node: Node) -> int:
+        """Number of light edges on the root-to-``node`` path (Lemma 9 bounds
+        this by ``floor(log2 N)``)."""
+        count = 0
+        current: Node | None = node
+        while current is not None:
+            parent = self.parent[current]
+            if parent is not None and not self._is_heavy_edge(parent, current):
+                count += 1
+            current = parent
+        return count
+
+    def heavy_paths_crossed_by(self, node: Node) -> list[int]:
+        """Indices of the heavy paths intersected by the root-to-``node``
+        path, from the deepest upwards."""
+        crossed: list[int] = []
+        current: Node | None = node
+        while current is not None:
+            path_index, offset = self.position[current]
+            crossed.append(path_index)
+            # Jump to the parent of the path root.
+            path_root = self.paths[path_index].nodes[0]
+            current = self.parent[path_root]
+        return crossed
+
+    def _is_heavy_edge(self, parent: Node, child: Node) -> bool:
+        path_index, offset = self.position[child]
+        if offset == 0:
+            return False
+        return self.paths[path_index].nodes[offset - 1] is parent or (
+            self.paths[path_index].nodes[offset - 1] == parent
+        )
+
+    # ------------------------------------------------------------------
+    # Derived data used by the private counting algorithms
+    # ------------------------------------------------------------------
+    def difference_sequences(
+        self, counts: Callable[[Node], float]
+    ) -> list[list[float]]:
+        """The difference sequence of ``counts`` along every heavy path.
+
+        For a path ``v_0, v_1, ..., v_{t-1}`` the sequence has ``t - 1``
+        entries ``counts(v_i) - counts(v_{i-1})`` (empty for single-node
+        paths).
+        """
+        sequences: list[list[float]] = []
+        for path in self.paths:
+            values = [counts(node) for node in path.nodes]
+            sequences.append(
+                [values[i] - values[i - 1] for i in range(1, len(values))]
+            )
+        return sequences
+
+    def max_path_length(self) -> int:
+        """Length (number of nodes) of the longest heavy path."""
+        return max((len(path) for path in self.paths), default=0)

@@ -1,0 +1,162 @@
+"""Hierarchical domain trees.
+
+The paper motivates its tree-counting technique with hierarchical
+compositions of data items (e.g. zip code -> area -> state).  This module
+provides a small, dependency-free tree representation used by the colored
+tree counting application, the tree-counting benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Sequence
+
+__all__ = ["DomainTree", "build_balanced_hierarchy", "build_hierarchy_from_paths"]
+
+
+@dataclass
+class DomainTree:
+    """A rooted tree whose leaves correspond to universe elements.
+
+    Nodes are identified by hashable labels; the root is ``"root"`` by
+    default.  Children are stored in insertion order.
+    """
+
+    root: Hashable = "root"
+    _children: dict[Hashable, list[Hashable]] = field(default_factory=dict)
+    _parent: dict[Hashable, Hashable] = field(default_factory=dict)
+    #: leaf label -> universe element represented by the leaf.
+    leaf_elements: dict[Hashable, Hashable] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._children.setdefault(self.root, [])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_child(self, parent: Hashable, child: Hashable) -> None:
+        if child in self._parent or child == self.root:
+            raise ValueError(f"node {child!r} already exists in the tree")
+        if parent not in self._children:
+            raise ValueError(f"parent {parent!r} does not exist in the tree")
+        self._children[parent].append(child)
+        self._children[child] = []
+        self._parent[child] = parent
+
+    def mark_leaf(self, node: Hashable, element: Hashable) -> None:
+        """Associate a universe element with a leaf node."""
+        if self._children.get(node):
+            raise ValueError(f"node {node!r} is not a leaf")
+        self.leaf_elements[node] = element
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def children(self, node: Hashable) -> list[Hashable]:
+        return list(self._children.get(node, []))
+
+    def parent(self, node: Hashable) -> Hashable | None:
+        return self._parent.get(node)
+
+    def nodes(self) -> Iterator[Hashable]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(self._children.get(node, []))
+
+    def leaves(self) -> list[Hashable]:
+        return [node for node in self.nodes() if not self._children.get(node)]
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def height(self) -> int:
+        """Number of edges on the longest root-to-leaf path."""
+        best = 0
+        stack: list[tuple[Hashable, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            children = self._children.get(node, [])
+            if not children:
+                best = max(best, depth)
+            for child in children:
+                stack.append((child, depth + 1))
+        return best
+
+    def leaves_below(self, node: Hashable) -> list[Hashable]:
+        result = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            children = self._children.get(current, [])
+            if not children:
+                result.append(current)
+            stack.extend(children)
+        return result
+
+    def element_of_leaf(self, leaf: Hashable) -> Hashable:
+        return self.leaf_elements.get(leaf, leaf)
+
+
+def build_balanced_hierarchy(
+    universe: Sequence[Hashable], branching: int = 2
+) -> DomainTree:
+    """Build a balanced ``branching``-ary tree whose leaves are the universe
+    elements, in order."""
+    if branching < 2:
+        raise ValueError("branching must be at least 2")
+    if not universe:
+        raise ValueError("the universe must be non-empty")
+    tree = DomainTree()
+    # Build levels bottom-up conceptually, but create nodes top-down with
+    # interval labels so the structure is easy to inspect.
+    def build(parent: Hashable, lo: int, hi: int) -> None:
+        if hi - lo == 1:
+            leaf = ("leaf", lo)
+            tree.add_child(parent, leaf)
+            tree.mark_leaf(leaf, universe[lo])
+            return
+        span = hi - lo
+        # Split into `branching` nearly equal parts.
+        step = max(1, -(-span // branching))
+        position = lo
+        while position < hi:
+            end = min(hi, position + step)
+            if end - position == 1:
+                leaf = ("leaf", position)
+                tree.add_child(parent, leaf)
+                tree.mark_leaf(leaf, universe[position])
+            else:
+                label = ("range", position, end)
+                tree.add_child(parent, label)
+                build(label, position, end)
+            position = end
+
+    build(tree.root, 0, len(universe))
+    return tree
+
+
+def build_hierarchy_from_paths(
+    paths: Iterable[Sequence[Hashable]],
+) -> DomainTree:
+    """Build a hierarchy from labelled paths (e.g. ``(state, area, zip)``).
+
+    Each input path becomes a root-to-leaf path; the leaf represents the full
+    tuple.  Shared prefixes share nodes, exactly as in a trie.
+    """
+    tree = DomainTree()
+    for path in paths:
+        if not path:
+            raise ValueError("hierarchy paths must be non-empty")
+        parent: Hashable = tree.root
+        prefix: tuple[Hashable, ...] = ()
+        for label in path:
+            prefix = prefix + (label,)
+            node = ("path", prefix)
+            if node not in tree._children:
+                tree.add_child(parent, node)
+            parent = node
+        tree.mark_leaf(parent, tuple(path))
+    return tree

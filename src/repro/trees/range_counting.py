@@ -1,0 +1,360 @@
+"""Alternative strategies for private hierarchical counting.
+
+Section 1.1.3 of the paper notes that the *hierarchical histogram* special
+case of tree counting (every node's count equals the sum of the leaf counts
+below it) can be solved by a reduction to differentially private range
+counting over the leaf counts: with the binary-tree mechanism of Dwork et
+al. [27] this gives error roughly ``O(log^2 u)`` for pure DP, where ``u`` is
+the number of leaves.  The related-work discussion also describes the
+strategy of Zhang et al. [72]: release one noisy count per leaf and obtain
+every internal node's count as the sum of the noisy leaf counts below it,
+which lets the noise of many leaves accumulate in high internal nodes.
+
+This module implements both strategies with the same interface as
+:func:`repro.trees.tree_counting.private_tree_counts` so benchmarks and tests
+can compare the three designs (heavy paths, range-counting reduction, leaf
+sums) on the same trees:
+
+* :func:`private_range_counts` — DP prefix/range sums over an ordered vector
+  of leaf counts (the range-counting primitive itself).
+* :func:`range_counting_tree_counts` — the reduction: estimate every node of
+  a tree by the range sum over the contiguous interval of leaves below it.
+* :func:`leaf_sum_tree_counts` — the Zhang-et-al.-style baseline.
+
+Both tree-level strategies only apply to *additive* count functions
+(hierarchical histograms); the paper's generic monotone functions (e.g.
+colored tree counting) are handled by Theorems 8/9 only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.dp.composition import PrivacyAccountant, PrivacyBudget
+from repro.dp.mechanisms import (
+    CountingMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    NoiselessMechanism,
+)
+from repro.dp.prefix_sums import NoisyPrefixSums, PrefixSumMechanism
+from repro.exceptions import SensitivityError
+
+__all__ = [
+    "RangeCountingResult",
+    "private_range_counts",
+    "range_counting_tree_counts",
+    "leaf_sum_tree_counts",
+    "range_counting_error_bound",
+    "leaf_sum_error_bound",
+]
+
+
+def _single_release_mechanism(
+    budget: PrivacyBudget, noiseless: bool
+) -> CountingMechanism:
+    if noiseless:
+        return NoiselessMechanism()
+    if budget.is_pure:
+        return LaplaceMechanism(budget.epsilon)
+    return GaussianMechanism(budget.epsilon, budget.delta)
+
+
+# ----------------------------------------------------------------------
+# Range counting over an ordered sequence of leaf counts
+# ----------------------------------------------------------------------
+@dataclass
+class RangeCountingResult:
+    """Differentially private range sums over a sequence of leaf counts.
+
+    Attributes
+    ----------
+    prefix_sums:
+        The noisy prefix sums released by the binary-tree mechanism.
+        ``prefix_sums.prefix(m)`` estimates ``counts[0] + ... + counts[m-1]``.
+    length:
+        The number of leaves.
+    error_bound:
+        High-probability bound on the error of any *prefix* sum; a range sum
+        combines two prefix sums, so its error is at most twice this value.
+    accountant:
+        Privacy expenditure of the release.
+    """
+
+    prefix_sums: NoisyPrefixSums
+    length: int
+    error_bound: float
+    accountant: PrivacyAccountant
+
+    def prefix(self, length: int) -> float:
+        """Noisy estimate of the sum of the first ``length`` leaf counts."""
+        if not 0 <= length <= self.length:
+            raise ValueError(f"prefix length {length} out of range [0, {self.length}]")
+        return self.prefix_sums.prefix(length)
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Noisy estimate of ``counts[lo] + ... + counts[hi - 1]``."""
+        if not 0 <= lo <= hi <= self.length:
+            raise ValueError(f"range [{lo}, {hi}) out of bounds for {self.length} leaves")
+        if lo == hi:
+            return 0.0
+        return self.prefix(hi) - self.prefix(lo)
+
+    @property
+    def range_error_bound(self) -> float:
+        """High-probability error bound for any single range sum."""
+        return 2.0 * self.error_bound
+
+
+def private_range_counts(
+    leaf_counts: Sequence[float] | np.ndarray,
+    *,
+    leaf_sensitivity: float,
+    budget: PrivacyBudget,
+    beta: float,
+    rng: np.random.Generator | None = None,
+    noiseless: bool = False,
+) -> RangeCountingResult:
+    """Release differentially private range sums over ``leaf_counts``.
+
+    This is the range-counting primitive the paper cites for hierarchical
+    counting (binary-tree mechanism over the leaf counts, Dwork et al. [27]).
+
+    Parameters
+    ----------
+    leaf_counts:
+        Exact leaf counts, in left-to-right order.
+    leaf_sensitivity:
+        ``d`` — bound on the total L1 change of the leaf counts between
+        neighboring databases.
+    budget:
+        Privacy budget (pure selects Laplace noise, ``delta > 0`` Gaussian).
+    beta:
+        Failure probability of the reported error bound.
+    rng:
+        Randomness source (fresh default generator when omitted).
+    noiseless:
+        Skip the noise entirely (testing only; **not private**).
+    """
+    if leaf_sensitivity <= 0:
+        raise SensitivityError("leaf_sensitivity must be positive")
+    if not 0 < beta < 1:
+        raise ValueError("beta must lie in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng()
+    values = np.asarray(leaf_counts, dtype=np.float64)
+    if values.ndim != 1 or len(values) == 0:
+        raise ValueError("leaf_counts must be a non-empty one-dimensional sequence")
+
+    mechanism = _single_release_mechanism(budget, noiseless)
+    prefix_mechanism = PrefixSumMechanism(
+        mechanism,
+        total_l1_sensitivity=float(leaf_sensitivity),
+        per_sequence_l1_sensitivity=float(leaf_sensitivity),
+        max_length=len(values),
+    )
+    released = prefix_mechanism.release(values, rng)
+    accountant = PrivacyAccountant()
+    accountant.spend(
+        "range counting (binary-tree mechanism)",
+        0.0 if noiseless else budget.epsilon,
+        0.0 if noiseless else budget.delta,
+    )
+    return RangeCountingResult(
+        prefix_sums=released,
+        length=len(values),
+        error_bound=prefix_mechanism.sup_error_bound(1, beta),
+        accountant=accountant,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tree-level strategies for hierarchical histograms
+# ----------------------------------------------------------------------
+def _leaves_in_dfs_order(
+    root: Hashable, children: Callable[[Hashable], Iterable[Hashable]]
+) -> tuple[list[Hashable], dict[Hashable, tuple[int, int]]]:
+    """DFS leaf order plus the contiguous leaf interval below every node.
+
+    Any rooted tree admits a leaf order in which the leaves below each node
+    form a contiguous interval — this is what makes the range-counting
+    reduction work.
+    """
+    leaf_order: list[Hashable] = []
+    intervals: dict[Hashable, tuple[int, int]] = {}
+
+    root_children = list(children(root))
+    if not root_children:
+        # The root itself is a leaf.
+        leaf_order.append(root)
+        intervals[root] = (0, 1)
+        return leaf_order, intervals
+
+    # Iterative DFS (children expanded left to right) so deep trees do not
+    # exhaust the recursion limit.
+    pending_children: dict[Hashable, list[Hashable]] = {root: root_children}
+    starts: dict[Hashable, int] = {root: 0}
+    order_stack: list[Hashable] = [root]
+    while order_stack:
+        node = order_stack[-1]
+        remaining = pending_children[node]
+        if remaining:
+            child = remaining.pop(0)
+            grandchildren = list(children(child))
+            if not grandchildren:
+                position = len(leaf_order)
+                leaf_order.append(child)
+                intervals[child] = (position, position + 1)
+            else:
+                pending_children[child] = grandchildren
+                starts[child] = len(leaf_order)
+                order_stack.append(child)
+        else:
+            intervals[node] = (starts[node], len(leaf_order))
+            order_stack.pop()
+    return leaf_order, intervals
+
+
+def range_counting_tree_counts(
+    root: Hashable,
+    children: Callable[[Hashable], Iterable[Hashable]],
+    leaf_counts: Mapping[Hashable, float] | Callable[[Hashable], float],
+    *,
+    leaf_sensitivity: float,
+    budget: PrivacyBudget,
+    beta: float,
+    rng: np.random.Generator | None = None,
+    noiseless: bool = False,
+) -> tuple[dict[Hashable, float], RangeCountingResult]:
+    """Hierarchical histogram via the range-counting reduction (§1.1.3).
+
+    Every internal node's count is recovered as the range sum over the
+    contiguous interval of leaves below it, so the error of any node estimate
+    is at most twice the prefix-sum error — independent of how many leaves
+    lie below the node.
+
+    Returns the per-node estimates together with the underlying
+    :class:`RangeCountingResult` (whose ``range_error_bound`` bounds the error
+    of every node estimate with probability at least ``1 - beta``).
+    """
+    if callable(leaf_counts):
+        count_of = leaf_counts
+    else:
+        count_of = leaf_counts.__getitem__
+    leaf_order, intervals = _leaves_in_dfs_order(root, children)
+    values = [float(count_of(leaf)) for leaf in leaf_order]
+    released = private_range_counts(
+        values,
+        leaf_sensitivity=leaf_sensitivity,
+        budget=budget,
+        beta=beta,
+        rng=rng,
+        noiseless=noiseless,
+    )
+    estimates = {
+        node: released.range_sum(lo, hi) for node, (lo, hi) in intervals.items()
+    }
+    return estimates, released
+
+
+def leaf_sum_tree_counts(
+    root: Hashable,
+    children: Callable[[Hashable], Iterable[Hashable]],
+    leaf_counts: Mapping[Hashable, float] | Callable[[Hashable], float],
+    *,
+    leaf_sensitivity: float,
+    budget: PrivacyBudget,
+    beta: float,
+    rng: np.random.Generator | None = None,
+    noiseless: bool = False,
+) -> tuple[dict[Hashable, float], float]:
+    """Hierarchical histogram via independently noised leaves (Zhang et
+    al. [72] style).
+
+    Each leaf receives one noisy count; every internal node's estimate is the
+    sum of the noisy counts of the leaves below it.  The noise of ``m``
+    leaves accumulates in a node with ``m`` descendant leaves, which is the
+    weakness the paper's related-work section points out.
+
+    Returns the per-node estimates and a high-probability bound on the error
+    of the *root* estimate (the worst node), for comparison against the other
+    strategies.
+    """
+    if callable(leaf_counts):
+        count_of = leaf_counts
+    else:
+        count_of = leaf_counts.__getitem__
+    if leaf_sensitivity <= 0:
+        raise SensitivityError("leaf_sensitivity must be positive")
+    if not 0 < beta < 1:
+        raise ValueError("beta must lie in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    leaf_order, intervals = _leaves_in_dfs_order(root, children)
+    values = np.array([float(count_of(leaf)) for leaf in leaf_order], dtype=np.float64)
+    mechanism = _single_release_mechanism(budget, noiseless)
+    l2_sensitivity = float(leaf_sensitivity)
+    noisy = mechanism.randomize(
+        values,
+        l1_sensitivity=float(leaf_sensitivity),
+        l2_sensitivity=l2_sensitivity,
+        rng=rng,
+    )
+    prefix = np.concatenate(([0.0], np.cumsum(noisy)))
+    estimates = {
+        node: float(prefix[hi] - prefix[lo]) for node, (lo, hi) in intervals.items()
+    }
+    error_bound = leaf_sum_error_bound(
+        len(values), leaf_sensitivity=leaf_sensitivity, budget=budget, beta=beta
+    )
+    if noiseless:
+        error_bound = 0.0
+    return estimates, error_bound
+
+
+# ----------------------------------------------------------------------
+# Analytic bounds
+# ----------------------------------------------------------------------
+def range_counting_error_bound(
+    num_leaves: int,
+    *,
+    leaf_sensitivity: float,
+    budget: PrivacyBudget,
+    beta: float,
+) -> float:
+    """Error bound of any node estimate of the range-counting reduction."""
+    mechanism = _single_release_mechanism(budget, noiseless=False)
+    prefix_mechanism = PrefixSumMechanism(
+        mechanism,
+        total_l1_sensitivity=float(leaf_sensitivity),
+        per_sequence_l1_sensitivity=float(leaf_sensitivity),
+        max_length=max(1, num_leaves),
+    )
+    return 2.0 * prefix_mechanism.sup_error_bound(1, beta)
+
+
+def leaf_sum_error_bound(
+    num_leaves: int,
+    *,
+    leaf_sensitivity: float,
+    budget: PrivacyBudget,
+    beta: float,
+) -> float:
+    """High-probability error bound of the root estimate of the leaf-sum
+    baseline (the sum of ``num_leaves`` independent noise samples)."""
+    mechanism = _single_release_mechanism(budget, noiseless=False)
+    scale = mechanism.noise_scale(float(leaf_sensitivity), float(leaf_sensitivity))
+    if scale == 0.0 or num_leaves < 1:
+        return 0.0
+    if isinstance(mechanism, LaplaceMechanism):
+        from repro.dp.distributions import laplace_sum_tail_bound
+
+        return laplace_sum_tail_bound(scale, num_leaves, beta)
+    from repro.dp.distributions import gaussian_tail_bound
+
+    return gaussian_tail_bound(scale * math.sqrt(num_leaves), beta)

@@ -1,0 +1,35 @@
+"""Workload generators used by examples, tests and the benchmark harness."""
+
+from repro.workloads.adversarial import (
+    random_marginals_instance,
+    worst_case_packing,
+    worst_case_substring_pair,
+)
+from repro.workloads.genome import DNA_SYMBOLS, genome_reads, genome_with_motifs
+from repro.workloads.synthetic import (
+    markov_documents,
+    periodic_documents,
+    planted_motif_documents,
+    uniform_documents,
+    zipfian_documents,
+)
+from repro.workloads.text import DEFAULT_VOCABULARY, text_messages
+from repro.workloads.transit import TransitNetwork, transit_trajectories
+
+__all__ = [
+    "random_marginals_instance",
+    "worst_case_packing",
+    "worst_case_substring_pair",
+    "DNA_SYMBOLS",
+    "genome_reads",
+    "genome_with_motifs",
+    "markov_documents",
+    "periodic_documents",
+    "planted_motif_documents",
+    "uniform_documents",
+    "zipfian_documents",
+    "DEFAULT_VOCABULARY",
+    "text_messages",
+    "TransitNetwork",
+    "transit_trajectories",
+]

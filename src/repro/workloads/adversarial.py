@@ -1,0 +1,63 @@
+"""Adversarial workloads: the hard instances from the lower-bound proofs.
+
+These thin wrappers re-export the lower-bound constructions of
+:mod:`repro.core.lower_bounds` in workload form so that benchmarks and
+examples can mix them with the synthetic workloads uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.database import StringDatabase
+from repro.core.lower_bounds import (
+    MarginalsReduction,
+    PackingInstance,
+    marginals_reduction,
+    packing_database,
+    packing_patterns,
+    substring_lower_bound_pair,
+)
+from repro.strings.alphabet import Alphabet
+
+__all__ = [
+    "worst_case_substring_pair",
+    "worst_case_packing",
+    "random_marginals_instance",
+]
+
+
+def worst_case_substring_pair(
+    ell: int, n: int
+) -> tuple[StringDatabase, StringDatabase, str]:
+    """The Theorem 6 neighboring pair (``a^ell`` replaced by ``b^ell``)."""
+    return substring_lower_bound_pair(ell, n)
+
+
+def worst_case_packing(
+    ell: int,
+    n: int,
+    copies: int,
+    rng: np.random.Generator,
+    *,
+    num_patterns: int = 2,
+    pattern_length: int = 4,
+    extra_symbols: tuple[str, ...] = ("c", "d", "e", "f"),
+) -> PackingInstance:
+    """A Theorem 5 packing instance with random secret patterns.
+
+    The alphabet is ``{0, 1} ∪ extra_symbols`` (so ``|Sigma| >= 4`` as the
+    theorem requires); the secret patterns use only the extra symbols.
+    """
+    secrets = packing_patterns(num_patterns, pattern_length, extra_symbols, rng)
+    alphabet = Alphabet(tuple(sorted({"0", "1", *extra_symbols})))
+    return packing_database(secrets, ell, n, copies, alphabet)
+
+
+def random_marginals_instance(
+    n: int, d: int, rng: np.random.Generator, *, density: float = 0.5
+) -> tuple[np.ndarray, MarginalsReduction]:
+    """A random Marginals(n, d) instance together with its Document Count
+    encoding (Theorem 7's reduction)."""
+    matrix = (rng.random((n, d)) < density).astype(np.int64)
+    return matrix, marginals_reduction(matrix)

@@ -1,0 +1,70 @@
+"""Genome-like workload.
+
+Khatri et al. [50] applied differentially private suffix-tree counting to
+genome data publishing.  Real genome panels are not shipped with this
+repository (see DESIGN.md, "Substitutions"), so this module generates
+DNA-like reads over the alphabet ``{A, C, G, T}`` with planted high-frequency
+motifs, which exercises the same code paths: a small alphabet, documents of
+uniform length, and a handful of patterns whose counts dominate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.database import StringDatabase
+from repro.strings.alphabet import Alphabet
+
+__all__ = ["DNA_SYMBOLS", "genome_reads", "genome_with_motifs"]
+
+DNA_SYMBOLS = ("A", "C", "G", "T")
+
+
+def genome_reads(
+    n: int,
+    read_length: int,
+    rng: np.random.Generator,
+    *,
+    gc_content: float = 0.42,
+) -> StringDatabase:
+    """``n`` i.i.d. reads with the given GC content (fraction of G/C bases,
+    which is ~0.42 for the human genome)."""
+    if not 0 < gc_content < 1:
+        raise ValueError("gc_content must lie in (0, 1)")
+    probabilities = np.array(
+        [
+            (1 - gc_content) / 2,  # A
+            gc_content / 2,  # C
+            gc_content / 2,  # G
+            (1 - gc_content) / 2,  # T
+        ]
+    )
+    alphabet = Alphabet(DNA_SYMBOLS)
+    documents = []
+    for _ in range(n):
+        codes = rng.choice(4, size=read_length, p=probabilities)
+        documents.append("".join(DNA_SYMBOLS[int(c)] for c in codes))
+    return StringDatabase(documents, alphabet, max_length=read_length)
+
+
+def genome_with_motifs(
+    n: int,
+    read_length: int,
+    rng: np.random.Generator,
+    *,
+    motifs: tuple[str, ...] = ("ACGTAC", "GGCC"),
+    planting_probability: float = 0.6,
+) -> StringDatabase:
+    """Reads with known motifs planted in a fraction of them — the target of
+    the q-gram extraction / frequent substring mining experiments."""
+    base = genome_reads(n, read_length, rng)
+    documents = []
+    for document in base.documents:
+        chars = list(document)
+        if rng.random() < planting_probability:
+            motif = motifs[int(rng.integers(0, len(motifs)))]
+            if len(motif) <= read_length:
+                start = int(rng.integers(0, read_length - len(motif) + 1))
+                chars[start : start + len(motif)] = list(motif)
+        documents.append("".join(chars))
+    return StringDatabase(documents, Alphabet(DNA_SYMBOLS), max_length=read_length)

@@ -1,0 +1,74 @@
+"""English-like text / protocol workload.
+
+Next-word suggestion logs and text protocols are a motivating application in
+the paper's introduction.  This generator produces short "messages" made of
+words drawn from a small Zipf-distributed vocabulary (so common words and
+word fragments become frequent substrings), over a lower-case alphabet plus a
+space-like separator character.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.database import StringDatabase
+from repro.strings.alphabet import infer_alphabet
+
+__all__ = ["DEFAULT_VOCABULARY", "text_messages"]
+
+DEFAULT_VOCABULARY = (
+    "the",
+    "be",
+    "to",
+    "of",
+    "and",
+    "a",
+    "in",
+    "that",
+    "have",
+    "it",
+    "for",
+    "not",
+    "on",
+    "with",
+    "he",
+    "as",
+    "you",
+    "do",
+    "at",
+    "this",
+)
+
+
+def text_messages(
+    n: int,
+    max_length: int,
+    rng: np.random.Generator,
+    *,
+    vocabulary: tuple[str, ...] = DEFAULT_VOCABULARY,
+    separator: str = "_",
+    zipf_exponent: float = 1.1,
+) -> StringDatabase:
+    """Generate ``n`` messages of length at most ``max_length``.
+
+    Words are sampled with Zipfian frequencies and joined by ``separator``;
+    the message is truncated to ``max_length`` characters (and never left
+    empty).
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be at least 1")
+    ranks = np.arange(1, len(vocabulary) + 1, dtype=np.float64)
+    probabilities = ranks ** (-zipf_exponent)
+    probabilities /= probabilities.sum()
+    documents = []
+    for _ in range(n):
+        words = []
+        while sum(len(w) for w in words) + len(words) < max_length:
+            index = int(rng.choice(len(vocabulary), p=probabilities))
+            words.append(vocabulary[index])
+        message = separator.join(words)[:max_length]
+        documents.append(message if message else vocabulary[0][:max_length])
+    alphabet = infer_alphabet(
+        documents, extra=set("".join(vocabulary)) | {separator}
+    )
+    return StringDatabase(documents, alphabet, max_length=max_length)

@@ -1,0 +1,92 @@
+"""Transit-trajectory workload.
+
+Chen et al. [19] published differentially private sequential patterns mined
+from the Montreal transit system.  That data set is not available offline, so
+this module synthesizes trajectories over a station alphabet using a
+small line-based transit network: each traveller follows a line for a few
+stops, occasionally transfers, and popular line segments therefore become
+frequent substrings across travellers — exactly the structure the mining
+experiments need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.database import StringDatabase
+from repro.strings.alphabet import Alphabet
+
+__all__ = ["TransitNetwork", "transit_trajectories"]
+
+
+class TransitNetwork:
+    """A toy transit network of ``num_lines`` lines with ``stations_per_line``
+    stations each.
+
+    Stations are single characters (letters), assigned line by line; adjacent
+    stations on a line are connected, and the first station of every line is
+    a shared transfer hub.
+    """
+
+    def __init__(self, num_lines: int = 3, stations_per_line: int = 6) -> None:
+        if num_lines < 1 or stations_per_line < 2:
+            raise ValueError("need at least one line with two stations")
+        total = num_lines * stations_per_line
+        if total > 52:
+            raise ValueError("at most 52 stations are supported (single letters)")
+        letters = [chr(ord("a") + i) for i in range(26)] + [
+            chr(ord("A") + i) for i in range(26)
+        ]
+        self.stations = letters[:total]
+        self.lines = [
+            self.stations[i * stations_per_line : (i + 1) * stations_per_line]
+            for i in range(num_lines)
+        ]
+        self.hub = self.lines[0][0]
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return Alphabet(tuple(sorted(self.stations)))
+
+
+def transit_trajectories(
+    n: int,
+    max_trip_length: int,
+    rng: np.random.Generator,
+    *,
+    network: TransitNetwork | None = None,
+    transfer_probability: float = 0.15,
+) -> StringDatabase:
+    """Generate ``n`` traveller trajectories of length at most
+    ``max_trip_length``.
+
+    A trajectory starts at a random station of a random line, rides the line
+    in one direction, and occasionally transfers to another line (restarting
+    from that line's first station), mimicking trips through a hub.
+    """
+    if network is None:
+        network = TransitNetwork()
+    documents = []
+    for _ in range(n):
+        line_index = int(rng.integers(0, len(network.lines)))
+        line = network.lines[line_index]
+        position = int(rng.integers(0, len(line) - 1))
+        direction = 1 if rng.random() < 0.5 else -1
+        length = int(rng.integers(2, max_trip_length + 1))
+        stops = [line[position]]
+        while len(stops) < length:
+            if rng.random() < transfer_probability:
+                line_index = int(rng.integers(0, len(network.lines)))
+                line = network.lines[line_index]
+                position = 0
+                direction = 1
+                stops.append(line[position])
+                continue
+            next_position = position + direction
+            if not 0 <= next_position < len(line):
+                direction = -direction
+                next_position = position + direction
+            position = next_position
+            stops.append(line[position])
+        documents.append("".join(stops))
+    return StringDatabase(documents, network.alphabet, max_length=max_trip_length)

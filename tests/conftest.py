@@ -1,0 +1,26 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.database import StringDatabase
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def example_db() -> StringDatabase:
+    """The paper's running example (Example 1)."""
+    return StringDatabase(["aaaa", "abe", "absab", "babe", "bee", "bees"])
+
+
+@pytest.fixture
+def small_db() -> StringDatabase:
+    """A tiny database used by the heavier construction tests."""
+    return StringDatabase(["abab", "abba", "baba", "bbbb", "aabb"])

@@ -1,0 +1,137 @@
+"""Tests for repro.core.candidate_set (Step 1 of the construction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate_set import build_candidate_set, candidate_alpha
+from repro.core.database import StringDatabase
+from repro.core.params import ConstructionParams
+from repro.dp.mechanisms import LaplaceMechanism
+from repro.exceptions import ConstructionAborted
+from repro.strings.naive import all_substrings, substring_count
+
+DOCS = st.lists(st.text(alphabet="ab", min_size=1, max_size=6), min_size=1, max_size=4)
+
+
+def noiseless_params(threshold: float = 1.0) -> ConstructionParams:
+    return ConstructionParams.pure(
+        epsilon=1.0, beta=0.1, noiseless=True, threshold=threshold
+    )
+
+
+class TestExactCandidateSets:
+    """With the noiseless mechanism and threshold 1, the candidate sets are
+    exactly the sets of the paper's Examples 2 and 3."""
+
+    def test_paper_example_levels(self, example_db):
+        candidates = build_candidate_set(example_db, noiseless_params())
+        assert candidates.levels[1] == ["a", "b", "e", "s"]
+        assert candidates.levels[2] == ["aa", "ab", "ba", "be", "bs", "ee", "es", "sa"]
+        assert candidates.levels[4] == ["aaaa", "absa", "babe", "bees", "bsab"]
+
+    def test_paper_example_completion(self, example_db):
+        candidates = build_candidate_set(example_db, noiseless_params())
+        c3 = set(candidates.by_length[3])
+        # Every string of length 3 whose length-2 prefix and suffix are in P_2.
+        assert {"aaa", "aab", "aba", "abe", "abs", "baa", "bab", "bee", "bsa",
+                "eee", "saa", "sab"} <= c3
+        for pattern in c3:
+            assert pattern[:2] in candidates.levels[2]
+            assert pattern[1:] in candidates.levels[2]
+        c5 = set(candidates.by_length[5])
+        assert c5 == {"aaaaa", "absab"}
+
+    def test_candidates_contain_every_frequent_substring(self, example_db):
+        candidates = build_candidate_set(example_db, noiseless_params())
+        all_candidates = candidates.all_strings()
+        for substring in all_substrings(example_db.documents):
+            assert substring in all_candidates
+
+    def test_threshold_excludes_rare_strings(self, example_db):
+        candidates = build_candidate_set(example_db, noiseless_params(threshold=3.0))
+        assert "s" not in candidates.levels[1]  # substring count of "s" is 2
+        assert "a" in candidates.levels[1]
+
+    @given(DOCS)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_candidates_cover_all_substrings(self, documents):
+        database = StringDatabase(documents)
+        candidates = build_candidate_set(database, noiseless_params())
+        all_candidates = candidates.all_strings()
+        for substring in all_substrings(documents):
+            assert substring in all_candidates
+
+    @given(DOCS)
+    @settings(max_examples=40, deadline=None)
+    def test_completion_consistency(self, documents):
+        """Every candidate of non-power-of-two length m has its length-2^k
+        prefix and suffix in P_{2^k}."""
+        database = StringDatabase(documents)
+        candidates = build_candidate_set(database, noiseless_params())
+        for length, strings in candidates.by_length.items():
+            power = 1 << (length.bit_length() - 1)
+            if power == length:
+                continue
+            for pattern in strings:
+                assert pattern[:power] in candidates.levels[power]
+                assert pattern[len(pattern) - power :] in candidates.levels[power]
+
+
+class TestPrivateCandidateSets:
+    def test_alpha_and_threshold(self, example_db):
+        params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
+        candidates = build_candidate_set(example_db, params, rng=np.random.default_rng(0))
+        assert candidates.alpha > 0
+        assert candidates.threshold == pytest.approx(2 * candidates.alpha)
+
+    def test_budget_accounting(self, example_db):
+        params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
+        candidates = build_candidate_set(example_db, params, rng=np.random.default_rng(0))
+        assert candidates.accountant.total_epsilon <= 2.0 + 1e-9
+
+    def test_gaussian_variant_accounts_delta(self, example_db):
+        params = ConstructionParams.approximate(epsilon=2.0, delta=1e-5, beta=0.1)
+        candidates = build_candidate_set(example_db, params, rng=np.random.default_rng(0))
+        assert candidates.accountant.total_delta <= 1e-5 + 1e-12
+        assert candidates.accountant.total_epsilon <= 2.0 + 1e-9
+
+    def test_false_positives_are_rare_at_default_threshold(self, example_db):
+        """With the calibrated threshold 2*alpha the candidate levels contain
+        (with overwhelming probability) only true substrings — on a toy
+        database they are simply empty."""
+        params = ConstructionParams.pure(epsilon=1.0, beta=0.1)
+        candidates = build_candidate_set(example_db, params, rng=np.random.default_rng(7))
+        for level, strings in candidates.levels.items():
+            for pattern in strings:
+                assert substring_count(pattern, list(example_db)) > 0
+
+    def test_abort_when_candidate_set_explodes(self):
+        # A tiny capacity (n * ell = 2) with a negative threshold forces the
+        # level sets to keep everything and trip the abort check.
+        database = StringDatabase(["ab"])
+        params = ConstructionParams.pure(
+            epsilon=1.0, beta=0.1, noiseless=True, threshold=-1.0
+        )
+        with pytest.raises(ConstructionAborted):
+            build_candidate_set(database, params)
+
+    def test_doubling_limit_and_lengths_restriction(self, example_db):
+        params = noiseless_params()
+        candidates = build_candidate_set(
+            example_db, params, doubling_limit=2, lengths=[2]
+        )
+        assert set(candidates.levels) == {1, 2}
+        assert set(candidates.by_length) == {2}
+
+
+class TestCandidateAlpha:
+    def test_alpha_grows_with_ell_and_shrinks_with_epsilon(self):
+        loose = candidate_alpha(10, 8, 4, LaplaceMechanism(1.0), 0.1, 8)
+        tight = candidate_alpha(10, 16, 4, LaplaceMechanism(1.0), 0.1, 16)
+        assert tight > loose
+        strong_privacy = candidate_alpha(10, 8, 4, LaplaceMechanism(0.5), 0.1, 8)
+        assert strong_privacy > loose

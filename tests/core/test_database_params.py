@@ -1,0 +1,123 @@
+"""Tests for repro.core.database, repro.core.params and repro.core.counts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import counts as core_counts
+from repro.core.database import StringDatabase
+from repro.core.params import DOCUMENT_COUNT, ConstructionParams
+from repro.dp.composition import PrivacyBudget
+from repro.exceptions import InvalidDocumentError, PrivacyParameterError
+from repro.strings.alphabet import Alphabet
+
+DOCS = st.lists(st.text(alphabet="abc", min_size=1, max_size=6), min_size=1, max_size=5)
+
+
+class TestStringDatabase:
+    def test_basic_properties(self, example_db):
+        assert example_db.num_documents == 6
+        assert example_db.max_length == 5
+        assert example_db.alphabet_size == 4  # a, b, e, s
+        assert example_db.total_length == 23
+        assert len(example_db) == 6
+        assert example_db[0] == "aaaa"
+        assert list(example_db)[1] == "abe"
+
+    def test_counts_match_example1(self, example_db):
+        assert example_db.substring_count("ab") == 4
+        assert example_db.document_count("ab") == 3
+        assert example_db.count("ab", delta_cap=1) == 3
+        assert example_db.count("ab") == 4
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(InvalidDocumentError):
+            StringDatabase([])
+
+    def test_document_violating_declared_length_rejected(self):
+        with pytest.raises(InvalidDocumentError):
+            StringDatabase(["abcdef"], max_length=3)
+
+    def test_document_outside_alphabet_rejected(self):
+        with pytest.raises(InvalidDocumentError):
+            StringDatabase(["abz"], alphabet=Alphabet(("a", "b")))
+
+    def test_replace_document_creates_neighbor(self, example_db):
+        neighbor = example_db.replace_document(0, "bbbb")
+        assert neighbor.documents[0] == "bbbb"
+        assert neighbor.documents[1:] == example_db.documents[1:]
+        assert example_db.is_neighbor_of(neighbor)
+        assert not example_db.is_neighbor_of(example_db)
+
+    def test_replace_document_index_error(self, example_db):
+        with pytest.raises(IndexError):
+            example_db.replace_document(17, "a")
+
+    @given(DOCS, st.text(alphabet="abc", min_size=1, max_size=3), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_match_naive_reference(self, documents, pattern, delta):
+        database = StringDatabase(documents)
+        assert database.count(pattern, delta) == core_counts.count_delta(
+            database, pattern, delta
+        )
+        assert database.substring_count(pattern) == core_counts.substring_count(
+            database, pattern
+        )
+        assert database.document_count(pattern) == core_counts.document_count(
+            database, pattern
+        )
+
+
+class TestExactCountTable:
+    def test_table_has_all_substrings(self, example_db):
+        table = core_counts.exact_count_table(example_db, delta=example_db.max_length)
+        assert table["ab"] == 4
+        assert table["absab"] == 1
+        assert "zz" not in table
+
+    def test_table_respects_cap(self, example_db):
+        table = core_counts.exact_count_table(example_db, delta=1, max_length=2)
+        assert table["ab"] == 3
+        assert max(len(p) for p in table) <= 2
+
+
+class TestConstructionParams:
+    def test_pure_and_approximate_constructors(self):
+        pure = ConstructionParams.pure(1.0)
+        assert pure.is_pure
+        approx = ConstructionParams.approximate(1.0, 1e-5)
+        assert not approx.is_pure
+        assert approx.budget.delta == 1e-5
+
+    def test_validation(self):
+        with pytest.raises(PrivacyParameterError):
+            ConstructionParams(budget=PrivacyBudget(1.0), beta=0.0)
+        with pytest.raises(PrivacyParameterError):
+            ConstructionParams(budget=PrivacyBudget(1.0), delta_cap=0)
+        with pytest.raises(PrivacyParameterError):
+            ConstructionParams(budget=PrivacyBudget(1.0), max_length=0)
+        with pytest.raises(PrivacyParameterError):
+            ConstructionParams(budget=PrivacyBudget(1.0), candidate_budget_fraction=1.5)
+
+    def test_document_and_substring_modes(self):
+        params = ConstructionParams.pure(1.0)
+        doc = params.for_document_count()
+        assert doc.delta_cap == DOCUMENT_COUNT
+        assert doc.resolve_delta_cap(10) == 1
+        sub = doc.for_substring_count()
+        assert sub.delta_cap is None
+        assert sub.resolve_delta_cap(10) == 10
+
+    def test_resolve_max_length(self):
+        params = ConstructionParams.pure(1.0, max_length=8)
+        assert params.resolve_max_length(5) == 8
+        with pytest.raises(PrivacyParameterError):
+            params.resolve_max_length(9)
+        default = ConstructionParams.pure(1.0)
+        assert default.resolve_max_length(5) == 5
+
+    def test_delta_cap_never_exceeds_ell(self):
+        params = ConstructionParams.pure(1.0, delta_cap=100)
+        assert params.resolve_delta_cap(7) == 7

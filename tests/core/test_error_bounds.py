@@ -1,0 +1,123 @@
+"""Tests for repro.core.error_bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.error_bounds import (
+    baseline_error_bound,
+    candidate_stage_bound,
+    counting_stage_bound,
+    structure_error_bound,
+    theorem1_asymptotic,
+    theorem2_asymptotic,
+    theorem3_asymptotic,
+    theorem4_asymptotic,
+    theorem5_lower_bound,
+    theorem6_lower_bound,
+    theorem7_lower_bound,
+)
+from repro.core.params import ConstructionParams
+
+
+class TestImplementationBounds:
+    def test_bounds_positive_and_monotone_in_ell(self):
+        params = ConstructionParams.pure(1.0, beta=0.1)
+        small = counting_stage_bound(10, 8, params)
+        large = counting_stage_bound(10, 32, params)
+        assert 0 < small < large
+
+    def test_bounds_decrease_with_epsilon(self):
+        weak = counting_stage_bound(10, 16, ConstructionParams.pure(0.5, beta=0.1))
+        strong = counting_stage_bound(10, 16, ConstructionParams.pure(4.0, beta=0.1))
+        assert strong < weak
+
+    def test_candidate_stage_bound_positive(self):
+        params = ConstructionParams.pure(1.0, beta=0.1)
+        assert candidate_stage_bound(10, 16, 4, params) > 0
+
+    def test_structure_bound_dominates_stage_bounds(self):
+        params = ConstructionParams.pure(1.0, beta=0.1)
+        total = structure_error_bound(10, 16, 4, params)
+        assert total >= counting_stage_bound(10, 16, params)
+        assert total >= candidate_stage_bound(10, 16, 4, params)
+
+    def test_document_count_gaussian_beats_pure_for_large_ell(self):
+        ell = 4096
+        pure = counting_stage_bound(
+            50, ell, ConstructionParams.pure(1.0, beta=0.1, delta_cap=1)
+        )
+        approx = counting_stage_bound(
+            50, ell, ConstructionParams.approximate(1.0, 1e-6, beta=0.1, delta_cap=1)
+        )
+        assert approx < pure
+
+    def test_actual_trie_size_tightens_the_bound(self):
+        params = ConstructionParams.pure(1.0, beta=0.1)
+        worst_case = counting_stage_bound(10, 16, params)
+        tight = counting_stage_bound(
+            10, 16, params, trie_size=100, num_paths=20, max_path_length=16
+        )
+        assert tight < worst_case
+
+    def test_baseline_bound_grows_quadratically(self):
+        params = ConstructionParams.pure(1.0, beta=0.1)
+        small = baseline_error_bound(10, 16, params)
+        large = baseline_error_bound(10, 64, params)
+        assert large / small > 10  # ~quadratic growth (16x) minus log effects
+
+
+class TestAsymptotics:
+    def test_theorem1_linear_in_ell(self):
+        small = theorem1_asymptotic(100, 64, 4, 1.0)
+        large = theorem1_asymptotic(100, 128, 4, 1.0)
+        assert 1.5 < large / small < 4
+
+    def test_theorem2_sqrt_ell_for_document_count(self):
+        small = theorem2_asymptotic(100, 64, 4, 1.0, 1e-6, delta_cap=1)
+        large = theorem2_asymptotic(100, 256, 4, 1.0, 1e-6, delta_cap=1)
+        assert 1.5 < large / small < 4  # sqrt(4) = 2 up to log factors
+
+    def test_theorem3_below_theorem1(self):
+        assert theorem3_asymptotic(100, 64, 4, 1.0) <= theorem1_asymptotic(
+            100, 64, 4, 1.0
+        )
+
+    def test_theorem4_positive(self):
+        assert theorem4_asymptotic(100, 64, 8, 4, 1.0, 1e-6, delta_cap=1) > 0
+
+    @given(st.integers(4, 512), st.floats(0.1, 5.0))
+    @settings(max_examples=40)
+    def test_asymptotics_scale_inversely_with_epsilon(self, ell, epsilon):
+        loose = theorem1_asymptotic(50, ell, 4, epsilon)
+        tight = theorem1_asymptotic(50, ell, 4, 2 * epsilon)
+        assert tight == pytest.approx(loose / 2)
+
+
+class TestLowerBounds:
+    def test_theorem6_is_half_ell(self):
+        assert theorem6_lower_bound(100) == 50.0
+
+    def test_theorem5_capped_by_n(self):
+        assert theorem5_lower_bound(5, 10_000, 4, 0.01) == 5.0
+        assert theorem5_lower_bound(10**9, 100, 4, 1.0) < 10**9
+
+    def test_theorem5_requires_four_symbols(self):
+        with pytest.raises(ValueError):
+            theorem5_lower_bound(10, 10, 3, 1.0)
+
+    def test_theorem7_pure_worse_than_approx(self):
+        pure = theorem7_lower_bound(1000, 256, 3, 1.0, 0.0)
+        approx = theorem7_lower_bound(1000, 256, 3, 1.0, 1e-6)
+        assert approx < pure
+
+    def test_upper_bounds_dominate_lower_bounds(self):
+        """Sanity: for matching parameters the paper's upper bound shape sits
+        above the lower bound shape (they differ by polylog factors)."""
+        n, ell, sigma, eps = 1000, 256, 4, 1.0
+        assert theorem1_asymptotic(n, ell, sigma, eps) >= theorem5_lower_bound(
+            n, ell, sigma, eps
+        )
+        assert theorem1_asymptotic(n, ell, sigma, eps) >= theorem6_lower_bound(ell)

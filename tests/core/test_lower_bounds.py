@@ -1,0 +1,145 @@
+"""Tests for repro.core.lower_bounds (the hard instances of Thms 5-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lower_bounds import (
+    exact_marginals,
+    marginals_reduction,
+    packing_database,
+    packing_patterns,
+    substring_lower_bound_pair,
+)
+from repro.strings.alphabet import Alphabet
+
+
+class TestSubstringPair:
+    def test_pair_structure(self):
+        database, neighbor, pattern = substring_lower_bound_pair(ell=6, n=4)
+        assert pattern == "a"
+        assert database.documents[0] == "aaaaaa"
+        assert all(doc == "bbbbbb" for doc in database.documents[1:])
+        assert all(doc == "bbbbbb" for doc in neighbor.documents)
+        assert database.is_neighbor_of(neighbor)
+
+    def test_counts_differ_by_ell(self):
+        database, neighbor, pattern = substring_lower_bound_pair(ell=9, n=3)
+        assert database.substring_count(pattern) == 9
+        assert neighbor.substring_count(pattern) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            substring_lower_bound_pair(0, 3)
+        with pytest.raises(ValueError):
+            substring_lower_bound_pair(3, 0)
+
+    @given(st.integers(1, 30), st.integers(1, 10))
+    @settings(max_examples=40)
+    def test_pair_always_neighbors(self, ell, n):
+        database, neighbor, _ = substring_lower_bound_pair(ell, n)
+        assert database.is_neighbor_of(neighbor)
+
+
+class TestPacking:
+    def test_pattern_generation(self, rng):
+        patterns = packing_patterns(3, 6, ("c", "d"), rng)
+        assert len(patterns) == 3
+        assert all(len(p) == 3 for p in patterns)
+        assert all(set(p) <= {"c", "d"} for p in patterns)
+
+    def test_odd_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            packing_patterns(2, 5, ("c",), rng)
+
+    def test_database_structure(self, rng):
+        alphabet = Alphabet(("0", "1", "c", "d"))
+        secrets = ["cc", "dd"]
+        instance = packing_database(secrets, ell=12, n=6, copies=4, alphabet=alphabet)
+        assert instance.copies == 4
+        assert len(instance.database) == 6
+        assert all(len(doc) == 12 for doc in instance.database)
+        # The planted patterns occur in exactly `copies` documents.
+        for planted in instance.planted_patterns:
+            assert instance.database.document_count(planted) == 4
+
+    def test_planted_patterns_have_position_codes(self, rng):
+        alphabet = Alphabet(("0", "1", "c", "d"))
+        instance = packing_database(["cc", "dd"], ell=10, n=3, copies=2, alphabet=alphabet)
+        assert instance.planted_patterns[0] == "cc" + "00"
+        assert instance.planted_patterns[1] == "dd" + "01"
+
+    def test_carrier_too_long_rejected(self):
+        alphabet = Alphabet(("0", "1", "c"))
+        with pytest.raises(ValueError):
+            packing_database(["cccc"], ell=6, n=2, copies=1, alphabet=alphabet)
+
+    def test_copies_out_of_range_rejected(self):
+        alphabet = Alphabet(("0", "1", "c"))
+        with pytest.raises(ValueError):
+            packing_database(["cc"], ell=8, n=2, copies=3, alphabet=alphabet)
+
+    def test_mismatched_pattern_lengths_rejected(self):
+        alphabet = Alphabet(("0", "1", "c"))
+        with pytest.raises(ValueError):
+            packing_database(["cc", "c"], ell=8, n=2, copies=1, alphabet=alphabet)
+
+
+class TestMarginalsReduction:
+    def test_reduction_dimensions(self):
+        matrix = np.array([[1, 0, 1], [0, 0, 1]])
+        reduction = marginals_reduction(matrix)
+        assert reduction.num_rows == 2
+        assert len(reduction.column_patterns) == 3
+        assert len(reduction.database) == 2
+        code_length = max(1, int(np.ceil(np.log2(3))))
+        assert reduction.database.max_length == 3 * (code_length + 2)
+
+    def test_document_counts_encode_marginals(self):
+        rng = np.random.default_rng(0)
+        matrix = (rng.random((8, 5)) < 0.4).astype(np.int64)
+        reduction = marginals_reduction(matrix)
+        truth = exact_marginals(matrix)
+        counts = [
+            reduction.database.document_count(pattern)
+            for pattern in reduction.column_patterns
+        ]
+        estimates = reduction.marginals_from_counts(counts)
+        assert np.allclose(estimates, truth)
+
+    def test_non_binary_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            marginals_reduction(np.array([[2, 0]]))
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            marginals_reduction(np.array([1, 0, 1]))
+
+    def test_exact_marginals(self):
+        matrix = np.array([[1, 0], [1, 1]])
+        assert exact_marginals(matrix).tolist() == [1.0, 0.5]
+
+    @given(st.integers(1, 10), st.integers(1, 6), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_is_exact_on_random_matrices(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        matrix = (rng.random((n, d)) < 0.5).astype(np.int64)
+        reduction = marginals_reduction(matrix)
+        counts = [
+            reduction.database.document_count(pattern)
+            for pattern in reduction.column_patterns
+        ]
+        assert np.allclose(
+            reduction.marginals_from_counts(counts), exact_marginals(matrix)
+        )
+
+    def test_neighboring_matrices_give_neighboring_databases(self):
+        matrix = np.array([[1, 0], [0, 1]])
+        other = matrix.copy()
+        other[1] = [1, 1]
+        first = marginals_reduction(matrix).database
+        second = marginals_reduction(other).database
+        assert first.is_neighbor_of(second)

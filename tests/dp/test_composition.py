@@ -1,0 +1,83 @@
+"""Tests for repro.dp.composition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.composition import PrivacyAccountant, PrivacyBudget
+from repro.exceptions import PrivacyParameterError
+
+
+class TestPrivacyBudget:
+    def test_validation(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(0.0)
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(1.0, delta=1.0)
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(1.0, delta=-0.1)
+
+    def test_purity(self):
+        assert PrivacyBudget(1.0).is_pure
+        assert not PrivacyBudget(1.0, 1e-6).is_pure
+
+    def test_split_and_scale(self):
+        budget = PrivacyBudget(3.0, 0.3)
+        third = budget.split(3)
+        assert third.epsilon == pytest.approx(1.0)
+        assert third.delta == pytest.approx(0.1)
+        half = budget.scaled(0.5)
+        assert half.epsilon == pytest.approx(1.5)
+
+    def test_split_validation(self):
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(1.0).split(0)
+        with pytest.raises(PrivacyParameterError):
+            PrivacyBudget(1.0).scaled(0.0)
+
+    def test_compose(self):
+        combined = PrivacyBudget(1.0, 0.1).compose(PrivacyBudget(2.0, 0.2))
+        assert combined.epsilon == pytest.approx(3.0)
+        assert combined.delta == pytest.approx(0.3)
+
+    @given(st.floats(0.1, 10.0), st.integers(1, 20))
+    @settings(max_examples=40)
+    def test_splits_recompose_to_budget(self, epsilon, parts):
+        budget = PrivacyBudget(epsilon)
+        share = budget.split(parts)
+        assert share.epsilon * parts == pytest.approx(budget.epsilon)
+
+
+class TestPrivacyAccountant:
+    def test_totals(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("a", 0.5)
+        accountant.spend("b", 0.25, 1e-6)
+        assert accountant.total_epsilon == pytest.approx(0.75)
+        assert accountant.total_delta == pytest.approx(1e-6)
+        assert len(accountant.records) == 2
+
+    def test_within_budget(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("a", 0.5)
+        accountant.spend("b", 0.5)
+        assert accountant.within(PrivacyBudget(1.0))
+        assert not accountant.within(PrivacyBudget(0.9))
+
+    def test_negative_spend_rejected(self):
+        accountant = PrivacyAccountant()
+        with pytest.raises(PrivacyParameterError):
+            accountant.spend("bad", -0.1)
+
+    def test_summary_mentions_labels(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("candidates", 0.3)
+        summary = accountant.summary()
+        assert "candidates" in summary
+        assert "total" in summary
+
+    def test_empty_accountant_total(self):
+        accountant = PrivacyAccountant()
+        assert accountant.total().delta == 0.0

@@ -1,0 +1,154 @@
+"""Tests for repro.dp.mechanisms and repro.dp.distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.distributions import (
+    gaussian_sum_std,
+    gaussian_tail_bound,
+    laplace_sum_tail_bound,
+    laplace_tail_bound,
+    sample_gaussian,
+    sample_laplace,
+)
+from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism, NoiselessMechanism
+from repro.exceptions import PrivacyParameterError, SensitivityError
+
+
+class TestDistributions:
+    def test_zero_scale_sampling(self, rng):
+        assert np.all(sample_laplace(0.0, 5, rng) == 0)
+        assert np.all(sample_gaussian(0.0, 5, rng) == 0)
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_laplace(-1.0, 1, rng)
+        with pytest.raises(ValueError):
+            sample_gaussian(-1.0, 1, rng)
+
+    def test_tail_bounds_monotone_in_beta(self):
+        assert laplace_tail_bound(1.0, 0.01) > laplace_tail_bound(1.0, 0.1)
+        assert gaussian_tail_bound(1.0, 0.01) > gaussian_tail_bound(1.0, 0.1)
+
+    def test_invalid_beta_rejected(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                laplace_tail_bound(1.0, bad)
+            with pytest.raises(ValueError):
+                gaussian_tail_bound(1.0, bad)
+
+    def test_laplace_tail_bound_is_valid(self, rng):
+        scale, beta = 2.0, 0.05
+        bound = laplace_tail_bound(scale, beta)
+        samples = sample_laplace(scale, 20000, rng)
+        violation_rate = np.mean(np.abs(samples) > bound)
+        assert violation_rate <= beta * 1.5
+
+    def test_gaussian_tail_bound_is_valid(self, rng):
+        sigma, beta = 3.0, 0.05
+        bound = gaussian_tail_bound(sigma, beta)
+        samples = sample_gaussian(sigma, 20000, rng)
+        violation_rate = np.mean(np.abs(samples) > bound)
+        assert violation_rate <= beta * 1.5
+
+    def test_laplace_sum_tail_bound_is_valid(self, rng):
+        scale, count, beta = 1.5, 8, 0.05
+        bound = laplace_sum_tail_bound(scale, count, beta)
+        sums = sample_laplace(scale, (5000, count), rng).sum(axis=1)
+        assert np.mean(np.abs(sums) > bound) <= beta * 1.5
+
+    def test_gaussian_sum_std(self):
+        assert gaussian_sum_std(2.0, 4) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            gaussian_sum_std(1.0, -1)
+
+
+class TestLaplaceMechanism:
+    def test_parameters_validated(self):
+        with pytest.raises(PrivacyParameterError):
+            LaplaceMechanism(0.0)
+        with pytest.raises(PrivacyParameterError):
+            LaplaceMechanism(1.0, delta=0.1)
+
+    def test_scale_and_purity(self):
+        mechanism = LaplaceMechanism(2.0)
+        assert mechanism.is_pure
+        assert mechanism.noise_scale(4.0, 0.0) == pytest.approx(2.0)
+
+    def test_invalid_sensitivity(self):
+        mechanism = LaplaceMechanism(1.0)
+        with pytest.raises(SensitivityError):
+            mechanism.noise_scale(0.0, 0.0)
+
+    def test_randomize_shape_and_bias(self, rng):
+        mechanism = LaplaceMechanism(1.0)
+        values = np.array([10.0, 20.0, 30.0])
+        noisy = mechanism.randomize(values, l1_sensitivity=1.0, rng=rng)
+        assert noisy.shape == values.shape
+        assert not np.array_equal(noisy, values)
+
+    def test_sup_error_bound_holds_empirically(self, rng):
+        mechanism = LaplaceMechanism(1.0)
+        bound = mechanism.sup_error_bound(50, 0.1, l1_sensitivity=2.0)
+        violations = 0
+        trials = 200
+        for _ in range(trials):
+            noisy = mechanism.randomize(np.zeros(50), l1_sensitivity=2.0, rng=rng)
+            if np.max(np.abs(noisy)) > bound:
+                violations += 1
+        assert violations / trials <= 0.2
+
+    @given(st.floats(0.1, 10.0), st.floats(0.5, 100.0))
+    @settings(max_examples=30)
+    def test_scale_inversely_proportional_to_epsilon(self, epsilon, sensitivity):
+        mechanism = LaplaceMechanism(epsilon)
+        assert mechanism.noise_scale(sensitivity, 0.0) == pytest.approx(
+            sensitivity / epsilon
+        )
+
+
+class TestGaussianMechanism:
+    def test_parameters_validated(self):
+        with pytest.raises(PrivacyParameterError):
+            GaussianMechanism(1.0, delta=0.0)
+        with pytest.raises(PrivacyParameterError):
+            GaussianMechanism(0.0, delta=0.1)
+        with pytest.raises(PrivacyParameterError):
+            GaussianMechanism(1.0, delta=1.5)
+
+    def test_sigma_formula(self):
+        mechanism = GaussianMechanism(2.0, 1e-5)
+        expected = math.sqrt(2 * math.log(1.25 / 1e-5)) * 3.0 / 2.0
+        assert mechanism.noise_scale(0.0, 3.0) == pytest.approx(expected)
+        assert not mechanism.is_pure
+
+    def test_sup_error_bound_holds_empirically(self, rng):
+        mechanism = GaussianMechanism(1.0, 1e-4)
+        bound = mechanism.sup_error_bound(20, 0.1, l2_sensitivity=1.0)
+        violations = 0
+        trials = 200
+        for _ in range(trials):
+            noisy = mechanism.randomize(np.zeros(20), l2_sensitivity=1.0, rng=rng)
+            if np.max(np.abs(noisy)) > bound:
+                violations += 1
+        assert violations / trials <= 0.2
+
+    def test_smaller_delta_means_more_noise(self):
+        tight = GaussianMechanism(1.0, 1e-8)
+        loose = GaussianMechanism(1.0, 1e-2)
+        assert tight.noise_scale(0.0, 1.0) > loose.noise_scale(0.0, 1.0)
+
+
+class TestNoiselessMechanism:
+    def test_no_noise_and_zero_bound(self, rng):
+        mechanism = NoiselessMechanism()
+        values = np.array([1.0, 2.0])
+        assert np.array_equal(mechanism.randomize(values, rng=rng), values)
+        assert mechanism.sup_error_bound(10, 0.01) == 0.0
+        assert mechanism.epsilon == math.inf

@@ -1,0 +1,165 @@
+"""Tests for repro.dp.prefix_sums (the binary-tree mechanism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism, NoiselessMechanism
+from repro.dp.prefix_sums import PrefixSumMechanism, canonical_cover, dyadic_intervals
+from repro.exceptions import SensitivityError
+
+
+class TestDyadicDecomposition:
+    def test_intervals_of_small_lengths(self):
+        assert dyadic_intervals(0) == []
+        assert dyadic_intervals(1) == [(0, 1)]
+        assert set(dyadic_intervals(4)) == {
+            (0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (2, 4), (0, 4),
+        }
+
+    def test_number_of_levels(self):
+        intervals = dyadic_intervals(8)
+        widths = {hi - lo for lo, hi in intervals if hi - lo > 0}
+        assert widths == {1, 2, 4, 8}
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=60)
+    def test_every_element_in_logarithmically_many_intervals(self, length):
+        intervals = dyadic_intervals(length)
+        levels = int(np.floor(np.log2(length))) + 1
+        for position in range(length):
+            containing = sum(1 for lo, hi in intervals if lo <= position < hi)
+            assert containing <= levels
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    @settings(max_examples=80)
+    def test_canonical_cover_is_exact_partition(self, prefix, total):
+        prefix = min(prefix, total)
+        cover = canonical_cover(prefix, total)
+        covered = []
+        for lo, hi in cover:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(prefix))
+        levels = int(np.floor(np.log2(total))) + 1
+        assert len(cover) <= levels
+
+    @given(st.integers(1, 200), st.integers(0, 200))
+    @settings(max_examples=60)
+    def test_canonical_cover_intervals_are_dyadic(self, total, prefix):
+        prefix = min(prefix, total)
+        intervals = set(dyadic_intervals(total))
+        for interval in canonical_cover(prefix, total):
+            assert interval in intervals
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            canonical_cover(5, 3)
+        with pytest.raises(ValueError):
+            dyadic_intervals(-1)
+
+
+class TestPrefixSumMechanism:
+    def test_validation(self):
+        with pytest.raises(SensitivityError):
+            PrefixSumMechanism(LaplaceMechanism(1.0), total_l1_sensitivity=0, max_length=4)
+        with pytest.raises(ValueError):
+            PrefixSumMechanism(LaplaceMechanism(1.0), total_l1_sensitivity=1, max_length=0)
+
+    def test_noiseless_release_is_exact(self, rng):
+        mechanism = PrefixSumMechanism(
+            NoiselessMechanism(), total_l1_sensitivity=1.0, max_length=8
+        )
+        sequence = np.array([3.0, -1.0, 2.0, 0.0, 5.0])
+        released = mechanism.release(sequence, rng)
+        assert np.allclose(released.values, np.cumsum(sequence))
+        assert released.prefix(0) == 0.0
+        assert released.prefix(3) == pytest.approx(4.0)
+        assert mechanism.sup_error_bound(3, 0.1) == 0.0
+
+    def test_sequence_longer_than_max_length_rejected(self, rng):
+        mechanism = PrefixSumMechanism(
+            LaplaceMechanism(1.0), total_l1_sensitivity=1.0, max_length=2
+        )
+        with pytest.raises(ValueError):
+            mechanism.release(np.arange(5, dtype=float), rng)
+
+    def test_per_sequence_sensitivity_capped_by_total(self):
+        mechanism = PrefixSumMechanism(
+            LaplaceMechanism(1.0),
+            total_l1_sensitivity=2.0,
+            per_sequence_l1_sensitivity=10.0,
+            max_length=4,
+        )
+        assert mechanism.per_sequence_l1_sensitivity == 2.0
+
+    def test_laplace_release_error_within_bound(self, rng):
+        mechanism = PrefixSumMechanism(
+            LaplaceMechanism(2.0), total_l1_sensitivity=1.0, max_length=32
+        )
+        sequence = rng.integers(0, 4, size=32).astype(float)
+        bound = mechanism.sup_error_bound(1, 0.05)
+        failures = 0
+        for _ in range(30):
+            released = mechanism.release(sequence, rng)
+            error = np.max(np.abs(released.values - np.cumsum(sequence)))
+            if error > bound:
+                failures += 1
+        assert failures <= 4
+
+    def test_gaussian_release_error_within_bound(self, rng):
+        mechanism = PrefixSumMechanism(
+            GaussianMechanism(1.0, 1e-5),
+            total_l1_sensitivity=4.0,
+            per_sequence_l1_sensitivity=1.0,
+            max_length=16,
+        )
+        sequence = rng.integers(0, 3, size=16).astype(float)
+        bound = mechanism.sup_error_bound(1, 0.05)
+        failures = 0
+        for _ in range(30):
+            released = mechanism.release(sequence, rng)
+            error = np.max(np.abs(released.values - np.cumsum(sequence)))
+            if error > bound:
+                failures += 1
+        assert failures <= 4
+
+    def test_gaussian_uses_hoelder_improvement(self):
+        # With per-sequence sensitivity much smaller than the total, the
+        # Gaussian noise scale should shrink accordingly (sqrt(L * Delta)).
+        wide = PrefixSumMechanism(
+            GaussianMechanism(1.0, 1e-5),
+            total_l1_sensitivity=100.0,
+            per_sequence_l1_sensitivity=100.0,
+            max_length=8,
+        )
+        sharp = PrefixSumMechanism(
+            GaussianMechanism(1.0, 1e-5),
+            total_l1_sensitivity=100.0,
+            per_sequence_l1_sensitivity=1.0,
+            max_length=8,
+        )
+        assert sharp.partial_sum_noise_scale() < wide.partial_sum_noise_scale()
+        assert sharp.partial_sum_noise_scale() == pytest.approx(
+            wide.partial_sum_noise_scale() / 10.0
+        )
+
+    def test_release_many_returns_one_result_per_sequence(self, rng):
+        mechanism = PrefixSumMechanism(
+            NoiselessMechanism(), total_l1_sensitivity=1.0, max_length=4
+        )
+        results = mechanism.release_many([[1.0], [1.0, 2.0], []], rng)
+        assert len(results) == 3
+        assert len(results[2].values) == 0
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_noiseless_prefixes_match_cumsum(self, values):
+        rng = np.random.default_rng(0)
+        mechanism = PrefixSumMechanism(
+            NoiselessMechanism(), total_l1_sensitivity=1.0, max_length=len(values)
+        )
+        released = mechanism.release(np.array(values, dtype=float), rng)
+        assert np.allclose(released.values, np.cumsum(values))

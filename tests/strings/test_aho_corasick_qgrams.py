@@ -1,0 +1,106 @@
+"""Tests for repro.strings.aho_corasick and repro.strings.qgrams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings import naive
+from repro.strings.aho_corasick import AhoCorasick
+from repro.strings.qgrams import (
+    distinct_qgrams,
+    iter_qgrams,
+    qgram_capped_counts,
+    qgram_document_counts,
+    qgram_substring_counts,
+)
+
+
+class TestAhoCorasick:
+    def test_basic_counts(self):
+        automaton = AhoCorasick(["ab", "be", "e"])
+        counts = automaton.count_occurrences("abe")
+        assert counts == {"ab": 1, "be": 1, "e": 1}
+
+    def test_overlapping_patterns(self):
+        automaton = AhoCorasick(["aa", "aaa"])
+        counts = automaton.count_occurrences("aaaa")
+        assert counts == {"aa": 3, "aaa": 2}
+
+    def test_nested_suffix_patterns(self):
+        automaton = AhoCorasick(["abab", "bab", "ab", "b"])
+        counts = automaton.count_occurrences("ababab")
+        assert counts == {"abab": 2, "bab": 2, "ab": 3, "b": 3}
+
+    def test_duplicate_pattern_shares_index(self):
+        automaton = AhoCorasick()
+        first = automaton.add_pattern("ab")
+        second = automaton.add_pattern("ab")
+        assert first == second
+        assert automaton.patterns == ["ab"]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([""])
+
+    def test_add_after_build_rejected(self):
+        automaton = AhoCorasick(["a"])
+        automaton.build()
+        with pytest.raises(RuntimeError):
+            automaton.add_pattern("b")
+
+    def test_count_over_documents_with_cap(self):
+        automaton = AhoCorasick(["a"])
+        documents = ["aaa", "ba", "bbb"]
+        assert automaton.count_over_documents(documents, delta=1) == {"a": 2}
+        assert automaton.count_over_documents(documents, delta=5) == {"a": 4}
+        with pytest.raises(ValueError):
+            automaton.count_over_documents(documents, delta=0)
+
+    @given(
+        st.lists(st.text(alphabet="ab", min_size=1, max_size=4), min_size=1, max_size=6),
+        st.text(alphabet="ab", min_size=0, max_size=30),
+    )
+    @settings(max_examples=80)
+    def test_matches_naive_on_random_inputs(self, patterns, text):
+        automaton = AhoCorasick(patterns)
+        counts = automaton.count_occurrences(text)
+        for pattern in set(patterns):
+            assert counts[pattern] == naive.count_occurrences(pattern, text)
+
+
+class TestQGrams:
+    def test_iter_qgrams(self):
+        assert list(iter_qgrams("abcd", 2)) == ["ab", "bc", "cd"]
+        assert list(iter_qgrams("ab", 3)) == []
+        with pytest.raises(ValueError):
+            list(iter_qgrams("ab", 0))
+
+    def test_distinct_qgrams(self):
+        assert distinct_qgrams(["abab", "ba"], 2) == {"ab", "ba"}
+
+    def test_counts_on_example(self):
+        documents = ["aaaa", "abe", "absab", "babe", "bee", "bees"]
+        substring = qgram_substring_counts(documents, 2)
+        document = qgram_document_counts(documents, 2)
+        assert substring["ab"] == 4
+        assert document["ab"] == 3
+        assert substring["aa"] == 3
+        assert document["aa"] == 1
+
+    def test_capped_counts_between_document_and_substring(self):
+        documents = ["aaaa", "aab"]
+        capped = qgram_capped_counts(documents, 2, delta=2)
+        assert capped["aa"] == 3  # min(2,3) + min(2,1)
+        with pytest.raises(ValueError):
+            qgram_capped_counts(documents, 2, delta=0)
+
+    @given(st.lists(st.text(alphabet="ab", min_size=1, max_size=8), min_size=1, max_size=5), st.integers(1, 3))
+    @settings(max_examples=60)
+    def test_qgram_tables_match_naive(self, documents, q):
+        substring = qgram_substring_counts(documents, q)
+        document = qgram_document_counts(documents, q)
+        for qgram in distinct_qgrams(documents, q):
+            assert substring[qgram] == naive.substring_count(qgram, documents)
+            assert document[qgram] == naive.document_count(qgram, documents)

@@ -1,0 +1,105 @@
+"""Tests for repro.strings.documents and repro.strings.naive."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidDocumentError
+from repro.strings import naive
+from repro.strings.alphabet import Alphabet
+from repro.strings.documents import concatenate_documents
+
+DOCS = st.lists(st.text(alphabet="abc", min_size=1, max_size=8), min_size=1, max_size=5)
+
+
+class TestConcatenation:
+    def test_structure(self):
+        text = concatenate_documents(["ab", "c"], Alphabet(("a", "b", "c")))
+        assert len(text) == 5  # "ab$0c$1"
+        assert text.num_documents == 2
+        assert text.total_length == 3
+        assert text.doc_starts.tolist() == [0, 3]
+        assert text.doc_lengths.tolist() == [2, 1]
+        assert text.doc_ids.tolist() == [0, 0, 0, 1, 1]
+
+    def test_sentinels_are_unique(self):
+        text = concatenate_documents(["a", "a", "a"])
+        sentinel_codes = [int(text.codes[i]) for i in range(len(text)) if text.is_sentinel_position(i)]
+        assert len(sentinel_codes) == 3
+        assert len(set(sentinel_codes)) == 3
+
+    def test_position_helpers(self):
+        text = concatenate_documents(["abc", "de"])
+        assert text.document_of(4) == 1
+        assert text.offset_in_document(5) == 1
+        assert text.remaining_in_document(0) == 3
+        assert text.remaining_in_document(3) == 0  # the sentinel of document 0
+
+    def test_substring_decoding(self):
+        text = concatenate_documents(["abc", "de"])
+        assert text.substring(0, 3) == "abc"
+        with pytest.raises(InvalidDocumentError):
+            text.substring(2, 3)  # crosses the sentinel
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(InvalidDocumentError):
+            concatenate_documents([])
+
+    @given(DOCS)
+    @settings(max_examples=40)
+    def test_lengths_consistent(self, documents):
+        text = concatenate_documents(documents)
+        assert len(text) == sum(len(d) for d in documents) + len(documents)
+        assert text.total_length == sum(len(d) for d in documents)
+
+
+class TestNaiveCounting:
+    def test_count_occurrences_overlapping(self):
+        assert naive.count_occurrences("aa", "aaaa") == 3
+        assert naive.count_occurrences("ab", "abab") == 2
+        assert naive.count_occurrences("z", "abab") == 0
+
+    def test_empty_pattern_counts_length(self):
+        assert naive.count_occurrences("", "abcd") == 4
+
+    def test_example1_from_paper(self):
+        documents = ["aaaa", "abe", "absab", "babe", "bee", "bees"]
+        assert naive.document_count("ab", documents) == 3
+        assert naive.substring_count("ab", documents) == 4
+
+    def test_count_capped(self):
+        assert naive.count_capped("a", "aaaa", 2) == 2
+        assert naive.count_capped("a", "aaaa", 10) == 4
+        with pytest.raises(ValueError):
+            naive.count_capped("a", "aaaa", 0)
+
+    def test_count_delta_interpolates(self):
+        documents = ["aaaa", "baaa"]
+        assert naive.count_delta("a", documents, 1) == 2
+        assert naive.count_delta("a", documents, 3) == 6
+        assert naive.count_delta("a", documents, 10) == 7
+
+    def test_all_substrings(self):
+        subs = naive.all_substrings(["aba"])
+        assert subs == {"a", "b", "ab", "ba", "aba"}
+        assert naive.all_substrings(["aba"], max_length=1) == {"a", "b"}
+
+    def test_tables_consistent_with_single_queries(self):
+        documents = ["abab", "bba"]
+        substr_table = naive.substring_count_table(documents)
+        doc_table = naive.document_count_table(documents)
+        for pattern in naive.all_substrings(documents):
+            assert substr_table[pattern] == naive.substring_count(pattern, documents)
+            assert doc_table[pattern] == naive.document_count(pattern, documents)
+
+    @given(DOCS, st.text(alphabet="abc", min_size=1, max_size=3), st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_count_delta_monotone_in_delta(self, documents, pattern, delta):
+        small = naive.count_delta(pattern, documents, delta)
+        large = naive.count_delta(pattern, documents, delta + 1)
+        assert small <= large <= naive.substring_count(pattern, documents)
+        assert naive.document_count(pattern, documents) == naive.count_delta(
+            pattern, documents, 1
+        )

@@ -1,0 +1,130 @@
+"""Tests for repro.strings.generalized_index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings import naive
+from repro.strings.alphabet import Alphabet
+from repro.strings.generalized_index import GeneralizedSuffixIndex, MergeSortTree
+
+DOCS = st.lists(st.text(alphabet="abc", min_size=1, max_size=8), min_size=1, max_size=6)
+PATTERNS = st.text(alphabet="abc", min_size=0, max_size=4)
+
+
+class TestMergeSortTree:
+    def test_count_less_than(self):
+        tree = MergeSortTree(np.array([5, 1, 4, 1, 3]))
+        assert tree.count_less_than(0, 5, 4) == 3
+        assert tree.count_less_than(1, 3, 2) == 1
+        assert tree.count_less_than(2, 2, 100) == 0
+
+    def test_invalid_interval(self):
+        tree = MergeSortTree(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            tree.count_less_than(1, 3, 0)
+
+    @given(st.lists(st.integers(-10, 10), min_size=1, max_size=40), st.data())
+    @settings(max_examples=60)
+    def test_matches_naive(self, values, data):
+        array = np.array(values)
+        tree = MergeSortTree(array)
+        lo = data.draw(st.integers(0, len(values)))
+        hi = data.draw(st.integers(lo, len(values)))
+        threshold = data.draw(st.integers(-12, 12))
+        assert tree.count_less_than(lo, hi, threshold) == int(
+            (array[lo:hi] < threshold).sum()
+        )
+
+
+class TestExampleCounts:
+    def setup_method(self):
+        self.documents = ["aaaa", "abe", "absab", "babe", "bee", "bees"]
+        self.index = GeneralizedSuffixIndex(self.documents)
+
+    def test_paper_example(self):
+        assert self.index.substring_count("ab") == 4
+        assert self.index.document_count("ab") == 3
+
+    def test_empty_pattern(self):
+        assert self.index.substring_count("") == sum(len(d) for d in self.documents)
+        assert self.index.document_count("") == 6
+        assert self.index.count("", 2) == sum(min(2, len(d)) for d in self.documents)
+
+    def test_absent_and_foreign_patterns(self):
+        assert self.index.substring_count("zzz") == 0
+        assert self.index.document_count("xy") == 0
+        assert self.index.count("Q", 3) == 0
+
+    def test_letter_counts_include_missing_letters(self):
+        alphabet = Alphabet(("a", "b", "e", "s", "z"))
+        index = GeneralizedSuffixIndex(self.documents, alphabet)
+        counts = index.letter_counts(delta=1)
+        assert counts["z"] == 0
+        assert counts["a"] == 4  # documents containing 'a'
+
+
+class TestAgainstNaive:
+    @given(DOCS, PATTERNS, st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_counts_match_naive(self, documents, pattern, delta):
+        index = GeneralizedSuffixIndex(documents)
+        assert index.substring_count(pattern) == naive.substring_count(pattern, documents)
+        assert index.document_count(pattern) == naive.document_count(pattern, documents)
+        assert index.count(pattern, delta) == naive.count_delta(pattern, documents, delta)
+
+    @given(DOCS)
+    @settings(max_examples=30, deadline=None)
+    def test_every_substring_count_matches(self, documents):
+        index = GeneralizedSuffixIndex(documents)
+        for pattern in naive.all_substrings(documents, max_length=3):
+            assert index.substring_count(pattern) == naive.substring_count(
+                pattern, documents
+            )
+
+
+class TestIntervalExtension:
+    def test_extend_interval_matches_direct_search(self):
+        documents = ["abab", "abba", "bbab"]
+        index = GeneralizedSuffixIndex(documents)
+        lo, hi = index.pattern_interval("a")
+        lo2, hi2 = index.extend_interval(lo, hi, 1, "b")
+        assert (lo2, hi2) == index.pattern_interval("ab")
+        lo3, hi3 = index.extend_interval(lo2, hi2, 2, "a")
+        assert (lo3, hi3) == index.pattern_interval("aba")
+
+    def test_extend_with_unknown_character(self):
+        index = GeneralizedSuffixIndex(["ab"])
+        lo, hi = index.pattern_interval("a")
+        assert index.extend_interval(lo, hi, 1, "z") == (lo, lo)
+
+    @given(DOCS, st.text(alphabet="abc", min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_direct(self, documents, pattern):
+        index = GeneralizedSuffixIndex(documents)
+        lo, hi = 0, len(index.suffix_array)
+        for depth, char in enumerate(pattern):
+            lo, hi = index.extend_interval(lo, hi, depth, char)
+        assert (hi - lo) == index.substring_count(pattern)
+
+
+class TestHelpers:
+    def test_is_within_document(self):
+        index = GeneralizedSuffixIndex(["abc", "de"])
+        assert index.is_within_document(0, 3)
+        assert not index.is_within_document(0, 4)
+        assert not index.is_within_document(2, 2)
+
+    def test_decode_prefix(self):
+        index = GeneralizedSuffixIndex(["abc", "de"])
+        assert index.decode_prefix(0, 2) == "ab"
+        assert index.decode_prefix(4, 2) == "de"
+
+    def test_max_document_length(self):
+        index = GeneralizedSuffixIndex(["a", "abcd"])
+        assert index.max_document_length == 4
+        assert index.num_documents == 2
+        assert index.total_length == 5

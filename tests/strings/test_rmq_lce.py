@@ -1,0 +1,107 @@
+"""Tests for repro.strings.rmq and repro.strings.lce."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.lce import CollectionLCE, LCEIndex
+from repro.strings.rmq import SparseTableRMQ
+
+
+def encode(text: str) -> np.ndarray:
+    return np.fromiter((ord(c) for c in text), dtype=np.int64, count=len(text))
+
+
+class TestSparseTableRMQ:
+    def test_small_example(self):
+        rmq = SparseTableRMQ(np.array([5, 2, 7, 1, 9]))
+        assert rmq.query(0, 5) == 1
+        assert rmq.query(0, 2) == 2
+        assert rmq.query(2, 3) == 7
+        assert rmq.query(3, 5) == 1
+
+    def test_invalid_intervals(self):
+        rmq = SparseTableRMQ(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            rmq.query(2, 2)
+        with pytest.raises(ValueError):
+            rmq.query(-1, 2)
+        with pytest.raises(ValueError):
+            rmq.query(1, 5)
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=60), st.data())
+    @settings(max_examples=60)
+    def test_matches_numpy_min(self, values, data):
+        array = np.array(values)
+        rmq = SparseTableRMQ(array)
+        lo = data.draw(st.integers(0, len(values) - 1))
+        hi = data.draw(st.integers(lo + 1, len(values)))
+        assert rmq.query(lo, hi) == int(array[lo:hi].min())
+
+
+class TestLCEIndex:
+    def test_simple_lce(self):
+        index = LCEIndex.from_text(encode("abcabcx"))
+        assert index.lce(0, 3) == 3
+        assert index.lce(1, 4) == 2
+        assert index.lce(0, 6) == 0
+        assert index.lce(2, 2) == 5
+
+    @given(st.text(alphabet="ab", min_size=2, max_size=30), st.data())
+    @settings(max_examples=60)
+    def test_matches_direct_comparison(self, text, data):
+        index = LCEIndex.from_text(encode(text))
+        i = data.draw(st.integers(0, len(text) - 1))
+        j = data.draw(st.integers(0, len(text) - 1))
+        expected = 0
+        while (
+            i + expected < len(text)
+            and j + expected < len(text)
+            and text[i + expected] == text[j + expected]
+        ):
+            expected += 1
+        if i == j:
+            expected = len(text) - i
+        assert index.lce(i, j) == expected
+
+
+class TestCollectionLCE:
+    def test_cross_string_lce(self):
+        strings = [encode("abcd"), encode("abxx"), encode("cdab")]
+        lce = CollectionLCE(strings)
+        assert lce.lce(0, 0, 1, 0) == 2
+        assert lce.lce(0, 2, 2, 0) == 2
+        assert lce.lce(0, 0, 2, 2) == 2
+
+    def test_has_overlap(self):
+        strings = [encode("abc"), encode("bcd"), encode("xyz")]
+        lce = CollectionLCE(strings)
+        assert lce.has_overlap(0, 1, 2)  # "bc" suffix of abc == prefix of bcd
+        assert not lce.has_overlap(0, 2, 1)
+        assert lce.has_overlap(0, 0, 3)  # whole string overlaps itself
+        assert lce.has_overlap(0, 1, 0)  # empty overlap always true
+
+    def test_overlap_longer_than_strings(self):
+        strings = [encode("ab"), encode("b")]
+        lce = CollectionLCE(strings)
+        assert not lce.has_overlap(0, 1, 3)
+
+    @given(
+        st.lists(st.text(alphabet="ab", min_size=1, max_size=6), min_size=2, max_size=5),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=60)
+    def test_overlap_matches_slicing(self, strings, overlap):
+        encoded = [encode(s) for s in strings]
+        lce = CollectionLCE(encoded)
+        for i, left in enumerate(strings):
+            for j, right in enumerate(strings):
+                expected = (
+                    overlap <= len(left)
+                    and overlap <= len(right)
+                    and left[len(left) - overlap :] == right[:overlap]
+                )
+                assert lce.has_overlap(i, j, overlap) == expected

@@ -1,0 +1,93 @@
+"""Tests for repro.strings.suffix_array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.suffix_array import SuffixArray, build_lcp_array, build_suffix_array
+
+
+def naive_suffix_array(text: np.ndarray) -> np.ndarray:
+    suffixes = sorted(range(len(text)), key=lambda i: list(text[i:]))
+    return np.array(suffixes, dtype=np.int64)
+
+
+def encode(text: str) -> np.ndarray:
+    return np.fromiter((ord(c) for c in text), dtype=np.int64, count=len(text))
+
+
+class TestSuffixArrayConstruction:
+    def test_banana(self):
+        text = encode("banana")
+        assert build_suffix_array(text).tolist() == [5, 3, 1, 0, 4, 2]
+
+    def test_empty_and_single(self):
+        assert build_suffix_array(np.array([], dtype=np.int64)).tolist() == []
+        assert build_suffix_array(np.array([7], dtype=np.int64)).tolist() == [0]
+
+    def test_all_equal_characters(self):
+        text = encode("aaaaa")
+        assert build_suffix_array(text).tolist() == [4, 3, 2, 1, 0]
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_matches_naive_construction(self, text):
+        encoded = encode(text)
+        assert build_suffix_array(encoded).tolist() == naive_suffix_array(encoded).tolist()
+
+
+class TestLCPArray:
+    def test_banana_lcp(self):
+        text = encode("banana")
+        sa = build_suffix_array(text)
+        assert build_lcp_array(text, sa).tolist() == [0, 1, 3, 0, 0, 2]
+
+    @given(st.text(alphabet="ab", min_size=2, max_size=30))
+    @settings(max_examples=60)
+    def test_lcp_matches_direct_computation(self, text):
+        encoded = encode(text)
+        sa = build_suffix_array(encoded)
+        lcp = build_lcp_array(encoded, sa)
+        for rank in range(1, len(text)):
+            a = text[sa[rank - 1]:]
+            b = text[sa[rank]:]
+            common = 0
+            while common < min(len(a), len(b)) and a[common] == b[common]:
+                common += 1
+            assert lcp[rank] == common
+
+
+class TestPatternSearch:
+    def test_interval_and_count(self):
+        index = SuffixArray.build(encode("abracadabra"))
+        assert index.count_pattern(encode("abra")) == 2
+        assert index.count_pattern(encode("a")) == 5
+        assert index.count_pattern(encode("zzz")) == 0
+        assert sorted(index.occurrences(encode("abra")).tolist()) == [0, 7]
+
+    def test_empty_pattern_full_interval(self):
+        index = SuffixArray.build(encode("abc"))
+        assert index.pattern_interval(np.array([], dtype=np.int64)) == (0, 3)
+
+    def test_pattern_longer_than_text(self):
+        index = SuffixArray.build(encode("ab"))
+        assert index.count_pattern(encode("abc")) == 0
+
+    @given(
+        st.text(alphabet="abc", min_size=1, max_size=30),
+        st.text(alphabet="abc", min_size=1, max_size=4),
+    )
+    @settings(max_examples=80)
+    def test_count_matches_naive(self, text, pattern):
+        index = SuffixArray.build(encode(text))
+        expected = sum(
+            1 for i in range(len(text)) if text.startswith(pattern, i)
+        )
+        assert index.count_pattern(encode(pattern)) == expected
+
+    def test_rank_is_inverse_of_sa(self):
+        index = SuffixArray.build(encode("mississippi"))
+        assert np.array_equal(index.sa[index.rank], np.arange(len(index.sa)))

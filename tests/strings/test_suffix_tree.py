@@ -1,0 +1,125 @@
+"""Tests for repro.strings.suffix_tree."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.naive import count_occurrences
+from repro.strings.suffix_tree import SuffixTree
+
+
+def encode(text: str) -> np.ndarray:
+    return np.fromiter((ord(c) for c in text), dtype=np.int64, count=len(text))
+
+
+def build(text: str) -> SuffixTree:
+    return SuffixTree.build(encode(text))
+
+
+class TestConstruction:
+    def test_leaf_count_equals_text_length(self):
+        tree = build("banana")
+        # The builder appends a unique terminator, so 7 suffixes / leaves.
+        leaves = [node for node in tree.nodes if node.is_leaf]
+        assert len(leaves) == 7
+
+    def test_root_interval_covers_everything(self):
+        tree = build("banana")
+        assert tree.root.sa_lo == 0
+        assert tree.root.sa_hi == 7
+
+    def test_parent_child_consistency(self):
+        tree = build("mississippi")
+        for node in tree.nodes:
+            for child_id in node.children:
+                child = tree.nodes[child_id]
+                assert child.parent == node.node_id
+                assert child.string_depth > node.string_depth
+                assert node.sa_lo <= child.sa_lo <= child.sa_hi <= node.sa_hi
+
+    def test_children_partition_parent_interval(self):
+        tree = build("abracadabra")
+        for node in tree.nodes:
+            if node.children:
+                total = sum(
+                    tree.nodes[c].sa_hi - tree.nodes[c].sa_lo for c in node.children
+                )
+                assert total == node.sa_hi - node.sa_lo
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=25))
+    @settings(max_examples=50)
+    def test_number_of_nodes_is_linear(self, text):
+        tree = SuffixTree.build(encode(text))
+        # A suffix tree over N+1 leaves has at most 2(N+1) nodes.
+        assert tree.num_nodes <= 2 * (len(text) + 1)
+
+
+class TestFrequencies:
+    @given(st.text(alphabet="abc", min_size=1, max_size=20), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_minimal_node_frequencies_count_occurrences(self, text, depth):
+        tree = SuffixTree.build(encode(text))
+        seen = {}
+        for node_id in tree.minimal_nodes_at_depth(depth):
+            node = tree.nodes[node_id]
+            start = tree.node_prefix_start(node_id)
+            prefix = text[start : start + depth]
+            if len(prefix) < depth:
+                # the prefix runs into the artificial terminator; skip.
+                continue
+            seen[prefix] = node.frequency
+        for prefix, frequency in seen.items():
+            assert frequency == count_occurrences(prefix, text)
+
+    def test_minimal_nodes_cover_distinct_substrings(self):
+        text = "abab"
+        tree = build(text)
+        nodes = tree.minimal_nodes_at_depth(2)
+        prefixes = set()
+        for node_id in nodes:
+            start = tree.node_prefix_start(node_id)
+            prefixes.add(text[start : start + 2])
+        # "ab" and "ba" plus possibly prefixes hitting the terminator.
+        assert {"ab", "ba"} <= prefixes
+
+
+class TestWeightedAncestors:
+    def test_ancestor_is_minimal_locus(self):
+        text = "banana"
+        tree = build(text)
+        leaf = tree.leaf_for_position(1)  # suffix "anana..."
+        ancestor = tree.weighted_ancestor(leaf, 3)
+        assert tree.nodes[ancestor].string_depth >= 3
+        parent = tree.nodes[ancestor].parent
+        assert tree.nodes[parent].string_depth < 3
+        start = tree.node_prefix_start(ancestor)
+        assert text[start : start + 3] == "ana"
+
+    def test_too_deep_request_returns_minus_one(self):
+        tree = build("ab")
+        leaf = tree.leaf_for_position(1)  # suffix "b", depth 2 with terminator
+        assert tree.weighted_ancestor(leaf, 10) == -1
+
+    @given(st.text(alphabet="ab", min_size=2, max_size=20), st.data())
+    @settings(max_examples=50)
+    def test_weighted_ancestor_matches_linear_scan(self, text, data):
+        tree = SuffixTree.build(encode(text))
+        position = data.draw(st.integers(0, len(text) - 1))
+        target = data.draw(st.integers(1, len(text) - position + 1))
+        leaf = tree.leaf_for_position(position)
+        expected = -1
+        current = leaf
+        chain = []
+        while current != -1:
+            chain.append(current)
+            current = tree.nodes[current].parent
+        for node_id in reversed(chain):  # from root downwards
+            if tree.nodes[node_id].string_depth >= target:
+                expected = node_id
+                break
+        assert tree.weighted_ancestor(leaf, target) == expected
+
+    def test_height_positive(self):
+        assert build("banana").height() >= 2

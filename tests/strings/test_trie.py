@@ -1,0 +1,115 @@
+"""Tests for repro.strings.trie."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.trie import CompactedTrie, Trie
+
+STRING_SETS = st.lists(st.text(alphabet="abc", min_size=1, max_size=6), min_size=1, max_size=10)
+
+
+class TestTrie:
+    def test_insert_and_find(self):
+        trie = Trie()
+        node = trie.insert("abc")
+        assert node.depth == 3
+        assert node.string() == "abc"
+        assert trie.find("abc") is node
+        assert trie.find("ab") is not None
+        assert trie.find("abd") is None
+        assert "abc" in trie
+        assert "x" not in trie
+
+    def test_num_nodes_counts_shared_prefixes_once(self):
+        trie = Trie(["abc", "abd", "ab"])
+        # root + a + b + c + d
+        assert trie.num_nodes == 5
+
+    def test_iter_strings_yields_all_prefixes(self):
+        trie = Trie(["ab", "ba"])
+        assert set(trie.iter_strings()) == {"a", "ab", "b", "ba"}
+
+    def test_leaves_and_height(self):
+        trie = Trie(["ab", "abc", "b"])
+        assert trie.height() == 3
+        leaf_strings = {leaf.string() for leaf in trie.leaves()}
+        assert leaf_strings == {"abc", "b"}
+
+    def test_delete_subtree(self):
+        trie = Trie(["abc", "abd", "axy"])
+        node = trie.find("ab")
+        removed = trie.delete_subtree(node)
+        assert removed == 3  # ab, abc, abd
+        assert trie.find("abc") is None
+        assert trie.find("axy") is not None
+        assert trie.num_nodes == 4  # root, a, x, y
+
+    def test_cannot_delete_root(self):
+        trie = Trie(["a"])
+        with pytest.raises(ValueError):
+            trie.delete_subtree(trie.root)
+
+    def test_counts_default_to_none(self):
+        trie = Trie(["a"])
+        node = trie.find("a")
+        assert node.count is None and node.noisy_count is None
+
+    @given(STRING_SETS)
+    @settings(max_examples=60)
+    def test_nodes_equal_distinct_prefixes(self, strings):
+        trie = Trie(strings)
+        prefixes = {s[:i] for s in strings for i in range(1, len(s) + 1)}
+        assert trie.num_nodes == len(prefixes) + 1
+        for string in strings:
+            assert string in trie
+
+    @given(STRING_SETS)
+    @settings(max_examples=40)
+    def test_subtree_size_consistent(self, strings):
+        trie = Trie(strings)
+        assert trie.subtree_size(trie.root) == trie.num_nodes
+
+
+class TestCompactedTrie:
+    def test_compaction_dissolves_unary_nodes(self):
+        compacted = CompactedTrie(["abcde"])
+        # root plus a single leaf whose edge label is the entire string.
+        assert compacted.num_nodes == 2
+        leaf = compacted.find("abcde")
+        assert leaf is not None and leaf.is_leaf
+
+    def test_branching_preserved(self):
+        compacted = CompactedTrie(["abc", "abd"])
+        # root, branching node "ab", two leaves.
+        assert compacted.num_nodes == 4
+        assert compacted.find("ab") is not None
+        assert compacted.find("abc").is_terminal
+
+    def test_terminal_inner_string_kept_as_node(self):
+        compacted = CompactedTrie(["ab", "abcd"])
+        node = compacted.find("ab")
+        assert node is not None
+        assert node.is_terminal
+
+    def test_find_inside_edge_returns_none(self):
+        compacted = CompactedTrie(["abcd"])
+        assert compacted.find("ab") is None
+
+    @given(STRING_SETS)
+    @settings(max_examples=60)
+    def test_linear_size(self, strings):
+        distinct = set(strings)
+        compacted = CompactedTrie(distinct)
+        assert compacted.num_nodes <= 2 * len(distinct) + 1
+
+    @given(STRING_SETS)
+    @settings(max_examples=60)
+    def test_all_inserted_strings_found_and_terminal(self, strings):
+        compacted = CompactedTrie(strings)
+        for string in strings:
+            node = compacted.find(string)
+            assert node is not None
+            assert node.is_terminal

@@ -1,0 +1,95 @@
+"""Tests for the E18/E19 experiment runners and their CLI registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiments
+from repro.cli import EXPERIMENT_REGISTRY, main
+
+
+class TestTreeStrategyComparison:
+    def test_rows_have_expected_columns(self):
+        rows = experiments.run_tree_strategy_comparison([16, 64], num_items=60, trials=1)
+        assert [row["universe"] for row in rows] == [16, 64]
+        for row in rows:
+            for key in (
+                "heavy_path_max_error",
+                "range_counting_max_error",
+                "leaf_sum_max_error",
+                "heavy_path_bound",
+                "range_counting_bound",
+                "leaf_sum_bound",
+            ):
+                assert row[key] >= 0.0
+
+    def test_measured_errors_respect_bounds(self):
+        rows = experiments.run_tree_strategy_comparison([32], num_items=100, trials=2)
+        row = rows[0]
+        assert row["heavy_path_max_error"] <= row["heavy_path_bound"]
+        assert row["range_counting_max_error"] <= row["range_counting_bound"]
+        assert row["leaf_sum_max_error"] <= row["leaf_sum_bound"]
+
+    def test_leaf_sum_bound_grows_fastest(self):
+        rows = experiments.run_tree_strategy_comparison(
+            [16, 256], num_items=60, trials=1
+        )
+        leaf_growth = rows[-1]["leaf_sum_bound"] / rows[0]["leaf_sum_bound"]
+        heavy_growth = rows[-1]["heavy_path_bound"] / rows[0]["heavy_path_bound"]
+        range_growth = rows[-1]["range_counting_bound"] / rows[0]["range_counting_bound"]
+        assert leaf_growth > heavy_growth
+        assert leaf_growth > range_growth
+
+
+class TestCandidateGrowthAblation:
+    def test_rows_and_monotone_ratio(self):
+        rows = experiments.run_candidate_growth_ablation([8, 16], n=6)
+        assert [row["ell"] for row in rows] == [8, 16]
+        ratios = [row["alpha_ratio"] for row in rows]
+        assert all(ratio >= 1.0 for ratio in ratios)
+        assert ratios == sorted(ratios)
+
+    def test_doubling_uses_fewer_levels(self):
+        rows = experiments.run_candidate_growth_ablation([16], n=6)
+        row = rows[0]
+        assert row["doubling_levels"] < row["onestep_levels"]
+        assert row["doubling_candidates"] >= row["onestep_candidates"]
+
+
+class TestCliRegistration:
+    @pytest.mark.parametrize("experiment_id", ["E18", "E19"])
+    def test_registry_contains_new_experiments(self, experiment_id):
+        assert experiment_id in EXPERIMENT_REGISTRY
+        title, runner = EXPERIMENT_REGISTRY[experiment_id]
+        assert title
+        assert callable(runner)
+
+    def test_list_mentions_new_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E18" in output and "E19" in output
+
+    def test_run_e19_from_cli(self, capsys):
+        assert main(["run", "E19"]) == 0
+        output = capsys.readouterr().out
+        assert "alpha_ratio" in output
+
+
+class TestCliRunAll:
+    def test_unknown_id_still_rejected(self, capsys):
+        assert main(["run", "E99"]) == 2
+
+    def test_run_all_accepts_save_directory(self, tmp_path, capsys, monkeypatch):
+        """`dpsc run all --save DIR` runs every registered experiment; patch
+        the registry to two tiny runners so the test stays fast."""
+        import repro.cli as cli
+
+        tiny = {
+            "E1": ("tiny one", lambda: [{"value": 1}]),
+            "E2": ("tiny two", lambda: [{"value": 2}]),
+        }
+        monkeypatch.setattr(cli, "EXPERIMENT_REGISTRY", tiny)
+        assert cli.main(["run", "all", "--save", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "tiny one" in output and "tiny two" in output
+        assert (tmp_path / "E1.json").exists() and (tmp_path / "E2.json").exists()

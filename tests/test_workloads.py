@@ -1,0 +1,148 @@
+"""Tests for repro.workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DNA_SYMBOLS,
+    TransitNetwork,
+    genome_reads,
+    genome_with_motifs,
+    markov_documents,
+    periodic_documents,
+    planted_motif_documents,
+    random_marginals_instance,
+    text_messages,
+    transit_trajectories,
+    uniform_documents,
+    worst_case_packing,
+    worst_case_substring_pair,
+    zipfian_documents,
+)
+
+
+class TestSyntheticGenerators:
+    def test_uniform_documents_shapes(self, rng):
+        database = uniform_documents(7, 5, ("a", "b"), rng)
+        assert database.num_documents == 7
+        assert all(len(doc) == 5 for doc in database)
+        assert database.max_length == 5
+
+    def test_uniform_variable_lengths(self, rng):
+        database = uniform_documents(20, 6, ("a", "b"), rng, variable_length=True)
+        assert all(1 <= len(doc) <= 6 for doc in database)
+
+    def test_zipfian_skews_character_frequencies(self, rng):
+        database = zipfian_documents(30, 20, ("a", "b", "c", "d"), rng, exponent=2.0)
+        text = "".join(database)
+        assert text.count("a") > text.count("d")
+
+    def test_markov_produces_runs(self, rng):
+        database = markov_documents(10, 30, ("a", "b"), rng, self_transition=0.9)
+        runs = sum(doc.count("aa") + doc.count("bb") for doc in database)
+        assert runs > 0
+
+    def test_markov_invalid_self_transition(self, rng):
+        with pytest.raises(ValueError):
+            markov_documents(1, 5, ("a",), rng, self_transition=1.5)
+
+    def test_periodic_documents_have_few_distinct_substrings(self, rng):
+        database = periodic_documents(6, 50, rng)
+        distinct = {
+            doc[i : i + 5] for doc in database for i in range(len(doc) - 4)
+        }
+        assert len(distinct) <= 10
+
+    def test_planted_motif_is_frequent(self, rng):
+        database = planted_motif_documents(
+            50, 12, ("a", "b"), rng, motif="abba", planting_probability=1.0
+        )
+        assert database.document_count("abba") == 50
+
+    def test_planted_motif_validation(self, rng):
+        with pytest.raises(ValueError):
+            planted_motif_documents(5, 3, ("a",), rng, motif="abcd")
+        with pytest.raises(ValueError):
+            planted_motif_documents(5, 3, ("a",), rng, motif="")
+
+
+class TestDomainWorkloads:
+    def test_genome_reads_alphabet(self, rng):
+        database = genome_reads(10, 20, rng)
+        assert set("".join(database)) <= set(DNA_SYMBOLS)
+        assert database.alphabet_size == 4
+
+    def test_genome_gc_content_validation(self, rng):
+        with pytest.raises(ValueError):
+            genome_reads(5, 10, rng, gc_content=1.2)
+
+    def test_genome_motifs_planted(self, rng):
+        database = genome_with_motifs(
+            40, 20, rng, motifs=("ACGT",), planting_probability=1.0
+        )
+        assert database.document_count("ACGT") >= 35  # a few may be overwritten
+
+    def test_transit_network_validation(self):
+        with pytest.raises(ValueError):
+            TransitNetwork(num_lines=0)
+        with pytest.raises(ValueError):
+            TransitNetwork(num_lines=20, stations_per_line=10)
+
+    def test_transit_trajectories_are_valid_documents(self, rng):
+        network = TransitNetwork(num_lines=2, stations_per_line=5)
+        database = transit_trajectories(25, 8, rng, network=network)
+        stations = set(network.stations)
+        assert all(set(doc) <= stations for doc in database)
+        assert all(2 <= len(doc) <= 8 for doc in database)
+
+    def test_transit_consecutive_stops_are_adjacent_or_transfers(self, rng):
+        network = TransitNetwork(num_lines=2, stations_per_line=4)
+        database = transit_trajectories(10, 10, rng, network=network, transfer_probability=0.0)
+        positions = {station: (line, i) for line, stations in enumerate(network.lines) for i, station in enumerate(stations)}
+        for doc in database:
+            for a, b in zip(doc, doc[1:]):
+                line_a, pos_a = positions[a]
+                line_b, pos_b = positions[b]
+                assert line_a == line_b and abs(pos_a - pos_b) == 1
+
+    def test_text_messages_respect_max_length(self, rng):
+        database = text_messages(15, 25, rng)
+        assert all(1 <= len(doc) <= 25 for doc in database)
+
+    def test_text_messages_validation(self, rng):
+        with pytest.raises(ValueError):
+            text_messages(3, 0, rng)
+
+
+class TestAdversarialWorkloads:
+    def test_worst_case_substring_pair(self):
+        database, neighbor, pattern = worst_case_substring_pair(5, 3)
+        assert database.substring_count(pattern) == 5
+        assert neighbor.substring_count(pattern) == 0
+
+    def test_worst_case_packing(self, rng):
+        instance = worst_case_packing(20, 10, 5, rng, num_patterns=2, pattern_length=4)
+        assert instance.database.num_documents == 10
+        assert instance.database.alphabet_size >= 4
+        for planted in instance.planted_patterns:
+            assert instance.database.document_count(planted) == 5
+
+    def test_random_marginals_instance(self, rng):
+        matrix, reduction = random_marginals_instance(6, 4, rng)
+        assert matrix.shape == (6, 4)
+        assert len(reduction.column_patterns) == 4
+        assert reduction.database.num_documents == 6
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        first = uniform_documents(5, 6, ("a", "b"), np.random.default_rng(9))
+        second = uniform_documents(5, 6, ("a", "b"), np.random.default_rng(9))
+        assert list(first) == list(second)
+
+    def test_different_seeds_differ(self):
+        first = uniform_documents(5, 10, ("a", "b"), np.random.default_rng(1))
+        second = uniform_documents(5, 10, ("a", "b"), np.random.default_rng(2))
+        assert list(first) != list(second)

@@ -1,0 +1,130 @@
+"""Tests for repro.trees.heavy_path."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.trie import Trie
+from repro.trees.heavy_path import HeavyPathDecomposition
+
+
+def adjacency_children(adjacency):
+    return lambda node: adjacency.get(node, [])
+
+
+def random_tree(num_nodes: int, seed: int) -> dict[int, list[int]]:
+    """A random tree on nodes 0..num_nodes-1 with 0 as the root."""
+    rng = np.random.default_rng(seed)
+    adjacency: dict[int, list[int]] = {i: [] for i in range(num_nodes)}
+    for node in range(1, num_nodes):
+        parent = int(rng.integers(0, node))
+        adjacency[parent].append(node)
+    return adjacency
+
+
+class TestSmallTrees:
+    def test_single_node(self):
+        decomposition = HeavyPathDecomposition(0, adjacency_children({0: []}))
+        assert decomposition.num_paths == 1
+        assert decomposition.paths[0].nodes == [0]
+        assert decomposition.light_edges_to(0) == 0
+
+    def test_path_graph_is_one_heavy_path(self):
+        adjacency = {0: [1], 1: [2], 2: [3], 3: []}
+        decomposition = HeavyPathDecomposition(0, adjacency_children(adjacency))
+        assert decomposition.num_paths == 1
+        assert decomposition.paths[0].nodes == [0, 1, 2, 3]
+
+    def test_star_graph(self):
+        adjacency = {0: [1, 2, 3], 1: [], 2: [], 3: []}
+        decomposition = HeavyPathDecomposition(0, adjacency_children(adjacency))
+        # One path containing the root and one child; the other children are
+        # singleton paths.
+        assert decomposition.num_paths == 3
+        assert decomposition.num_nodes == 4
+
+    def test_heavy_child_has_largest_subtree(self):
+        #        0
+        #      /   \
+        #     1     2
+        #    / \
+        #   3   4
+        adjacency = {0: [1, 2], 1: [3, 4], 2: [], 3: [], 4: []}
+        decomposition = HeavyPathDecomposition(0, adjacency_children(adjacency))
+        top_path = decomposition.path_of(0)
+        assert top_path.nodes[1] == 1  # node 1 has the bigger subtree
+        assert decomposition.is_path_root(2)
+        assert decomposition.offset_on_path(1) == 1
+
+
+class TestLemma9:
+    """Any root-to-node path crosses at most floor(log2 N) light edges."""
+
+    @given(st.integers(2, 200), st.integers(0, 1000))
+    @settings(max_examples=60)
+    def test_light_edge_bound_on_random_trees(self, num_nodes, seed):
+        adjacency = random_tree(num_nodes, seed)
+        decomposition = HeavyPathDecomposition(0, adjacency_children(adjacency))
+        bound = math.floor(math.log2(num_nodes))
+        for node in range(num_nodes):
+            assert decomposition.light_edges_to(node) <= bound
+            assert len(decomposition.heavy_paths_crossed_by(node)) <= bound + 1
+
+    @given(st.integers(2, 200), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_paths_partition_the_nodes(self, num_nodes, seed):
+        adjacency = random_tree(num_nodes, seed)
+        decomposition = HeavyPathDecomposition(0, adjacency_children(adjacency))
+        seen = [node for path in decomposition.paths for node in path.nodes]
+        assert sorted(seen) == list(range(num_nodes))
+
+    @given(st.integers(2, 100), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_path_nodes_are_consecutive_heavy_children(self, num_nodes, seed):
+        adjacency = random_tree(num_nodes, seed)
+        decomposition = HeavyPathDecomposition(0, adjacency_children(adjacency))
+        for path in decomposition.paths:
+            for previous, current in zip(path.nodes, path.nodes[1:]):
+                assert decomposition.parent[current] == previous
+                siblings = adjacency[previous]
+                assert all(
+                    decomposition.subtree_size[current]
+                    >= decomposition.subtree_size[sibling]
+                    for sibling in siblings
+                )
+
+
+class TestOnTries:
+    def test_decomposition_of_a_trie(self):
+        trie = Trie(["aaaa", "aab", "ab", "b"])
+        decomposition = HeavyPathDecomposition(
+            trie.root, lambda node: list(node.children.values())
+        )
+        assert decomposition.num_nodes == trie.num_nodes
+        roots = decomposition.path_roots()
+        assert trie.root in roots
+
+    def test_difference_sequences_shapes(self):
+        trie = Trie(["aaa", "ab"])
+        for node in trie.iter_nodes():
+            node.count = float(node.depth)
+        decomposition = HeavyPathDecomposition(
+            trie.root, lambda node: list(node.children.values())
+        )
+        sequences = decomposition.difference_sequences(lambda node: node.count)
+        assert len(sequences) == decomposition.num_paths
+        for path, sequence in zip(decomposition.paths, sequences):
+            assert len(sequence) == len(path) - 1
+            # counts increase by one per level in this synthetic setup.
+            assert all(value == 1.0 for value in sequence)
+
+    def test_max_path_length(self):
+        trie = Trie(["abcde"])
+        decomposition = HeavyPathDecomposition(
+            trie.root, lambda node: list(node.children.values())
+        )
+        assert decomposition.max_path_length() == 6

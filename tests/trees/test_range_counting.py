@@ -1,0 +1,345 @@
+"""Tests for repro.trees.range_counting (range-counting reduction and the
+leaf-sum baseline for hierarchical histograms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.composition import PrivacyBudget
+from repro.exceptions import SensitivityError
+from repro.trees.colored import exact_hierarchical_counts
+from repro.trees.hierarchy import build_balanced_hierarchy, build_hierarchy_from_paths
+from repro.trees.range_counting import (
+    leaf_sum_error_bound,
+    leaf_sum_tree_counts,
+    private_range_counts,
+    range_counting_error_bound,
+    range_counting_tree_counts,
+)
+
+BUDGET = PrivacyBudget(1.0)
+APPROX_BUDGET = PrivacyBudget(1.0, 1e-6)
+
+
+def _leaf_counts(tree, elements):
+    exact = exact_hierarchical_counts(tree, elements)
+    return exact, {leaf: float(exact[leaf]) for leaf in tree.leaves()}
+
+
+class TestPrivateRangeCounts:
+    def test_noiseless_prefixes_match_cumsum(self):
+        values = [3.0, 0.0, 5.0, 1.0, 2.0]
+        result = private_range_counts(
+            values, leaf_sensitivity=1.0, budget=BUDGET, beta=0.1, noiseless=True
+        )
+        for m in range(len(values) + 1):
+            assert result.prefix(m) == pytest.approx(sum(values[:m]))
+
+    def test_noiseless_range_sums_match_slices(self):
+        values = [1.0, 4.0, 2.0, 2.0, 0.0, 7.0]
+        result = private_range_counts(
+            values, leaf_sensitivity=1.0, budget=BUDGET, beta=0.1, noiseless=True
+        )
+        for lo in range(len(values) + 1):
+            for hi in range(lo, len(values) + 1):
+                assert result.range_sum(lo, hi) == pytest.approx(sum(values[lo:hi]))
+
+    def test_empty_range_is_zero_even_with_noise(self, rng):
+        result = private_range_counts(
+            [5.0, 5.0, 5.0], leaf_sensitivity=1.0, budget=BUDGET, beta=0.1, rng=rng
+        )
+        assert result.range_sum(2, 2) == 0.0
+
+    def test_noise_error_within_bound(self, rng):
+        values = np.arange(64, dtype=np.float64)
+        result = private_range_counts(
+            values, leaf_sensitivity=1.0, budget=BUDGET, beta=0.01, rng=rng
+        )
+        exact_prefixes = np.concatenate(([0.0], np.cumsum(values)))
+        errors = [
+            abs(result.prefix(m) - exact_prefixes[m]) for m in range(len(values) + 1)
+        ]
+        assert max(errors) <= result.error_bound
+
+    def test_gaussian_variant_also_within_bound(self, rng):
+        values = np.ones(32)
+        result = private_range_counts(
+            values, leaf_sensitivity=2.0, budget=APPROX_BUDGET, beta=0.01, rng=rng
+        )
+        exact_prefixes = np.concatenate(([0.0], np.cumsum(values)))
+        errors = [
+            abs(result.prefix(m) - exact_prefixes[m]) for m in range(len(values) + 1)
+        ]
+        assert max(errors) <= result.error_bound
+
+    def test_range_error_bound_is_twice_prefix_bound(self, rng):
+        result = private_range_counts(
+            [1.0, 2.0, 3.0], leaf_sensitivity=1.0, budget=BUDGET, beta=0.1, rng=rng
+        )
+        assert result.range_error_bound == pytest.approx(2.0 * result.error_bound)
+
+    def test_accountant_records_budget(self, rng):
+        result = private_range_counts(
+            [1.0, 2.0], leaf_sensitivity=1.0, budget=BUDGET, beta=0.1, rng=rng
+        )
+        assert result.accountant.total_epsilon == pytest.approx(BUDGET.epsilon)
+
+    def test_validation(self, rng):
+        with pytest.raises(SensitivityError):
+            private_range_counts([1.0], leaf_sensitivity=0.0, budget=BUDGET, beta=0.1)
+        with pytest.raises(ValueError):
+            private_range_counts([1.0], leaf_sensitivity=1.0, budget=BUDGET, beta=1.5)
+        with pytest.raises(ValueError):
+            private_range_counts([], leaf_sensitivity=1.0, budget=BUDGET, beta=0.1)
+        result = private_range_counts(
+            [1.0, 2.0], leaf_sensitivity=1.0, budget=BUDGET, beta=0.1, rng=rng
+        )
+        with pytest.raises(ValueError):
+            result.range_sum(0, 3)
+        with pytest.raises(ValueError):
+            result.prefix(-1)
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_noiseless_release_is_exact_on_random_inputs(self, values):
+        result = private_range_counts(
+            [float(v) for v in values],
+            leaf_sensitivity=1.0,
+            budget=BUDGET,
+            beta=0.1,
+            noiseless=True,
+        )
+        for m in range(len(values) + 1):
+            assert result.prefix(m) == pytest.approx(float(sum(values[:m])))
+
+
+class TestRangeCountingTreeCounts:
+    def test_noiseless_matches_exact_hierarchical_counts(self):
+        tree = build_balanced_hierarchy(list(range(16)), branching=2)
+        elements = [0, 0, 3, 7, 7, 7, 12, 15]
+        exact, leaf_counts = _leaf_counts(tree, elements)
+        estimates, released = range_counting_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.1,
+            noiseless=True,
+        )
+        assert released.error_bound == 0.0
+        for node in tree.nodes():
+            assert estimates[node] == pytest.approx(exact[node])
+
+    def test_noiseless_matches_exact_on_unbalanced_tree(self):
+        paths = [("a", "x"), ("a", "y", "deep"), ("b",), ("c", "z", "w", "q")]
+        tree = build_hierarchy_from_paths(paths)
+        elements = [tuple(p) for p in paths for _ in range(3)]
+        exact, leaf_counts = _leaf_counts(tree, elements)
+        estimates, _ = range_counting_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.1,
+            noiseless=True,
+        )
+        for node in tree.nodes():
+            assert estimates[node] == pytest.approx(exact[node])
+
+    def test_single_leaf_tree(self):
+        tree = build_balanced_hierarchy([42], branching=2)
+        exact, leaf_counts = _leaf_counts(tree, [42, 42])
+        estimates, _ = range_counting_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.1,
+            noiseless=True,
+        )
+        for node in tree.nodes():
+            assert estimates[node] == pytest.approx(exact[node])
+
+    def test_noisy_errors_within_range_bound(self, rng):
+        tree = build_balanced_hierarchy(list(range(32)), branching=2)
+        elements = list(range(32)) * 3
+        exact, leaf_counts = _leaf_counts(tree, elements)
+        estimates, released = range_counting_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.01,
+            rng=rng,
+        )
+        worst = max(abs(estimates[node] - exact[node]) for node in tree.nodes())
+        assert worst <= released.range_error_bound
+
+    def test_counts_accept_callable(self):
+        tree = build_balanced_hierarchy(list(range(8)), branching=2)
+        exact, leaf_counts = _leaf_counts(tree, [0, 1, 2, 3])
+        estimates, _ = range_counting_tree_counts(
+            tree.root,
+            tree.children,
+            lambda leaf: leaf_counts[leaf],
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.1,
+            noiseless=True,
+        )
+        assert estimates[tree.root] == pytest.approx(exact[tree.root])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_exact_on_random_hierarchies(self, raw_paths):
+        paths = sorted(set(raw_paths))
+        tree = build_hierarchy_from_paths(paths)
+        elements = [tuple(p) for p in raw_paths]
+        exact, leaf_counts = _leaf_counts(tree, elements)
+        estimates, _ = range_counting_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.1,
+            noiseless=True,
+        )
+        for node in tree.nodes():
+            assert estimates[node] == pytest.approx(exact[node])
+
+
+class TestLeafSumTreeCounts:
+    def test_noiseless_matches_exact(self):
+        tree = build_balanced_hierarchy(list(range(16)), branching=4)
+        elements = [1, 1, 1, 5, 9, 13]
+        exact, leaf_counts = _leaf_counts(tree, elements)
+        estimates, bound = leaf_sum_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.1,
+            noiseless=True,
+        )
+        assert bound == 0.0
+        for node in tree.nodes():
+            assert estimates[node] == pytest.approx(exact[node])
+
+    def test_root_error_within_bound(self, rng):
+        tree = build_balanced_hierarchy(list(range(64)), branching=2)
+        elements = list(range(64))
+        exact, leaf_counts = _leaf_counts(tree, elements)
+        estimates, bound = leaf_sum_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.01,
+            rng=rng,
+        )
+        assert abs(estimates[tree.root] - exact[tree.root]) <= bound
+
+    def test_estimates_are_consistent_sums(self, rng):
+        """Internal-node estimates must equal the sum of their children's
+        estimates (the defining property of the leaf-sum strategy)."""
+        tree = build_balanced_hierarchy(list(range(16)), branching=2)
+        _, leaf_counts = _leaf_counts(tree, [0, 5, 5, 10])
+        estimates, _ = leaf_sum_tree_counts(
+            tree.root,
+            tree.children,
+            leaf_counts,
+            leaf_sensitivity=2.0,
+            budget=BUDGET,
+            beta=0.1,
+            rng=rng,
+        )
+        for node in tree.nodes():
+            children = tree.children(node)
+            if children:
+                assert estimates[node] == pytest.approx(
+                    sum(estimates[child] for child in children)
+                )
+
+    def test_validation(self):
+        tree = build_balanced_hierarchy([0, 1], branching=2)
+        _, leaf_counts = _leaf_counts(tree, [0])
+        with pytest.raises(SensitivityError):
+            leaf_sum_tree_counts(
+                tree.root,
+                tree.children,
+                leaf_counts,
+                leaf_sensitivity=-1.0,
+                budget=BUDGET,
+                beta=0.1,
+            )
+        with pytest.raises(ValueError):
+            leaf_sum_tree_counts(
+                tree.root,
+                tree.children,
+                leaf_counts,
+                leaf_sensitivity=1.0,
+                budget=BUDGET,
+                beta=0.0,
+            )
+
+
+class TestAnalyticBounds:
+    def test_leaf_sum_bound_grows_polynomially(self):
+        small = leaf_sum_error_bound(16, leaf_sensitivity=2.0, budget=BUDGET, beta=0.1)
+        large = leaf_sum_error_bound(
+            16 * 64, leaf_sensitivity=2.0, budget=BUDGET, beta=0.1
+        )
+        assert large >= small * 6  # ~sqrt(64) = 8 up to the max() in Lemma 12
+
+    def test_range_counting_bound_grows_polylogarithmically(self):
+        small = range_counting_error_bound(
+            16, leaf_sensitivity=2.0, budget=BUDGET, beta=0.1
+        )
+        large = range_counting_error_bound(
+            16 * 64, leaf_sensitivity=2.0, budget=BUDGET, beta=0.1
+        )
+        assert large <= small * 6
+
+    def test_bounds_shrink_with_epsilon(self):
+        loose = range_counting_error_bound(
+            64, leaf_sensitivity=2.0, budget=PrivacyBudget(0.5), beta=0.1
+        )
+        tight = range_counting_error_bound(
+            64, leaf_sensitivity=2.0, budget=PrivacyBudget(2.0), beta=0.1
+        )
+        assert tight < loose
+
+    def test_gaussian_bounds_positive(self):
+        assert (
+            leaf_sum_error_bound(32, leaf_sensitivity=2.0, budget=APPROX_BUDGET, beta=0.1)
+            > 0
+        )
+        assert (
+            range_counting_error_bound(
+                32, leaf_sensitivity=2.0, budget=APPROX_BUDGET, beta=0.1
+            )
+            > 0
+        )
+
+    def test_degenerate_sizes(self):
+        assert leaf_sum_error_bound(0, leaf_sensitivity=1.0, budget=BUDGET, beta=0.1) == 0.0
+        assert (
+            range_counting_error_bound(0, leaf_sensitivity=1.0, budget=BUDGET, beta=0.1)
+            > 0.0
+        )

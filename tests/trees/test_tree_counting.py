@@ -1,0 +1,247 @@
+"""Tests for repro.trees.tree_counting, colored counting and hierarchies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.composition import PrivacyBudget
+from repro.exceptions import SensitivityError
+from repro.trees.colored import (
+    ColoredItem,
+    exact_colored_counts,
+    exact_hierarchical_counts,
+    private_colored_counts,
+    private_hierarchical_counts,
+)
+from repro.trees.hierarchy import (
+    DomainTree,
+    build_balanced_hierarchy,
+    build_hierarchy_from_paths,
+)
+from repro.trees.tree_counting import private_tree_counts, tree_counting_error_bound
+
+
+class TestDomainTree:
+    def test_add_and_query(self):
+        tree = DomainTree()
+        tree.add_child("root", "a")
+        tree.add_child("root", "b")
+        tree.add_child("a", "a1")
+        assert set(tree.children("root")) == {"a", "b"}
+        assert tree.parent("a1") == "a"
+        assert tree.num_nodes == 4
+        assert set(tree.leaves()) == {"a1", "b"}
+        assert tree.height() == 2
+        assert set(tree.leaves_below("a")) == {"a1"}
+
+    def test_duplicate_node_rejected(self):
+        tree = DomainTree()
+        tree.add_child("root", "a")
+        with pytest.raises(ValueError):
+            tree.add_child("root", "a")
+
+    def test_unknown_parent_rejected(self):
+        tree = DomainTree()
+        with pytest.raises(ValueError):
+            tree.add_child("missing", "x")
+
+    def test_mark_leaf(self):
+        tree = DomainTree()
+        tree.add_child("root", "leaf")
+        tree.mark_leaf("leaf", 42)
+        assert tree.element_of_leaf("leaf") == 42
+        tree.add_child("root", "inner")
+        tree.add_child("inner", "deep")
+        with pytest.raises(ValueError):
+            tree.mark_leaf("inner", 1)
+
+    @given(st.integers(1, 60), st.integers(2, 5))
+    @settings(max_examples=40)
+    def test_balanced_hierarchy_has_all_leaves(self, universe_size, branching):
+        universe = list(range(universe_size))
+        tree = build_balanced_hierarchy(universe, branching)
+        leaves = tree.leaves()
+        assert len(leaves) == universe_size
+        assert {tree.element_of_leaf(leaf) for leaf in leaves} == set(universe)
+
+    def test_hierarchy_from_paths_shares_prefixes(self):
+        tree = build_hierarchy_from_paths(
+            [("ca", "sf", "94110"), ("ca", "sf", "94103"), ("ny", "nyc", "10001")]
+        )
+        assert len(tree.leaves()) == 3
+        # "ca" and "ca/sf" are shared.
+        assert tree.num_nodes == 1 + 2 + 2 + 3
+
+
+class TestExactCounts:
+    def test_hierarchical_counts(self):
+        tree = build_balanced_hierarchy([0, 1, 2, 3], branching=2)
+        counts = exact_hierarchical_counts(tree, [0, 0, 1, 3])
+        assert counts[tree.root] == 4
+        leaf0 = [leaf for leaf in tree.leaves() if tree.element_of_leaf(leaf) == 0][0]
+        assert counts[leaf0] == 2
+
+    def test_colored_counts(self):
+        tree = build_balanced_hierarchy([0, 1, 2, 3], branching=2)
+        items = [
+            ColoredItem(0, "red"),
+            ColoredItem(0, "red"),
+            ColoredItem(1, "blue"),
+            ColoredItem(2, "red"),
+        ]
+        counts = exact_colored_counts(tree, items)
+        assert counts[tree.root] == 2  # red and blue
+        leaf0 = [leaf for leaf in tree.leaves() if tree.element_of_leaf(leaf) == 0][0]
+        assert counts[leaf0] == 1
+
+    def test_unknown_element_rejected(self):
+        tree = build_balanced_hierarchy([0, 1], branching=2)
+        with pytest.raises(ValueError):
+            exact_hierarchical_counts(tree, [7])
+        with pytest.raises(ValueError):
+            exact_colored_counts(tree, [ColoredItem(7, "red")])
+
+    def test_monotonicity_of_colored_counts(self):
+        tree = build_balanced_hierarchy(list(range(8)), branching=2)
+        rng = np.random.default_rng(3)
+        items = [
+            ColoredItem(int(rng.integers(0, 8)), int(rng.integers(0, 3)))
+            for _ in range(30)
+        ]
+        counts = exact_colored_counts(tree, items)
+        for node in tree.nodes():
+            children = tree.children(node)
+            if children:
+                assert counts[node] <= sum(counts[child] for child in children)
+
+
+class TestPrivateTreeCounts:
+    def _tree_and_counts(self, universe_size=16, num_items=200, seed=0):
+        tree = build_balanced_hierarchy(list(range(universe_size)), branching=2)
+        rng = np.random.default_rng(seed)
+        elements = rng.integers(0, universe_size, size=num_items).tolist()
+        return tree, exact_hierarchical_counts(tree, elements), elements
+
+    def test_noiseless_recovers_exact_counts(self, rng):
+        tree, exact, elements = self._tree_and_counts()
+        result = private_tree_counts(
+            tree.root,
+            tree.children,
+            exact,
+            leaf_sensitivity=2.0,
+            budget=PrivacyBudget(1.0),
+            beta=0.1,
+            rng=rng,
+            noiseless=True,
+        )
+        for node in tree.nodes():
+            assert result[node] == pytest.approx(exact[node])
+        assert result.error_bound == 0.0
+
+    def test_error_within_bound_pure(self, rng):
+        tree, exact, _ = self._tree_and_counts()
+        result = private_tree_counts(
+            tree.root,
+            tree.children,
+            exact,
+            leaf_sensitivity=2.0,
+            node_sensitivity=1.0,
+            budget=PrivacyBudget(1.0),
+            beta=0.05,
+            rng=rng,
+        )
+        max_error = max(abs(result[node] - exact[node]) for node in tree.nodes())
+        assert max_error <= result.error_bound
+
+    def test_error_within_bound_gaussian(self, rng):
+        tree, exact, _ = self._tree_and_counts()
+        result = private_tree_counts(
+            tree.root,
+            tree.children,
+            exact,
+            leaf_sensitivity=2.0,
+            node_sensitivity=1.0,
+            budget=PrivacyBudget(1.0, 1e-6),
+            beta=0.05,
+            rng=rng,
+        )
+        max_error = max(abs(result[node] - exact[node]) for node in tree.nodes())
+        assert max_error <= result.error_bound
+
+    def test_gaussian_bound_beats_laplace_for_small_node_sensitivity(self):
+        bound_pure = tree_counting_error_bound(
+            1023, 10, 512, leaf_sensitivity=2.0, node_sensitivity=1.0,
+            budget=PrivacyBudget(1.0), beta=0.05,
+        )
+        bound_gauss = tree_counting_error_bound(
+            1023, 10, 512, leaf_sensitivity=2.0, node_sensitivity=1.0,
+            budget=PrivacyBudget(1.0, 1e-6), beta=0.05,
+        )
+        assert bound_gauss < bound_pure
+
+    def test_budget_accounting(self, rng):
+        tree, exact, _ = self._tree_and_counts(universe_size=8, num_items=20)
+        budget = PrivacyBudget(0.7, 1e-5)
+        result = private_tree_counts(
+            tree.root,
+            tree.children,
+            exact,
+            leaf_sensitivity=1.0,
+            budget=budget,
+            beta=0.1,
+            rng=rng,
+        )
+        assert result.accountant.within(budget)
+
+    def test_invalid_parameters(self, rng):
+        tree, exact, _ = self._tree_and_counts(universe_size=4, num_items=5)
+        with pytest.raises(SensitivityError):
+            private_tree_counts(
+                tree.root, tree.children, exact,
+                leaf_sensitivity=0.0, budget=PrivacyBudget(1.0), beta=0.1, rng=rng,
+            )
+        with pytest.raises(ValueError):
+            private_tree_counts(
+                tree.root, tree.children, exact,
+                leaf_sensitivity=1.0, budget=PrivacyBudget(1.0), beta=1.5, rng=rng,
+            )
+
+    def test_counts_callable_accepted(self, rng):
+        tree, exact, _ = self._tree_and_counts(universe_size=4, num_items=10)
+        result = private_tree_counts(
+            tree.root,
+            tree.children,
+            lambda node: exact[node],
+            leaf_sensitivity=2.0,
+            budget=PrivacyBudget(1.0),
+            beta=0.1,
+            rng=rng,
+            noiseless=True,
+        )
+        assert result[tree.root] == pytest.approx(exact[tree.root])
+
+
+class TestColoredAndHierarchicalWrappers:
+    def test_private_hierarchical_counts_noiseless(self, rng):
+        tree = build_balanced_hierarchy(list(range(8)), branching=2)
+        elements = [0, 1, 1, 5, 7, 7, 7]
+        exact = exact_hierarchical_counts(tree, elements)
+        result = private_hierarchical_counts(
+            tree, elements, budget=PrivacyBudget(1.0), rng=rng, noiseless=True
+        )
+        assert result[tree.root] == pytest.approx(exact[tree.root])
+
+    def test_private_colored_counts_error_bound(self, rng):
+        tree = build_balanced_hierarchy(list(range(16)), branching=2)
+        items = [
+            ColoredItem(int(i % 16), int(i % 5)) for i in range(100)
+        ]
+        exact = exact_colored_counts(tree, items)
+        result = private_colored_counts(
+            tree, items, budget=PrivacyBudget(2.0, 1e-6), beta=0.05, rng=rng
+        )
+        max_error = max(abs(result[node] - exact[node]) for node in tree.nodes())
+        assert max_error <= result.error_bound
