@@ -1,0 +1,38 @@
+"""E20 — Query-serving throughput: per-node trie loops vs the compiled
+array trie (single, LRU-cached and vectorized batch query paths) on the
+genome and transit workloads.
+
+The serving layer's contract is twofold: *exact* post-processing parity
+(a compiled release answers the same counts as the in-memory structure)
+and a large throughput win for batched traffic.  The headline number is
+``batch_speedup``: vectorized ``CompiledTrie.batch_query`` against a plain
+``PrivateCountingTrie.query`` loop over the same serving-style traffic mix.
+"""
+
+from repro.analysis import experiments
+
+
+def test_e20_serving_throughput(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_serving_throughput(
+            workloads=("genome", "transit"), n=2000, num_queries=20_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E20", "Query-serving throughput (compiled trie vs per-node loops)", rows
+    )
+    for row in rows:
+        # Serving is post-processing: every path answers identical counts.
+        assert row["parity_ok"], f"parity violated on {row['workload']}"
+        # The compiled batch path is the acceptance headline: at least 5x
+        # the throughput of per-node PrivateCountingTrie.query loops.
+        assert row["batch_speedup"] >= 5.0, (
+            f"{row['workload']}: batch only "
+            f"{row['batch_speedup']:.2f}x over the trie loop"
+        )
+        # The LRU cache pays off on skewed traffic.
+        assert row["cache_hit_rate"] > 0.5
+    # Batched serving reaches millions of queries per second.
+    assert all(row["qps_compiled_batch"] > 1_000_000 for row in rows)

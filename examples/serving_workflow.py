@@ -1,0 +1,144 @@
+"""End-to-end serving workflow: build under a ledger, store, serve, query.
+
+This demo plays all three roles of the serving story in one process:
+
+1. **Curator** — runs private constructions against a budget ledger with a
+   global ``(epsilon, delta)`` cap, storing each release in a versioned
+   on-disk release store.  A third build is refused by the ledger *before*
+   it touches the data.
+2. **Operator** — loads the store, compiles every release to the array form
+   and serves them over HTTP (the same path as ``dpsc serve``).
+3. **Analyst** — uses the stdlib client for single queries, one vectorized
+   batch of thousands of patterns, and server-side mining; all post-
+   processing, all free of privacy cost, and bit-identical to querying the
+   in-memory structure.
+
+Run with::
+
+    python examples/serving_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    BudgetLedger,
+    ConstructionParams,
+    PrivacyBudget,
+    QueryService,
+    ReleaseStore,
+    ServingClient,
+    build_release,
+)
+from repro.exceptions import BudgetExceededError
+from repro.serving import create_server
+from repro.workloads.genome import genome_with_motifs
+from repro.workloads.transit import transit_trajectories
+
+EPSILON = 20.0
+CAP = PrivacyBudget(epsilon=45.0, delta=1e-5)
+
+
+def curator(store: ReleaseStore, ledger: BudgetLedger) -> None:
+    print("=== curator ===")
+    print(f"global cap: epsilon = {CAP.epsilon}, delta = {CAP.delta}")
+    rng = np.random.default_rng(11)
+    genome_params = ConstructionParams.pure(EPSILON, beta=0.1, threshold=40.0)
+    transit_params = ConstructionParams.pure(EPSILON, beta=0.1, threshold=45.0)
+
+    genome = genome_with_motifs(1000, 12, rng)
+    structure = build_release(
+        genome, genome_params, ledger=ledger, database_id="genome-panel", rng=rng
+    )
+    record = store.save("genome", structure)
+    print(f"released genome v{record.version}: {record.num_patterns} patterns")
+
+    transit = transit_trajectories(1000, 12, rng)
+    structure = build_release(
+        transit, transit_params, ledger=ledger, database_id="transit-trips", rng=rng
+    )
+    record = store.save("transit", structure)
+    print(f"released transit v{record.version}: {record.num_patterns} patterns")
+
+    spent = ledger.spent("genome-panel")
+    print(f"ledger[genome-panel]: spent epsilon = {spent.epsilon:g}")
+
+    # A second genome release at the same budget would compose to
+    # 2 * EPSILON = 40 <= 45: allowed.  A third would reach 60 > 45 and the
+    # ledger must refuse it before any construction runs.
+    build_release(
+        genome, genome_params, ledger=ledger, database_id="genome-panel", rng=rng
+    )
+    try:
+        build_release(
+            genome, genome_params, ledger=ledger, database_id="genome-panel", rng=rng
+        )
+    except BudgetExceededError as error:
+        print(f"third genome build refused: {error}")
+
+
+def analyst(client: ServingClient) -> None:
+    print()
+    print("=== analyst ===")
+    for info in client.releases():
+        marker = "*" if info["default"] else " "
+        print(
+            f"{marker} release {info['name']}: {info['num_patterns']} patterns, "
+            f"epsilon = {info['epsilon']:g}, {info['compiled_bytes']} compiled bytes"
+        )
+
+    for pattern in ("ACG", "GGCC", "GATTACA"):
+        count = client.query(pattern, release="genome")
+        print(f"  query({pattern!r}) = {count:.1f}")
+
+    # One vectorized round trip for thousands of patterns.
+    alphabet = "ACGT"
+    rng = np.random.default_rng(3)
+    batch = [
+        "".join(alphabet[i] for i in rng.integers(0, 4, size=rng.integers(1, 7)))
+        for _ in range(5000)
+    ]
+    counts = client.batch(batch, release="genome")
+    positive = sum(1 for c in counts if c > 0)
+    print(f"  batch of {len(batch)} patterns: {positive} with positive counts")
+
+    frequent = client.mine(60.0, release="genome", min_length=3)
+    print(f"  mining at tau = 60: {[p for p, _ in frequent[:5]]}")
+
+    health = client.healthz()
+    print(
+        f"  server health: {health['queries']} queries, "
+        f"{health['batch_patterns']} batched patterns, "
+        f"{health.get('micro_batches_flushed', 0)} micro-batches"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as directory:
+        root = Path(directory)
+        store = ReleaseStore(root / "releases")
+        ledger = BudgetLedger(CAP, path=root / "ledger.json")
+        curator(store, ledger)
+
+        service = QueryService.from_store(store, default_release="genome")
+        server = create_server(service, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        print(f"\nserving {store.names()} on http://{host}:{port}")
+
+        try:
+            analyst(ServingClient(f"http://{host}:{port}"))
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+
+if __name__ == "__main__":
+    main()

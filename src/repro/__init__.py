@@ -35,6 +35,11 @@ Subpackages
     Synthetic workload generators (genome, transit, text, adversarial).
 ``repro.analysis``
     Error metrics, experiment runners, plain-text reporting.
+``repro.serving``
+    Production query serving: compiled array-backed tries with vectorized
+    batch queries, a versioned release store, a cross-release privacy-budget
+    ledger, and a threaded JSON query server with client (see
+    ``docs/SERVING.md``).
 """
 
 from repro.core import (
@@ -56,6 +61,14 @@ from repro.core import (
     mine_frequent_substrings,
 )
 from repro.dp import GaussianMechanism, LaplaceMechanism, PrivacyBudget
+from repro.serving import (
+    BudgetLedger,
+    CompiledTrie,
+    QueryService,
+    ReleaseStore,
+    ServingClient,
+    build_release,
+)
 from repro.trees import private_colored_counts, private_hierarchical_counts, private_tree_counts
 
 __version__ = "1.0.0"
@@ -80,6 +93,12 @@ __all__ = [
     "GaussianMechanism",
     "LaplaceMechanism",
     "PrivacyBudget",
+    "BudgetLedger",
+    "CompiledTrie",
+    "QueryService",
+    "ReleaseStore",
+    "ServingClient",
+    "build_release",
     "private_colored_counts",
     "private_hierarchical_counts",
     "private_tree_counts",

@@ -109,6 +109,7 @@ __all__ = [
     "run_heavy_path_ablation",
     "run_tree_strategy_comparison",
     "run_candidate_growth_ablation",
+    "run_serving_throughput",
 ]
 
 
@@ -1157,3 +1158,104 @@ def run_candidate_growth_ablation(
             }
         )
     return rows
+
+
+def run_serving_throughput(
+    workloads: Sequence[str] = ("genome", "transit"),
+    n: int = 2000,
+    num_queries: int = 20_000,
+    epsilon: float = 60.0,
+    threshold: float = 30.0,
+    hit_fraction: float = 0.8,
+    timing_reps: int = 5,
+    seed: int = 7,
+) -> list[dict]:
+    """E20 — query-serving throughput: per-node trie loops vs the compiled
+    array trie (single, LRU-cached and vectorized batch paths).
+
+    Builds one released structure per workload (a low pruning threshold
+    keeps it serving-sized), then replays a serving-style traffic mix:
+    ``hit_fraction`` of the queries are published patterns (sampled with
+    probability proportional to length — analysts ask about the longer,
+    more informative motifs), the rest are random document substrings.
+    Every path must answer *identical* counts (post-processing parity);
+    throughput is the best of ``timing_reps`` runs, which is robust to
+    scheduler noise.
+    """
+    from repro.serving import CompiledTrie
+
+    ells = {"genome": 12, "transit": 16}
+    rows = []
+    for workload in workloads:
+        rng = np.random.default_rng(seed)
+        ell = ells.get(workload, 12)
+        if workload == "genome":
+            database = genome_with_motifs(n, ell, rng)
+        else:
+            database = transit_trajectories(n, ell, rng)
+        params = ConstructionParams.pure(epsilon, beta=0.1, threshold=threshold)
+        structure = build_private_counting_structure(database, params, rng=rng)
+        compiled = CompiledTrie.from_structure(structure, cache_size=0)
+        cached = CompiledTrie.from_structure(structure, cache_size=8192)
+
+        patterns = structure.patterns()
+        lengths = np.array([len(p) for p in patterns], dtype=float)
+        weights = lengths / lengths.sum()
+        query_rng = np.random.default_rng(seed + 1)
+        hit_pool = [
+            patterns[i]
+            for i in query_rng.choice(len(patterns), size=4096, p=weights)
+        ]
+        documents = list(database)
+        queries = []
+        for _ in range(num_queries):
+            if query_rng.random() < hit_fraction:
+                queries.append(hit_pool[query_rng.integers(len(hit_pool))])
+            else:
+                document = documents[query_rng.integers(len(documents))]
+                lo = query_rng.integers(len(document))
+                hi = min(len(document), lo + 1 + query_rng.integers(6))
+                queries.append(document[lo:hi])
+
+        def best_seconds(run: Callable[[], object]) -> float:
+            return min(
+                _timed(run) for _ in range(timing_reps)
+            )
+
+        trie_seconds = best_seconds(lambda: [structure.query(q) for q in queries])
+        single_seconds = best_seconds(lambda: [compiled.query(q) for q in queries])
+        cached_seconds = best_seconds(lambda: [cached.query(q) for q in queries])
+        batch_seconds = best_seconds(lambda: compiled.batch_query(queries))
+
+        expected = [structure.query(q) for q in queries]
+        parity_ok = bool(
+            np.allclose(compiled.batch_query(queries), expected)
+            and all(compiled.query(q) == e for q, e in zip(queries, expected))
+            and all(cached.query(q) == e for q, e in zip(queries, expected))
+        )
+        rows.append(
+            {
+                "workload": workload,
+                "n": n,
+                "ell": ell,
+                "num_nodes": compiled.num_nodes,
+                "stored_patterns": compiled.num_stored_patterns,
+                "num_queries": num_queries,
+                "avg_query_len": float(np.mean([len(q) for q in queries])),
+                "qps_trie_loop": num_queries / trie_seconds,
+                "qps_compiled_single": num_queries / single_seconds,
+                "qps_compiled_cached": num_queries / cached_seconds,
+                "qps_compiled_batch": num_queries / batch_seconds,
+                "batch_speedup": trie_seconds / batch_seconds,
+                "cached_speedup": trie_seconds / cached_seconds,
+                "cache_hit_rate": cached.cache_info().hit_rate,
+                "parity_ok": parity_ok,
+            }
+        )
+    return rows
+
+
+def _timed(run: Callable[[], object]) -> float:
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started

@@ -1,15 +1,20 @@
 """Command-line interface.
 
-``dpsc`` exposes the library's experiments and a tiny demo from the shell::
+``dpsc`` exposes the library's experiments, a tiny demo, and the query
+serving layer from the shell::
 
-    dpsc list                      # list every experiment (E1-E19)
+    dpsc list                      # list every experiment (E1-E20)
     dpsc run E1                    # regenerate one experiment's table
     dpsc run all --save results    # regenerate every table (laptop-sized)
     dpsc quickstart                # run the quickstart demo
     dpsc mine --workload genome    # private mining demo
+    dpsc releases --store ./rel    # inspect (or --build) a release store
+    dpsc serve --store ./rel       # serve compiled releases over HTTP
+    dpsc query GATTACA ACGT        # query a running server
 
-The experiments are the same ones the benchmark harness runs; see DESIGN.md
-and EXPERIMENTS.md for the mapping to the paper's figures and theorems.
+The experiments are the same ones the benchmark harness runs; the registry
+below maps each id to the paper's figures and theorems.  The serving
+commands are documented in docs/SERVING.md.
 """
 
 from __future__ import annotations
@@ -24,6 +29,16 @@ from repro.analysis import experiments, reporting
 from repro.core.construction import build_private_counting_structure
 from repro.core.mining import mine_frequent_substrings
 from repro.core.params import ConstructionParams
+from repro.dp.composition import PrivacyBudget
+from repro.exceptions import ReproError
+from repro.serving import (
+    BudgetLedger,
+    QueryService,
+    ReleaseStore,
+    ServingClient,
+    build_release,
+    serve_forever,
+)
 from repro.workloads.genome import genome_with_motifs
 from repro.workloads.transit import transit_trajectories
 
@@ -106,6 +121,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
             "Candidate-growth ablation (doubling vs one-letter extension)",
             lambda: experiments.run_candidate_growth_ablation([8, 16, 32]),
         ),
+        "E20": (
+            "Query-serving throughput (compiled trie vs per-node loops)",
+            lambda: experiments.run_serving_throughput(),
+        ),
     }
 
 
@@ -179,6 +198,118 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_workload_database(workload: str, n: int, ell: int, seed: int):
+    rng = np.random.default_rng(seed)
+    if workload == "genome":
+        return genome_with_motifs(n, ell, rng), rng
+    return transit_trajectories(n, ell, rng), rng
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = ReleaseStore(args.store)
+    try:
+        service = QueryService.from_store(
+            store, args.release or None, micro_batch=not args.no_batch
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "hint: populate the store first, e.g. "
+            f"'dpsc releases --store {args.store} --build genome'",
+            file=sys.stderr,
+        )
+        return 2
+    serve_forever(service, args.host, args.port)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    client = ServingClient(args.url)
+    if not args.patterns and args.mine is None:
+        print("error: provide at least one pattern or --mine THRESHOLD", file=sys.stderr)
+        return 2
+    try:
+        if args.mine is not None:
+            patterns = client.mine(args.mine, release=args.release)
+            for pattern, count in patterns[:args.limit]:
+                print(f"{pattern:16s} {count:12.1f}")
+            if not patterns:
+                print("(no pattern exceeded the threshold)")
+        elif len(args.patterns) == 1:
+            print(f"{client.query(args.patterns[0], release=args.release):.1f}")
+        else:
+            counts = client.batch(args.patterns, release=args.release)
+            for pattern, count in zip(args.patterns, counts):
+                print(f"{pattern:16s} {count:12.1f}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_releases(args: argparse.Namespace) -> int:
+    if args.url:
+        client = ServingClient(args.url)
+        try:
+            infos = client.releases()
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for info in infos:
+            marker = "*" if info["default"] else " "
+            print(
+                f"{marker} {info['name']:16s} eps={info['epsilon']:<8g} "
+                f"delta={info['delta']:<10g} patterns={info['num_patterns']:<8d} "
+                f"{info['construction']}"
+            )
+        return 0
+
+    store = ReleaseStore(args.store)
+    if args.build:
+        database, rng = _build_workload_database(
+            args.build, args.n, args.ell, args.seed
+        )
+        params = ConstructionParams.pure(args.epsilon, beta=0.1)
+        ledger = BudgetLedger(
+            PrivacyBudget(args.cap_epsilon, args.cap_delta),
+            path=store.root / "ledger.json",
+        )
+        name = args.name or args.build
+        try:
+            structure = build_release(
+                database,
+                params,
+                ledger=ledger,
+                database_id=name,
+                label=f"build:{args.build}",
+                rng=rng,
+            )
+        except ReproError as error:
+            print(f"refused: {error}", file=sys.stderr)
+            return 2
+        record = store.save(name, structure)
+        spent = ledger.spent(name)
+        print(
+            f"saved {record.name} v{record.version} "
+            f"({record.num_patterns} patterns, digest {record.digest[:12]}...)"
+        )
+        print(
+            f"ledger[{name}]: spent eps={spent.epsilon:g} delta={spent.delta:g} "
+            f"of cap eps={args.cap_epsilon:g} delta={args.cap_delta:g}"
+        )
+    records = store.list_releases()
+    if not records:
+        print(f"(store {store.root} is empty)")
+    for record in records:
+        marker = "*" if record.pinned else " "
+        print(
+            f"{marker} {record.name:16s} v{record.version:<4d} "
+            f"eps={record.epsilon:<8g} delta={record.delta:<10g} "
+            f"patterns={record.num_patterns:<8d} {record.construction}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dpsc",
@@ -208,6 +339,67 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--epsilon", type=float, default=20.0)
     mine_parser.add_argument("--seed", type=int, default=0)
     mine_parser.set_defaults(func=_cmd_mine)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve compiled releases from a store over HTTP"
+    )
+    serve_parser.add_argument("--store", required=True, help="release store directory")
+    serve_parser.add_argument(
+        "--release",
+        action="append",
+        default=[],
+        help="release name to serve (repeatable; default: every release)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080)
+    serve_parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable micro-batching of concurrent single queries",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    query_parser = subparsers.add_parser(
+        "query", help="query a running dpsc server"
+    )
+    query_parser.add_argument(
+        "patterns", nargs="*", default=[], help="patterns to count (>=2 uses /batch)"
+    )
+    query_parser.add_argument("--url", default="http://127.0.0.1:8080")
+    query_parser.add_argument("--release", default=None)
+    query_parser.add_argument(
+        "--mine",
+        type=float,
+        default=None,
+        metavar="THRESHOLD",
+        help="mine frequent patterns at this threshold instead of querying",
+    )
+    query_parser.add_argument("--limit", type=int, default=20)
+    query_parser.set_defaults(func=_cmd_query)
+
+    releases_parser = subparsers.add_parser(
+        "releases", help="list (and optionally build) stored releases"
+    )
+    releases_parser.add_argument(
+        "--store", default="releases", help="release store directory"
+    )
+    releases_parser.add_argument(
+        "--url", default="", help="list a running server instead of a store"
+    )
+    releases_parser.add_argument(
+        "--build",
+        choices=("genome", "transit"),
+        default="",
+        help="build a workload release into the store before listing",
+    )
+    releases_parser.add_argument("--name", default="", help="release name (default: workload)")
+    releases_parser.add_argument("--n", type=int, default=300)
+    releases_parser.add_argument("--ell", type=int, default=12)
+    releases_parser.add_argument("--epsilon", type=float, default=20.0)
+    releases_parser.add_argument("--cap-epsilon", type=float, default=100.0)
+    releases_parser.add_argument("--cap-delta", type=float, default=1e-5)
+    releases_parser.add_argument("--seed", type=int, default=0)
+    releases_parser.set_defaults(func=_cmd_releases)
     return parser
 
 

@@ -10,6 +10,7 @@ privacy loss — every operation here is post-processing.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -165,14 +166,37 @@ class PrivateCountingTrie:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """A JSON-serializable representation of the structure."""
+        counts = {pattern: count for pattern, count in self.items()}
+        # items() excludes the root, but query("") answers from it; keep the
+        # empty pattern's count so save -> load preserves every query.
+        root_count = self.trie.root.noisy_count
+        if root_count is not None:
+            counts[""] = float(root_count)
         return {
             "metadata": self.metadata.__dict__,
-            "counts": {pattern: count for pattern, count in self.items()},
+            "counts": counts,
             "report": self.report,
         }
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
+
+    def content_digest(self) -> str:
+        """SHA-256 of the canonical JSON form.
+
+        Two structures storing the same counts, metadata and report have the
+        same digest; the release store uses this to detect tampered or
+        corrupted files on load.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def compiled(self, *, cache_size: int = 4096):
+        """This structure flattened into a
+        :class:`repro.serving.CompiledTrie` for high-throughput serving
+        (pure post-processing, identical query answers)."""
+        from repro.serving.compiled import CompiledTrie
+
+        return CompiledTrie.from_structure(self, cache_size=cache_size)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "PrivateCountingTrie":

@@ -33,6 +33,33 @@ class SensitivityError(ReproError):
     sensitivity bound."""
 
 
+class BudgetExceededError(ReproError):
+    """A requested release would push the cumulative privacy expenditure on
+    a database past the ledger's configured global ``(epsilon, delta)`` cap.
+
+    Raised by :class:`repro.serving.BudgetLedger` *before* the construction
+    runs, so a refused build touches the sensitive data zero times.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: tuple[float, float] | None = None,
+        spent: tuple[float, float] | None = None,
+        cap: tuple[float, float] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.spent = spent
+        self.cap = cap
+
+
+class ReleaseNotFoundError(ReproError):
+    """A release name (or a specific version of it) is absent from a
+    :class:`repro.serving.ReleaseStore` or a running query server."""
+
+
 class ConstructionAborted(ReproError):
     """The differentially private construction algorithm returned its
     explicit *fail* outcome.

@@ -1,0 +1,46 @@
+"""Query serving: compiled tries, release store, budget ledger, HTTP server.
+
+The paper's structures are *release once, query forever*: construction spends
+privacy budget, every query afterwards is free post-processing.  This package
+is the production path from a built :class:`~repro.core.private_trie.
+PrivateCountingTrie` to serving millions of pattern queries:
+
+``compiled``
+    :class:`CompiledTrie` — the structure flattened into contiguous numpy
+    arrays with vectorized batch queries and an LRU result cache.
+``store``
+    :class:`ReleaseStore` — versioned, digest-checked on-disk persistence of
+    releases (save / load / list / pin).
+``ledger``
+    :class:`BudgetLedger` and :func:`build_release` — cumulative privacy
+    accounting across releases of the same database, refusing builds that
+    would exceed a global ``(epsilon, delta)`` cap.
+``server`` / ``client``
+    A stdlib ``ThreadingHTTPServer`` JSON API (``/query``, ``/batch``,
+    ``/mine``, ``/releases``, ``/healthz``) with request micro-batching and
+    per-release routing, plus a ``urllib``-based client.
+
+See ``docs/SERVING.md`` for the end-to-end workflow and ``dpsc serve`` /
+``dpsc query`` / ``dpsc releases`` for the command-line entry points.
+"""
+
+from repro.serving.compiled import CacheInfo, CompiledTrie
+from repro.serving.client import ServingClient, ServingClientError
+from repro.serving.ledger import BudgetLedger, build_release
+from repro.serving.server import MicroBatcher, QueryService, create_server, serve_forever
+from repro.serving.store import ReleaseRecord, ReleaseStore
+
+__all__ = [
+    "CacheInfo",
+    "CompiledTrie",
+    "ServingClient",
+    "ServingClientError",
+    "BudgetLedger",
+    "build_release",
+    "MicroBatcher",
+    "QueryService",
+    "create_server",
+    "serve_forever",
+    "ReleaseRecord",
+    "ReleaseStore",
+]

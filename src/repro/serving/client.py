@@ -1,0 +1,110 @@
+"""A tiny stdlib HTTP client for the ``dpsc`` query server.
+
+Analysts talk to a running server (``dpsc serve``) through this class or
+plain ``curl``; the wire format is the JSON API documented in
+:mod:`repro.serving.server`.  Only :mod:`urllib.request` is used, so the
+client works anywhere the library does.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["ServingClient", "ServingClientError"]
+
+
+class ServingClientError(ReproError):
+    """The server answered with an error status (the message is the
+    server-side error string)."""
+
+    def __init__(self, message: str, status: int) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServingClient:
+    """Query, batch-query and mine against a running ``dpsc serve``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = ""
+            raise ServingClientError(
+                message or f"server returned HTTP {error.code}", error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServingClientError(
+                f"cannot reach {url}: {error.reason}", status=0
+            ) from None
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def query(self, pattern: str, release: str | None = None) -> float:
+        """Noisy count of one pattern."""
+        payload: dict = {"pattern": pattern}
+        if release is not None:
+            payload["release"] = release
+        return float(self._request("/query", payload)["count"])
+
+    def batch(self, patterns: Sequence[str], release: str | None = None) -> list[float]:
+        """Noisy counts of many patterns in one round trip."""
+        payload: dict = {"patterns": list(patterns)}
+        if release is not None:
+            payload["release"] = release
+        return [float(c) for c in self._request("/batch", payload)["counts"]]
+
+    def mine(
+        self,
+        threshold: float,
+        release: str | None = None,
+        *,
+        min_length: int = 1,
+        max_length: int | None = None,
+        exact_length: int | None = None,
+    ) -> list[tuple[str, float]]:
+        """Frequent stored patterns at ``threshold`` (server-side mining)."""
+        payload: dict = {"threshold": threshold, "min_length": min_length}
+        if release is not None:
+            payload["release"] = release
+        if max_length is not None:
+            payload["max_length"] = max_length
+        if exact_length is not None:
+            payload["exact_length"] = exact_length
+        return [
+            (pattern, float(count))
+            for pattern, count in self._request("/mine", payload)["patterns"]
+        ]
+
+    def releases(self) -> list[dict]:
+        """Metadata of every served release."""
+        return self._request("/releases")["releases"]
+
+    def healthz(self) -> dict:
+        """Liveness and serving statistics."""
+        return self._request("/healthz")

@@ -1,0 +1,447 @@
+"""Compiled, array-backed private counting tries for query serving.
+
+A :class:`repro.core.private_trie.PrivateCountingTrie` is a linked structure
+of Python objects — ideal for construction, slow to serve.  Since querying is
+pure post-processing, we are free to *compile* the released structure into a
+handful of contiguous numpy arrays without touching privacy at all:
+
+* ``counts[v]`` — the stored noisy count of node ``v`` (``NaN`` when the node
+  stores no count, e.g. internal candidate-trie nodes);
+* ``child_start[v]:child_end[v]`` — the slice of ``edge_labels`` /
+  ``edge_targets`` holding ``v``'s outgoing edges, sorted by label code;
+* ``edge_keys[e] = source * |Sigma'| + label_code`` — a globally sorted key
+  array that lets a *batch* of patterns advance one character per step with a
+  single vectorized ``searchsorted``.
+
+Single queries walk the arrays in ``O(|P| log sigma)``; batches of ``m``
+patterns run in ``O(max|P|)`` vectorized rounds over all ``m`` patterns at
+once, which is where the serving throughput comes from (see
+``benchmarks/bench_serving.py``).  A small LRU cache short-circuits repeated
+single-pattern queries, as real query traffic is heavily skewed.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.private_trie import PrivateCountingTrie, StructureMetadata
+
+__all__ = ["CompiledTrie", "CacheInfo"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of a :class:`CompiledTrie`'s LRU result cache."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CompiledTrie:
+    """A read-only, array-backed view of a :class:`PrivateCountingTrie`.
+
+    Everything here is post-processing of the released noisy counts: the
+    compiled form answers exactly the same queries as the source structure
+    (see ``tests/serving/test_compiled.py`` for the parity property) with no
+    additional privacy loss, only faster.
+    """
+
+    #: largest dense transition table (entries) built eagerly; ~256 MiB.
+    DENSE_TRANSITION_LIMIT = 1 << 25
+
+    def __init__(
+        self,
+        *,
+        counts: np.ndarray,
+        depths: np.ndarray,
+        parents: np.ndarray,
+        parent_codes: np.ndarray,
+        child_start: np.ndarray,
+        child_end: np.ndarray,
+        edge_keys: np.ndarray,
+        edge_labels: np.ndarray,
+        edge_targets: np.ndarray,
+        vocab: dict[str, int],
+        metadata: StructureMetadata,
+        report: dict | None = None,
+        cache_size: int = 4096,
+    ) -> None:
+        self._counts = counts
+        self._depths = depths
+        self._parents = parents
+        self._parent_codes = parent_codes
+        self._child_start = child_start
+        self._child_end = child_end
+        self._edge_keys = edge_keys
+        self._edge_labels = edge_labels
+        self._edge_targets = edge_targets
+        self._vocab = vocab
+        self._chars = [""] * (len(vocab) + 1)
+        for char, code in vocab.items():
+            self._chars[code] = char
+        self._vocab_size = len(vocab) + 1
+        # Dense codepoint -> code table for vectorized pattern encoding.
+        # Unknown characters (and the NUL separator) map to the reserved
+        # code 0, whose transition column is entirely dead.  Covering the
+        # whole BMP lets the common case skip bounds checks completely.
+        max_point = max((ord(c) for c in vocab), default=0)
+        table = np.zeros(max(0x10000, max_point + 1), dtype=np.int32)
+        for char, code in vocab.items():
+            table[ord(char)] = code
+        self._code_table = table
+        # Dense transition table for batch queries: one gather replaces a
+        # binary search per (pattern, character) step.  Row `num_nodes` is a
+        # dead state; code 0 is reserved, so its column stays dead too.  For
+        # very large (nodes x alphabet) products the table is skipped and
+        # batches fall back to searchsorted on edge_keys.
+        num_nodes = counts.size
+        self._dead = num_nodes
+        entries = (num_nodes + 1) * self._vocab_size
+        if entries <= self.DENSE_TRANSITION_LIMIT:
+            transitions = np.full(entries, num_nodes, dtype=np.int32)
+            transitions[edge_keys] = edge_targets
+            # Pre-scaled by vocab_size: table values are *row offsets*, so a
+            # batch round is one add and one gather (state + code -> state).
+            self._transitions = transitions * self._vocab_size
+        else:
+            self._transitions = None
+        # counts with a trailing NaN sentinel so the dead state gathers to 0.
+        self._counts_ext = np.append(counts, np.nan)
+        # Plain-list mirrors for the single-query walk: stdlib bisect on a
+        # list beats per-call numpy overhead by an order of magnitude.
+        self._edge_keys_list = edge_keys.tolist()
+        self._edge_targets_list = edge_targets.tolist()
+        self._child_start_list = child_start.tolist()
+        self._child_end_list = child_end.tolist()
+        self._counts_list = counts.tolist()
+        self.metadata = metadata
+        self.report = dict(report or {})
+        self._cache: OrderedDict[str, float] = OrderedDict()
+        self._cache_max = max(0, int(cache_size))
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_structure(
+        cls, structure: PrivateCountingTrie, *, cache_size: int = 4096
+    ) -> "CompiledTrie":
+        """Flatten ``structure`` into contiguous arrays (BFS node order)."""
+        root = structure.trie.root
+        order = [root]
+        index = {id(root): 0}
+        for node in order:
+            for child in node.children.values():
+                index[id(child)] = len(order)
+                order.append(child)
+        num_nodes = len(order)
+
+        vocab: dict[str, int] = {}
+        for node in order[1:]:
+            if node.char not in vocab:
+                # Code 0 is reserved so that key 0 is never a valid edge key.
+                vocab[node.char] = len(vocab) + 1
+        vocab_size = len(vocab) + 1
+
+        counts = np.full(num_nodes, np.nan, dtype=np.float64)
+        depths = np.zeros(num_nodes, dtype=np.int64)
+        parents = np.full(num_nodes, -1, dtype=np.int64)
+        parent_codes = np.zeros(num_nodes, dtype=np.int64)
+        for position, node in enumerate(order):
+            if node.noisy_count is not None:
+                counts[position] = float(node.noisy_count)
+            depths[position] = node.depth
+            if node.parent is not None:
+                parents[position] = index[id(node.parent)]
+                parent_codes[position] = vocab[node.char]
+
+        num_edges = num_nodes - 1
+        edge_keys = np.zeros(num_edges, dtype=np.int64)
+        edge_targets = np.zeros(num_edges, dtype=np.int64)
+        child_start = np.zeros(num_nodes, dtype=np.int64)
+        child_end = np.zeros(num_nodes, dtype=np.int64)
+        cursor = 0
+        for position, node in enumerate(order):
+            child_start[position] = cursor
+            for char in sorted(node.children, key=vocab.__getitem__):
+                edge_keys[cursor] = position * vocab_size + vocab[char]
+                edge_targets[cursor] = index[id(node.children[char])]
+                cursor += 1
+            child_end[position] = cursor
+        # BFS order plus per-node sorted children makes edge_keys globally
+        # sorted, which batch_query's searchsorted relies on.
+        edge_labels = edge_keys % vocab_size if num_edges else edge_keys.copy()
+
+        return cls(
+            counts=counts,
+            depths=depths,
+            parents=parents,
+            parent_codes=parent_codes,
+            child_start=child_start,
+            child_end=child_end,
+            edge_keys=edge_keys,
+            edge_labels=edge_labels,
+            edge_targets=edge_targets,
+            vocab=vocab,
+            metadata=structure.metadata,
+            report=structure.report,
+            cache_size=cache_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Single-pattern queries
+    # ------------------------------------------------------------------
+    def lookup_node(self, pattern: str) -> int:
+        """Index of the node spelling ``pattern``, or ``-1`` when absent."""
+        node = 0
+        vocab = self._vocab
+        vocab_size = self._vocab_size
+        keys = self._edge_keys_list
+        targets = self._edge_targets_list
+        child_start = self._child_start_list
+        child_end = self._child_end_list
+        for char in pattern:
+            code = vocab.get(char)
+            if code is None:
+                return -1
+            key = node * vocab_size + code
+            position = bisect_left(keys, key, child_start[node], child_end[node])
+            if position >= child_end[node] or keys[position] != key:
+                return -1
+            node = targets[position]
+        return node
+
+    def query(self, pattern: str) -> float:
+        """Noisy count of ``pattern`` (0 when absent), LRU-cached."""
+        if self._cache_max:
+            cached = self._cache.get(pattern)
+            if cached is not None:
+                self._cache_hits += 1
+                self._cache.move_to_end(pattern)
+                return cached
+            self._cache_misses += 1
+        result = self._query_uncached(pattern)
+        if self._cache_max:
+            self._cache[pattern] = result
+            if len(self._cache) > self._cache_max:
+                self._cache.popitem(last=False)
+        return result
+
+    def _query_uncached(self, pattern: str) -> float:
+        node = self.lookup_node(pattern)
+        if node < 0:
+            return 0.0
+        count = self._counts_list[node]
+        return 0.0 if math.isnan(count) else count
+
+    def __contains__(self, pattern: str) -> bool:
+        node = self.lookup_node(pattern)
+        return node >= 0 and not math.isnan(self._counts_list[node])
+
+    # ------------------------------------------------------------------
+    # Batch queries (vectorized)
+    # ------------------------------------------------------------------
+    #: separator used to split a joined batch in one vectorized pass; NUL is
+    #: outside every data-universe alphabet (and guarded against anyway).
+    _SEPARATOR = "\x00"
+
+    def _encode_flat(
+        self, patterns: list[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(flat_codes, starts, lengths)``: every pattern's characters
+        mapped to edge codes (-1 outside the alphabet), concatenated.
+
+        Patterns are joined with NUL separators so lengths come from one
+        vectorized separator scan instead of ``len()`` per pattern; if a
+        pattern itself contains NUL the separator count betrays it and we
+        fall back to per-pattern lengths.
+        """
+        m = len(patterns)
+        joined = self._SEPARATOR.join(patterns)
+        points = np.frombuffer(joined.encode("utf-32-le"), dtype=np.uint32)
+        separators = np.flatnonzero(points == 0)
+        if separators.size == m - 1:
+            bounds = np.concatenate((separators, [points.size]))
+            starts = np.concatenate(([0], separators + 1))
+            lengths = bounds - starts
+        else:  # some pattern contains NUL itself
+            lengths = np.fromiter(map(len, patterns), dtype=np.int64, count=m)
+            starts = np.concatenate(([0], np.cumsum(lengths + 1)))[:-1]
+        table = self._code_table
+        if points.size == 0 or int(points.max()) < table.size:
+            flat_codes = table.take(points)
+        else:  # astral-plane characters beyond the table: all unknown
+            clipped = np.minimum(points, np.uint32(table.size - 1))
+            flat_codes = np.where(points < table.size, table.take(clipped), 0)
+        return flat_codes, starts, lengths
+
+    def batch_query(self, patterns: Sequence[str]) -> np.ndarray:
+        """Noisy counts for every pattern, advancing all of them through the
+        trie one character per vectorized round.
+
+        Patterns are sorted by length so each round operates on a contiguous
+        suffix of still-running patterns — no per-round boolean compaction.
+        A pattern that ends simply drops out of the next round's suffix with
+        its node frozen; a pattern that mismatches moves to the dead state
+        and stays there.  Total work is proportional to the number of
+        characters consumed, in a few numpy kernels per round.
+        """
+        patterns = list(patterns)
+        m = len(patterns)
+        if m == 0:
+            return np.zeros(0, dtype=np.float64)
+        flat_codes, starts, lengths = self._encode_flat(patterns)
+        # Grouping by length only needs buckets, not a stable order; uint16
+        # keys keep the sort in numpy's radix path.
+        if int(lengths.max()) < 0x10000:
+            order = np.argsort(lengths.astype(np.uint16), kind="stable")
+        else:  # patterns longer than 65535 characters
+            order = np.argsort(lengths, kind="stable")
+        sorted_lengths = lengths[order]
+        positions = starts[order].astype(np.intp)
+        max_len = int(sorted_lengths[-1])
+        # First index whose pattern still has characters left at each step.
+        cuts = np.searchsorted(
+            sorted_lengths, np.arange(max_len + 1), side="right"
+        ).tolist()
+        nodes = np.zeros(m, dtype=np.int32)
+        transitions = self._transitions
+        vocab_size = self._vocab_size
+        for step in range(max_len):
+            lo = cuts[step]
+            active_positions = positions[lo:]
+            codes = flat_codes.take(active_positions)
+            if transitions is not None:
+                # States are row offsets (node * vocab_size); unknown
+                # characters carry code 0, whose transition column (like
+                # the dead state's whole row) is entirely dead.
+                nodes[lo:] = transitions.take(nodes[lo:] + codes)
+            else:
+                nodes[lo:] = self._advance_sparse(nodes[lo:], codes)
+            active_positions += 1  # in place: ready for the next round
+        if transitions is not None:
+            nodes //= vocab_size  # row offsets back to node indices
+        counts = self._counts_ext.take(nodes)
+        results_sorted = np.where(np.isnan(counts), 0.0, counts)
+        results = np.empty(m, dtype=np.float64)
+        results[order] = results_sorted
+        return results
+
+    def _advance_sparse(self, nodes: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """One batch step by binary search on ``edge_keys`` — the fallback
+        when the alphabet is too large for a dense transition table."""
+        num_edges = self._edge_keys.size
+        if num_edges == 0:
+            return np.full(nodes.size, self._dead, dtype=np.int32)
+        keys = nodes.astype(np.int64) * self._vocab_size + codes
+        found_at = np.minimum(np.searchsorted(self._edge_keys, keys), num_edges - 1)
+        # Code 0 (unknown character) never occurs among edge keys, and the
+        # dead state's keys are past every real key, so misses stay dead.
+        hit = self._edge_keys[found_at] == keys
+        return np.where(hit, self._edge_targets[found_at], self._dead).astype(
+            np.int32
+        )
+
+    # ------------------------------------------------------------------
+    # Mining (post-processing, same contract as PrivateCountingTrie.mine)
+    # ------------------------------------------------------------------
+    def pattern_of(self, node: int) -> str:
+        """The string spelled from the root to node ``node``."""
+        chars: list[str] = []
+        while node > 0:
+            chars.append(self._chars[self._parent_codes[node]])
+            node = int(self._parents[node])
+        return "".join(reversed(chars))
+
+    def mine(
+        self,
+        threshold: float,
+        *,
+        min_length: int = 1,
+        max_length: int | None = None,
+        exact_length: int | None = None,
+    ) -> list[tuple[str, float]]:
+        """All stored patterns whose noisy count reaches ``threshold``."""
+        mask = ~np.isnan(self._counts)
+        mask &= np.where(np.isnan(self._counts), -np.inf, self._counts) >= threshold
+        mask &= self._depths >= max(1, min_length)
+        if exact_length is not None:
+            mask &= self._depths == exact_length
+        if max_length is not None:
+            mask &= self._depths <= max_length
+        hits = np.flatnonzero(mask)
+        results = [(self.pattern_of(int(v)), float(self._counts[v])) for v in hits]
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        """``(pattern, noisy count)`` pairs for every stored node."""
+        for node in np.flatnonzero(~np.isnan(self._counts)):
+            if node > 0:
+                yield self.pattern_of(int(node)), float(self._counts[node])
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self._counts.size)
+
+    @property
+    def num_stored_patterns(self) -> int:
+        stored = ~np.isnan(self._counts)
+        stored[0] = False
+        return int(stored.sum())
+
+    @property
+    def error_bound(self) -> float:
+        return self.metadata.error_bound
+
+    @property
+    def nbytes(self) -> int:
+        """Total array storage of the compiled form."""
+        arrays = (
+            self._counts,
+            self._depths,
+            self._parents,
+            self._parent_codes,
+            self._child_start,
+            self._child_end,
+            self._edge_keys,
+            self._edge_labels,
+            self._edge_targets,
+            self._code_table,
+            self._counts_ext,
+        )
+        total = sum(array.nbytes for array in arrays)
+        if self._transitions is not None:
+            total += self._transitions.nbytes
+        return int(total)
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._cache),
+            max_size=self._cache_max,
+        )
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0

@@ -1,0 +1,189 @@
+"""Cumulative privacy accounting across multiple releases of one database.
+
+A single :class:`~repro.core.private_trie.PrivateCountingTrie` can be queried
+forever at no extra privacy cost, but every *new release built from the same
+database* composes: by simple composition (Lemma 1, implemented in
+:mod:`repro.dp.composition`), publishing structures with budgets
+``(epsilon_i, delta_i)`` costs ``(sum epsilon_i, sum delta_i)`` in total.
+
+:class:`BudgetLedger` enforces a global cap on that total, per database id.
+:func:`build_release` is the guarded entry point the serving layer uses: it
+*refuses before touching the data* when the requested budget would exceed
+the cap, otherwise builds the structure and records the expenditure.  The
+ledger optionally persists itself to JSON so the accounting survives curator
+restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.construction import build_private_counting_structure
+from repro.core.database import StringDatabase
+from repro.core.params import ConstructionParams
+from repro.core.private_trie import PrivateCountingTrie
+from repro.dp.composition import CompositionRecord, PrivacyAccountant, PrivacyBudget
+from repro.exceptions import BudgetExceededError
+
+__all__ = ["BudgetLedger", "build_release"]
+
+
+class BudgetLedger:
+    """Tracks privacy spent per database and refuses over-cap charges.
+
+    Parameters
+    ----------
+    cap:
+        The global ``(epsilon, delta)`` budget no database may exceed across
+        all of its releases combined.  When a persisted ledger file records
+        a *stricter* cap than the one passed here, the stricter value wins
+        component-wise — re-opening a ledger can never silently relax a
+        previously configured policy.
+    path:
+        Optional JSON file the ledger loads on construction and rewrites
+        after every charge, so accounting is durable across curator runs.
+
+    The ledger assumes a single curator process at a time: charges are
+    serialized through this object, and the file is written whole after
+    each one.  Two processes charging the same file concurrently could
+    each pass the affordability check before seeing the other's charge;
+    run one curator per store.
+    """
+
+    def __init__(self, cap: PrivacyBudget, path: str | Path | None = None) -> None:
+        self.cap = cap
+        self._path = Path(path) if path is not None else None
+        self._accountants: dict[str, PrivacyAccountant] = {}
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def spent(self, database_id: str) -> PrivacyBudget:
+        """Composed budget of everything charged to ``database_id`` so far."""
+        return self._accountant(database_id).total()
+
+    def remaining(self, database_id: str) -> tuple[float, float]:
+        """``(epsilon, delta)`` still available under the cap (clamped at 0)."""
+        accountant = self._accountant(database_id)
+        return (
+            max(0.0, self.cap.epsilon - accountant.total_epsilon),
+            max(0.0, self.cap.delta - accountant.total_delta),
+        )
+
+    def can_afford(self, database_id: str, budget: PrivacyBudget) -> bool:
+        """Would charging ``budget`` stay within the cap?"""
+        accountant = self._accountant(database_id)
+        tolerance = 1e-9
+        return (
+            accountant.total_epsilon + budget.epsilon <= self.cap.epsilon + tolerance
+            and accountant.total_delta + budget.delta <= self.cap.delta + tolerance
+        )
+
+    def charge(
+        self, database_id: str, budget: PrivacyBudget, label: str = "release"
+    ) -> None:
+        """Record an expenditure, or raise :class:`BudgetExceededError`
+        without recording anything when it would breach the cap."""
+        if not self.can_afford(database_id, budget):
+            accountant = self._accountant(database_id)
+            raise BudgetExceededError(
+                f"charging ({budget.epsilon:g}, {budget.delta:g}) to "
+                f"{database_id!r} would exceed the global cap "
+                f"({self.cap.epsilon:g}, {self.cap.delta:g}); already spent "
+                f"({accountant.total_epsilon:g}, {accountant.total_delta:g})",
+                requested=(budget.epsilon, budget.delta),
+                spent=(accountant.total_epsilon, accountant.total_delta),
+                cap=(self.cap.epsilon, self.cap.delta),
+            )
+        self._accountant(database_id).spend(label, budget.epsilon, budget.delta)
+        self._save()
+
+    def entries(self, database_id: str | None = None) -> list[tuple[str, CompositionRecord]]:
+        """``(database_id, record)`` pairs, optionally for one database."""
+        names = [database_id] if database_id is not None else sorted(self._accountants)
+        return [
+            (name, record)
+            for name in names
+            for record in self._accountant(name).records
+        ]
+
+    def database_ids(self) -> list[str]:
+        return sorted(self._accountants)
+
+    def summary(self) -> str:
+        """Human-readable per-database accounting breakdown."""
+        lines = [f"cap: epsilon={self.cap.epsilon:g}, delta={self.cap.delta:g}"]
+        for name in self.database_ids():
+            lines.append(f"database {name!r}:")
+            lines.append(self._accountant(name).summary())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _accountant(self, database_id: str) -> PrivacyAccountant:
+        return self._accountants.setdefault(database_id, PrivacyAccountant())
+
+    def _save(self) -> None:
+        if self._path is None:
+            return
+        payload = {
+            "cap": {"epsilon": self.cap.epsilon, "delta": self.cap.delta},
+            "entries": [
+                {
+                    "database_id": name,
+                    "label": record.label,
+                    "epsilon": record.epsilon,
+                    "delta": record.delta,
+                }
+                for name, record in self.entries()
+            ],
+        }
+        self._path.write_text(json.dumps(payload, indent=2))
+
+    def _load(self) -> None:
+        payload = json.loads(self._path.read_text())
+        stored_cap = payload.get("cap")
+        if stored_cap is not None:
+            # Never let a default-capped reopen weaken the recorded policy.
+            self.cap = PrivacyBudget(
+                min(self.cap.epsilon, stored_cap["epsilon"]),
+                min(self.cap.delta, stored_cap["delta"]),
+            )
+        for entry in payload.get("entries", []):
+            self._accountant(entry["database_id"]).spend(
+                entry["label"], entry["epsilon"], entry["delta"]
+            )
+
+
+def build_release(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    ledger: BudgetLedger,
+    database_id: str,
+    label: str = "release",
+    rng: np.random.Generator | None = None,
+    builder: Callable[..., PrivateCountingTrie] = build_private_counting_structure,
+) -> PrivateCountingTrie:
+    """Build a private structure only if the ledger authorizes its budget.
+
+    The affordability check runs *before* the construction, so a refused
+    build never touches the sensitive database; the charge is recorded only
+    after the construction succeeds (an aborted construction that released
+    nothing costs nothing under the paper's fail semantics, whose abort
+    decision is itself privately computed).
+    """
+    budget = params.budget
+    if not ledger.can_afford(database_id, budget):
+        # Re-raise through charge() for the detailed error message.
+        ledger.charge(database_id, budget, label)
+    structure = builder(database, params, rng=rng)
+    ledger.charge(database_id, budget, label)
+    return structure

@@ -1,0 +1,458 @@
+"""A concurrent JSON query server over compiled private structures.
+
+Because every query against a released structure is post-processing, the
+server can answer arbitrary traffic — any number of clients, any patterns,
+any mining thresholds — with zero privacy accounting.  The implementation is
+stdlib-only (:mod:`http.server` with :class:`ThreadingHTTPServer`):
+
+* ``GET  /healthz``          liveness, uptime, request counters, cache stats
+* ``GET  /releases``         the served releases and their public metadata
+* ``POST /query``            ``{"pattern": ..., "release": ...}`` -> count
+* ``POST /batch``            ``{"patterns": [...]}`` -> vectorized counts
+* ``POST /mine``             ``{"threshold": ..., ...}`` -> frequent patterns
+
+Two serving tricks carry the throughput story (benchmarked in
+``benchmarks/bench_serving.py``):
+
+1. every release is compiled to a :class:`~repro.serving.compiled.CompiledTrie`
+   at load time, so ``/batch`` requests hit the vectorized numpy path; and
+2. concurrent single ``/query`` requests are *micro-batched*: a background
+   worker eagerly drains the request queue into one vectorized
+   ``batch_query`` call, so requests arriving during an in-flight flush
+   coalesce into the next batch and heavy single-query traffic rides the
+   batch fast path instead of contending on the GIL.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping, Sequence
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.private_trie import PrivateCountingTrie
+from repro.exceptions import ReleaseNotFoundError, ReproError
+from repro.serving.compiled import CompiledTrie
+from repro.serving.store import ReleaseStore
+
+__all__ = ["QueryService", "MicroBatcher", "create_server", "serve_forever"]
+
+
+class _PendingQuery:
+    """One single-pattern query waiting for a micro-batch flush."""
+
+    __slots__ = ("pattern", "release", "event", "result", "error")
+
+    def __init__(self, pattern: str, release: str) -> None:
+        self.pattern = pattern
+        self.release = release
+        self.event = threading.Event()
+        self.result: float = 0.0
+        self.error: Exception | None = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent single queries into vectorized batch calls.
+
+    The worker flushes *eagerly*: a lone request is answered immediately
+    (no artificial latency floor for sequential clients), while requests
+    arriving during an in-flight flush pile up and are drained as one
+    batch of up to ``max_batch`` on the next iteration — batching emerges
+    from concurrency instead of from a fixed wait.  ``max_wait`` only
+    bounds how long the idle worker sleeps between condition checks.
+    Singleton flushes take the LRU-cached single-query path, so hot
+    patterns under sequential traffic still hit the cache.
+    """
+
+    def __init__(
+        self,
+        service: "QueryService",
+        *,
+        max_batch: int = 256,
+        max_wait: float = 0.002,
+    ) -> None:
+        self._service = service
+        self._max_batch = max_batch
+        self._max_wait = max_wait
+        self._queue: list[_PendingQuery] = []
+        self._condition = threading.Condition()
+        self._closed = False
+        self.batches_flushed = 0
+        self.requests_batched = 0
+        self._worker = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, pattern: str, release: str) -> float:
+        """Enqueue one query and block until its batch is answered."""
+        pending = _PendingQuery(pattern, release)
+        with self._condition:
+            if self._closed:
+                raise ReproError("micro-batcher is closed")
+            self._queue.append(pending)
+            self._condition.notify()
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        self._worker.join(timeout=1.0)
+
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._closed:
+                    self._condition.wait(timeout=self._max_wait)
+                if self._closed and not self._queue:
+                    return
+                batch = self._queue[: self._max_batch]
+                del self._queue[: len(batch)]
+            if batch:
+                self._flush(batch)
+
+    def _flush(self, batch: list[_PendingQuery]) -> None:
+        self.batches_flushed += 1
+        self.requests_batched += len(batch)
+        by_release: dict[str, list[_PendingQuery]] = {}
+        for pending in batch:
+            by_release.setdefault(pending.release, []).append(pending)
+        for release, group in by_release.items():
+            try:
+                if len(group) == 1:
+                    # The cached array walk: sequential hot patterns keep
+                    # benefiting from the LRU even with batching enabled.
+                    group[0].result = float(
+                        self._service.release(release).query(group[0].pattern)
+                    )
+                else:
+                    counts = self._service.batch(
+                        [pending.pattern for pending in group], release=release
+                    )
+                    for pending, count in zip(group, counts):
+                        pending.result = float(count)
+            except Exception as error:  # propagate to every waiter
+                for pending in group:
+                    pending.error = error
+            finally:
+                for pending in group:
+                    pending.event.set()
+
+
+class QueryService:
+    """Routes queries to named compiled releases; the HTTP layer and the CLI
+    both delegate here, so the logic is testable without sockets."""
+
+    def __init__(
+        self,
+        releases: Mapping[str, CompiledTrie | PrivateCountingTrie],
+        *,
+        default_release: str | None = None,
+        micro_batch: bool = True,
+        max_batch: int = 256,
+        max_wait: float = 0.002,
+    ) -> None:
+        if not releases:
+            raise ReproError("a query service needs at least one release")
+        self._releases: dict[str, CompiledTrie] = {
+            name: (
+                release
+                if isinstance(release, CompiledTrie)
+                else CompiledTrie.from_structure(release)
+            )
+            for name, release in releases.items()
+        }
+        if default_release is None:
+            default_release = sorted(self._releases)[0]
+        if default_release not in self._releases:
+            raise ReleaseNotFoundError(
+                f"default release {default_release!r} is not served"
+            )
+        self.default_release = default_release
+        self.started_at = time.time()
+        self._stats_lock = threading.Lock()
+        self.num_queries = 0
+        self.num_batches = 0
+        self.num_batch_patterns = 0
+        self.num_mines = 0
+        self._batcher = (
+            MicroBatcher(self, max_batch=max_batch, max_wait=max_wait)
+            if micro_batch
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def release(self, name: str | None = None) -> CompiledTrie:
+        resolved = name or self.default_release
+        try:
+            return self._releases[resolved]
+        except KeyError:
+            raise ReleaseNotFoundError(
+                f"release {resolved!r} is not served "
+                f"(serving: {sorted(self._releases)})"
+            ) from None
+
+    def query(self, pattern: str, release: str | None = None) -> float:
+        """One pattern's noisy count, via the micro-batcher when enabled."""
+        with self._stats_lock:
+            self.num_queries += 1
+        if self._batcher is not None:
+            return self._batcher.submit(pattern, release or self.default_release)
+        return self.release(release).query(pattern)
+
+    def batch(self, patterns: Sequence[str], release: str | None = None) -> list[float]:
+        """Vectorized noisy counts for many patterns at once."""
+        with self._stats_lock:
+            self.num_batches += 1
+            self.num_batch_patterns += len(patterns)
+        return [float(c) for c in self.release(release).batch_query(patterns)]
+
+    def mine(
+        self,
+        threshold: float,
+        release: str | None = None,
+        *,
+        min_length: int = 1,
+        max_length: int | None = None,
+        exact_length: int | None = None,
+    ) -> list[tuple[str, float]]:
+        with self._stats_lock:
+            self.num_mines += 1
+        return self.release(release).mine(
+            threshold,
+            min_length=min_length,
+            max_length=max_length,
+            exact_length=exact_length,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def releases_info(self) -> list[dict]:
+        infos = []
+        for name in sorted(self._releases):
+            compiled = self._releases[name]
+            metadata = compiled.metadata
+            infos.append(
+                {
+                    "name": name,
+                    "default": name == self.default_release,
+                    "epsilon": metadata.epsilon,
+                    "delta": metadata.delta,
+                    "error_bound": metadata.error_bound,
+                    "construction": metadata.construction,
+                    "num_nodes": compiled.num_nodes,
+                    "num_patterns": compiled.num_stored_patterns,
+                    "compiled_bytes": compiled.nbytes,
+                }
+            )
+        return infos
+
+    def health(self) -> dict:
+        cache = {
+            name: compiled.cache_info().__dict__
+            for name, compiled in self._releases.items()
+        }
+        payload = {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "releases": sorted(self._releases),
+            "default_release": self.default_release,
+            "queries": self.num_queries,
+            "batches": self.num_batches,
+            "batch_patterns": self.num_batch_patterns,
+            "mines": self.num_mines,
+            "cache": cache,
+        }
+        if self._batcher is not None:
+            payload["micro_batches_flushed"] = self._batcher.batches_flushed
+            payload["micro_batched_requests"] = self._batcher.requests_batched
+        return payload
+
+    def close(self) -> None:
+        if self._batcher is not None:
+            self._batcher.close()
+            self._batcher = None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store: ReleaseStore,
+        names: Sequence[str] | None = None,
+        **kwargs,
+    ) -> "QueryService":
+        """Serve the pinned-or-latest version of each named release (all
+        releases in the store when ``names`` is omitted)."""
+        selected = list(names) if names else store.names()
+        if not selected:
+            raise ReleaseNotFoundError(f"store {store.root} holds no releases")
+        releases = {
+            name: CompiledTrie.from_structure(store.load(name)) for name in selected
+        }
+        return cls(releases, **kwargs)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON shim over the server's :class:`QueryService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-dpsc"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _respond(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int) -> None:
+        self._respond({"error": message}, status=status)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        if not length:
+            return {}
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/healthz":
+                self._respond(self.service.health())
+            elif parsed.path == "/releases":
+                self._respond({"releases": self.service.releases_info()})
+            elif parsed.path == "/query":
+                query = parse_qs(parsed.query)
+                pattern = query.get("pattern", [""])[0]
+                release = query.get("release", [None])[0]
+                self._respond(
+                    {
+                        "pattern": pattern,
+                        "release": release or self.service.default_release,
+                        "count": self.service.query(pattern, release),
+                    }
+                )
+            else:
+                self._error(f"unknown path {parsed.path!r}", 404)
+        except ReleaseNotFoundError as error:
+            self._error(str(error), 404)
+        except ReproError as error:
+            self._error(str(error), 400)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            payload = self._read_json()
+        except (ValueError, UnicodeDecodeError):
+            self._error("request body is not valid JSON", 400)
+            return
+        release = payload.get("release")
+        try:
+            if self.path == "/query":
+                pattern = payload.get("pattern")
+                if not isinstance(pattern, str):
+                    self._error("'pattern' must be a string", 400)
+                    return
+                self._respond(
+                    {
+                        "pattern": pattern,
+                        "release": release or self.service.default_release,
+                        "count": self.service.query(pattern, release),
+                    }
+                )
+            elif self.path == "/batch":
+                patterns = payload.get("patterns")
+                if not isinstance(patterns, list) or not all(
+                    isinstance(p, str) for p in patterns
+                ):
+                    self._error("'patterns' must be a list of strings", 400)
+                    return
+                self._respond(
+                    {
+                        "release": release or self.service.default_release,
+                        "counts": self.service.batch(patterns, release),
+                    }
+                )
+            elif self.path == "/mine":
+                threshold = payload.get("threshold")
+                if not isinstance(threshold, (int, float)):
+                    self._error("'threshold' must be a number", 400)
+                    return
+                patterns = self.service.mine(
+                    float(threshold),
+                    release,
+                    min_length=int(payload.get("min_length", 1)),
+                    max_length=payload.get("max_length"),
+                    exact_length=payload.get("exact_length"),
+                )
+                self._respond(
+                    {
+                        "release": release or self.service.default_release,
+                        "threshold": float(threshold),
+                        "patterns": [[p, c] for p, c in patterns],
+                    }
+                )
+            else:
+                self._error(f"unknown path {self.path!r}", 404)
+        except ReleaseNotFoundError as error:
+            self._error(str(error), 404)
+        except ReproError as error:
+            self._error(str(error), 400)
+
+
+def create_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run threading HTTP server bound to ``host:port`` (port 0
+    picks a free port; read it back from ``server.server_address``)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = True,
+) -> None:  # pragma: no cover - blocking entry point exercised via the CLI
+    server = create_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"dpsc serving {sorted(service.releases_info(), key=lambda r: r['name'])}")
+    print(f"listening on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

@@ -1,0 +1,181 @@
+"""Versioned on-disk persistence for released private structures.
+
+A :class:`ReleaseStore` is a directory of named releases, each with a
+monotonically increasing sequence of immutable versions::
+
+    store_root/
+      index.json             # names, versions, digests, pins
+      genome/
+        v0001.json           # PrivateCountingTrie.to_json() payloads
+        v0002.json
+      transit/
+        v0001.json
+
+Every version file is exactly what :meth:`PrivateCountingTrie.save` writes —
+released noisy counts plus public metadata — so a store can be rsynced to
+untrusted analysts wholesale.  The index records a SHA-256 digest per version
+(verified on load) and an optional *pin*: the version served by default when
+a caller asks for a name without a version (otherwise the latest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.private_trie import PrivateCountingTrie
+from repro.exceptions import ReleaseNotFoundError, ReproError
+
+__all__ = ["ReleaseStore", "ReleaseRecord"]
+
+
+@dataclass(frozen=True)
+class ReleaseRecord:
+    """Index entry describing one stored version of one release."""
+
+    name: str
+    version: int
+    path: str
+    digest: str
+    epsilon: float
+    delta: float
+    construction: str
+    num_patterns: int
+    pinned: bool = False
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ReleaseStore:
+    """Save, version, pin and reload released private structures."""
+
+    INDEX_NAME = "index.json"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / self.INDEX_NAME
+        if self._index_path.exists():
+            self._index = json.loads(self._index_path.read_text())
+        else:
+            self._index = {"releases": {}}
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(self, name: str, structure: PrivateCountingTrie) -> ReleaseRecord:
+        """Persist ``structure`` as the next version of release ``name``."""
+        if not name or "/" in name or name.startswith("."):
+            raise ReproError(f"invalid release name {name!r}")
+        entry = self._index["releases"].setdefault(
+            name, {"pinned": None, "versions": {}}
+        )
+        version = 1 + max((int(v) for v in entry["versions"]), default=0)
+        payload = structure.to_json()
+        directory = self.root / name
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"v{version:04d}.json"
+        path.write_text(payload)
+        entry["versions"][str(version)] = {
+            "digest": _digest(payload),
+            "epsilon": structure.metadata.epsilon,
+            "delta": structure.metadata.delta,
+            "construction": structure.metadata.construction,
+            "num_patterns": structure.num_stored_patterns,
+        }
+        self._write_index()
+        return self._record(name, version)
+
+    def pin(self, name: str, version: int) -> None:
+        """Make ``version`` the default served version of ``name``."""
+        entry = self._entry(name)
+        if str(version) not in entry["versions"]:
+            raise ReleaseNotFoundError(f"release {name!r} has no version {version}")
+        entry["pinned"] = int(version)
+        self._write_index()
+
+    def unpin(self, name: str) -> None:
+        """Revert ``name`` to serving its latest version by default."""
+        self._entry(name)["pinned"] = None
+        self._write_index()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self, name: str, version: int | None = None) -> PrivateCountingTrie:
+        """Reload a stored structure (pinned-or-latest when no version is
+        given), verifying its recorded digest."""
+        resolved = self.resolve_version(name, version)
+        record = self._record(name, resolved)
+        payload = Path(record.path).read_text()
+        if _digest(payload) != record.digest:
+            raise ReproError(
+                f"release {name!r} v{resolved} failed its digest check; "
+                "the store file was modified after it was written"
+            )
+        return PrivateCountingTrie.from_json(payload)
+
+    def resolve_version(self, name: str, version: int | None = None) -> int:
+        """The version ``load(name, version)`` would read."""
+        entry = self._entry(name)
+        if version is not None:
+            if str(version) not in entry["versions"]:
+                raise ReleaseNotFoundError(
+                    f"release {name!r} has no version {version}"
+                )
+            return int(version)
+        if entry["pinned"] is not None:
+            return int(entry["pinned"])
+        return max(int(v) for v in entry["versions"])
+
+    def names(self) -> list[str]:
+        return sorted(self._index["releases"])
+
+    def versions(self, name: str) -> list[int]:
+        return sorted(int(v) for v in self._entry(name)["versions"])
+
+    def list_releases(self) -> list[ReleaseRecord]:
+        """Every stored version of every release, in (name, version) order."""
+        return [
+            self._record(name, version)
+            for name in self.names()
+            for version in self.versions(name)
+        ]
+
+    def describe(self) -> list[dict]:
+        """JSON-friendly view of :meth:`list_releases` (for the server)."""
+        return [asdict(record) for record in self.list_releases()]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _entry(self, name: str) -> dict:
+        try:
+            return self._index["releases"][name]
+        except KeyError:
+            raise ReleaseNotFoundError(
+                f"no release named {name!r} in store {self.root}"
+            ) from None
+
+    def _record(self, name: str, version: int) -> ReleaseRecord:
+        entry = self._entry(name)
+        info = entry["versions"][str(version)]
+        pinned = entry["pinned"] is not None and int(entry["pinned"]) == version
+        return ReleaseRecord(
+            name=name,
+            version=version,
+            path=str(self.root / name / f"v{version:04d}.json"),
+            digest=info["digest"],
+            epsilon=info["epsilon"],
+            delta=info["delta"],
+            construction=info["construction"],
+            num_patterns=info["num_patterns"],
+            pinned=pinned,
+        )
+
+    def _write_index(self) -> None:
+        self._index_path.write_text(json.dumps(self._index, indent=2, sort_keys=True))

@@ -1,0 +1,265 @@
+"""Tests for the query service, micro-batcher, HTTP server and client."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.construction import build_private_counting_structure
+from repro.core.params import ConstructionParams
+from repro.exceptions import ReleaseNotFoundError, ReproError
+from repro.serving import (
+    CompiledTrie,
+    QueryService,
+    ReleaseStore,
+    ServingClient,
+    ServingClientError,
+    create_server,
+)
+
+
+@pytest.fixture(scope="module")
+def structures():
+    """Two small released structures acting as distinct releases."""
+    from repro.core.database import StringDatabase
+
+    rng = np.random.default_rng(3)
+    params = ConstructionParams.pure(2.0, beta=0.1, noiseless=True, threshold=1.0)
+    first = build_private_counting_structure(
+        StringDatabase(["abab", "abba", "baba", "bbbb", "aabb"]), params, rng=rng
+    )
+    second = build_private_counting_structure(
+        StringDatabase(["aaaa", "abe", "absab", "babe", "bee", "bees"]), params, rng=rng
+    )
+    return {"first": first, "second": second}
+
+
+@pytest.fixture
+def service(structures):
+    service = QueryService(structures, default_release="first", micro_batch=False)
+    yield service
+    service.close()
+
+
+class TestQueryService:
+    def test_query_routes_to_default_release(self, service, structures):
+        assert service.query("ab") == structures["first"].query("ab")
+
+    def test_per_release_routing(self, service, structures):
+        assert service.query("bee", release="second") == structures["second"].query(
+            "bee"
+        )
+        assert service.query("bee", release="first") == structures["first"].query(
+            "bee"
+        )
+
+    def test_batch_matches_structure(self, service, structures):
+        probes = ["ab", "ba", "bb", "zz", "", "abab"]
+        counts = service.batch(probes, release="first")
+        assert counts == [structures["first"].query(p) for p in probes]
+
+    def test_mine_matches_structure(self, service, structures):
+        assert service.mine(1.0, release="second") == structures["second"].mine(1.0)
+
+    def test_unknown_release_raises(self, service):
+        with pytest.raises(ReleaseNotFoundError):
+            service.query("ab", release="nope")
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(ReproError):
+            QueryService({})
+
+    def test_unknown_default_rejected(self, structures):
+        with pytest.raises(ReleaseNotFoundError):
+            QueryService(structures, default_release="nope")
+
+    def test_health_counters(self, service):
+        before = service.health()["queries"]
+        service.query("ab")
+        service.batch(["ab", "ba"])
+        service.mine(1.0)
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["queries"] == before + 1
+        assert health["batches"] >= 1
+        assert health["batch_patterns"] >= 2
+        assert health["mines"] >= 1
+        assert set(health["releases"]) == {"first", "second"}
+
+    def test_releases_info(self, service):
+        infos = service.releases_info()
+        assert [info["name"] for info in infos] == ["first", "second"]
+        assert infos[0]["default"] is True
+        assert all(info["num_patterns"] > 0 for info in infos)
+
+    def test_accepts_precompiled_releases(self, structures):
+        compiled = CompiledTrie.from_structure(structures["first"])
+        service = QueryService({"first": compiled}, micro_batch=False)
+        assert service.query("ab") == structures["first"].query("ab")
+        service.close()
+
+
+class TestMicroBatcher:
+    def test_concurrent_queries_answer_correctly(self, structures):
+        service = QueryService(structures, micro_batch=True, max_wait=0.001)
+        try:
+            probes = ["ab", "ba", "bb", "zz", "abab", "bee"] * 8
+            results: dict[int, float] = {}
+
+            def worker(index: int, pattern: str) -> None:
+                results[index] = service.query(pattern)
+
+            threads = [
+                threading.Thread(target=worker, args=(i, p))
+                for i, p in enumerate(probes)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            expected = {
+                i: structures["first"].query(p) for i, p in enumerate(probes)
+            }
+            assert results == expected
+            health = service.health()
+            assert health["micro_batched_requests"] == len(probes)
+            assert 1 <= health["micro_batches_flushed"] <= len(probes)
+        finally:
+            service.close()
+
+    def test_sequential_queries_hit_the_lru_cache(self, structures):
+        # Singleton flushes take the cached single-query path, so hot
+        # patterns benefit from the LRU even with micro-batching enabled.
+        service = QueryService(structures, micro_batch=True)
+        try:
+            expected = structures["first"].query("ab")
+            for _ in range(5):
+                assert service.query("ab") == expected
+            assert service.release("first").cache_info().hits > 0
+        finally:
+            service.close()
+
+    def test_submit_after_close_raises(self, structures):
+        service = QueryService(structures, micro_batch=True)
+        batcher = service._batcher
+        service.close()
+        with pytest.raises(ReproError):
+            batcher.submit("ab", "first")
+
+
+@pytest.fixture(scope="module")
+def http_client(structures):
+    service = QueryService(structures, default_release="first", max_wait=0.001)
+    server = create_server(service, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServingClient(f"http://{host}:{port}"), structures
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+class TestHTTPEndToEnd:
+    def test_query(self, http_client):
+        client, structures = http_client
+        assert client.query("ab") == structures["first"].query("ab")
+        assert client.query("bee", release="second") == structures["second"].query(
+            "bee"
+        )
+
+    def test_batch_parity(self, http_client):
+        client, structures = http_client
+        probes = ["ab", "ba", "zz", "", "abab", "a?b"]
+        assert client.batch(probes) == [structures["first"].query(p) for p in probes]
+
+    def test_mine_parity(self, http_client):
+        client, structures = http_client
+        assert client.mine(1.0, release="second") == structures["second"].mine(1.0)
+        assert client.mine(1.0, exact_length=2) == structures["first"].mine(
+            1.0, exact_length=2
+        )
+
+    def test_releases_and_health(self, http_client):
+        client, _ = http_client
+        names = [info["name"] for info in client.releases()]
+        assert names == ["first", "second"]
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+
+    def test_unknown_release_is_404(self, http_client):
+        client, _ = http_client
+        with pytest.raises(ServingClientError) as excinfo:
+            client.query("ab", release="nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_path_is_404(self, http_client):
+        client, _ = http_client
+        with pytest.raises(ServingClientError) as excinfo:
+            client._request("/nope", {})
+        assert excinfo.value.status == 404
+        with pytest.raises(ServingClientError):
+            client._request("/nope")
+
+    def test_malformed_requests_are_400(self, http_client):
+        client, _ = http_client
+        with pytest.raises(ServingClientError) as excinfo:
+            client._request("/query", {"pattern": 7})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServingClientError):
+            client._request("/batch", {"patterns": "not-a-list"})
+        with pytest.raises(ServingClientError):
+            client._request("/mine", {"threshold": "high"})
+
+    def test_get_query_with_params(self, http_client):
+        client, structures = http_client
+        import json
+        import urllib.request
+
+        url = f"{client.base_url}/query?pattern=ab&release=first"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload["count"] == structures["first"].query("ab")
+
+    def test_unreachable_server_raises(self):
+        client = ServingClient("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(ServingClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0
+
+
+class TestFromStore:
+    def test_serves_store_releases(self, tmp_path, structures):
+        store = ReleaseStore(tmp_path / "store")
+        store.save("first", structures["first"])
+        store.save("second", structures["second"])
+        service = QueryService.from_store(store, micro_batch=False)
+        try:
+            assert service.query("ab", release="first") == structures["first"].query(
+                "ab"
+            )
+            assert set(info["name"] for info in service.releases_info()) == {
+                "first",
+                "second",
+            }
+        finally:
+            service.close()
+
+    def test_serves_pinned_version(self, tmp_path, structures):
+        store = ReleaseStore(tmp_path / "store")
+        store.save("demo", structures["first"])
+        store.save("demo", structures["second"])
+        store.pin("demo", 1)
+        service = QueryService.from_store(store, micro_batch=False)
+        try:
+            assert service.query("abab") == structures["first"].query("abab")
+        finally:
+            service.close()
+
+    def test_empty_store_rejected(self, tmp_path):
+        store = ReleaseStore(tmp_path / "store")
+        with pytest.raises(ReleaseNotFoundError):
+            QueryService.from_store(store)
