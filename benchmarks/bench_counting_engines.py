@@ -1,0 +1,38 @@
+"""E21 — Counting-engine equivalence and speedup curve.
+
+The unified :mod:`repro.counting` layer's acceptance contract: every backend
+returns bitwise-identical ``count_many`` results, and the single-pass
+Aho-Corasick engine beats per-pattern suffix-array counting by at least 5x
+on a candidate level of >= 256 patterns (the batch shape of the doubling
+construction's ``P_{2^k} x P_{2^k}`` levels, which is where the construction
+spends its counting time).
+"""
+
+from repro.analysis import experiments
+
+
+def test_e21_counting_engines(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_counting_engine_benchmark(
+            batch_sizes=(16, 64, 256, 1024)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record(
+        "E21",
+        "Counting-engine equivalence and speedup (batched Aho-Corasick vs per-pattern)",
+        rows,
+    )
+    for row in rows:
+        # Equivalence: the backend choice may never change a count.
+        assert row["engines_equal"], f"backends disagree at batch {row['batch']}"
+    # The acceptance headline: >= 5x on candidate levels of >= 256 patterns.
+    for row in rows:
+        if row["batch"] >= 256:
+            assert row["ac_speedup_vs_sa"] >= 5.0, (
+                f"batch {row['batch']}: Aho-Corasick only "
+                f"{row['ac_speedup_vs_sa']:.2f}x over per-pattern suffix-array"
+            )
+            # The auto policy must route these batches to the automaton.
+            assert row["auto_backend"] == "aho-corasick"

@@ -1,10 +1,15 @@
 """Setuptools entry point.
 
 The canonical metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed in editable mode on environments without the
-``wheel`` package (offline CI images), via::
+package can be installed in editable mode without build isolation (offline
+CI images), via::
 
     pip install -e . --no-build-isolation --no-use-pep517
+
+(pip requires the ``wheel`` package for that flag), or — on images without
+``wheel`` — via the legacy fallback that reads the same metadata::
+
+    python setup.py develop
 """
 
 from setuptools import setup

@@ -26,6 +26,11 @@ Subpackages
     error bounds and lower-bound constructions.
 ``repro.strings``
     String-algorithm substrate (suffix arrays/trees, tries, Aho-Corasick).
+``repro.counting``
+    Batched exact-counting engines (naive / suffix-array / Aho-Corasick
+    behind one ``count_many`` protocol with an ``auto`` selector); every
+    construction stage and the serving build path count through this layer
+    (see docs/ARCHITECTURE.md).
 ``repro.dp``
     Differential-privacy substrate (mechanisms, composition, binary-tree
     prefix sums).
@@ -60,6 +65,14 @@ from repro.core import (
     mine_frequent_qgrams,
     mine_frequent_substrings,
 )
+from repro.counting import (
+    AhoCorasickEngine,
+    CountingEngine,
+    NaiveEngine,
+    SuffixArrayEngine,
+    make_engine,
+    resolve_backend,
+)
 from repro.dp import GaussianMechanism, LaplaceMechanism, PrivacyBudget
 from repro.serving import (
     BudgetLedger,
@@ -90,6 +103,12 @@ __all__ = [
     "check_mining_guarantee",
     "mine_frequent_qgrams",
     "mine_frequent_substrings",
+    "AhoCorasickEngine",
+    "CountingEngine",
+    "NaiveEngine",
+    "SuffixArrayEngine",
+    "make_engine",
+    "resolve_backend",
     "GaussianMechanism",
     "LaplaceMechanism",
     "PrivacyBudget",

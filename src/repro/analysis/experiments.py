@@ -55,6 +55,7 @@ from repro.core.qgram_structure import (
     build_theorem3_qgram_structure,
     build_theorem4_qgram_structure,
 )
+from repro.counting import auto_backend
 from repro.dp.composition import PrivacyBudget
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.dp.prefix_sums import PrefixSumMechanism
@@ -109,6 +110,7 @@ __all__ = [
     "run_heavy_path_ablation",
     "run_tree_strategy_comparison",
     "run_candidate_growth_ablation",
+    "run_counting_engine_benchmark",
     "run_serving_throughput",
 ]
 
@@ -266,12 +268,14 @@ def build_structure_with_exact_candidates(
 
 def _stored_count_errors(structure, database: StringDatabase, delta_cap: int) -> np.ndarray:
     """Errors of every stored (non-root) noisy count against the exact
-    count."""
-    errors = []
-    for pattern, noisy in structure.items():
-        exact = database.count(pattern, delta_cap)
-        errors.append(abs(noisy - exact))
-    return np.asarray(errors, dtype=np.float64)
+    count (one batched engine call for the whole structure)."""
+    stored = list(structure.items())
+    if not stored:
+        return np.zeros(0, dtype=np.float64)
+    patterns = [pattern for pattern, _ in stored]
+    noisy = np.array([count for _, count in stored], dtype=np.float64)
+    exact = database.count_many(patterns, delta_cap)
+    return np.abs(noisy - exact)
 
 
 # ----------------------------------------------------------------------
@@ -623,9 +627,10 @@ def run_packing_experiment(
             instance.database, params, np.random.default_rng(seed * 13 + ell)
         )
         cap = instance.database.max_length
+        exact = instance.database.count_many(instance.planted_patterns, cap)
         errors = [
-            abs(structure.query(pattern) - instance.database.count(pattern, cap))
-            for pattern in instance.planted_patterns
+            abs(structure.query(pattern) - count)
+            for pattern, count in zip(instance.planted_patterns, exact)
         ]
         rows.append(
             {
@@ -1157,6 +1162,86 @@ def run_candidate_growth_ablation(
                 "onestep_seconds": onestep_seconds,
             }
         )
+    return rows
+
+
+def run_counting_engine_benchmark(
+    batch_sizes: Sequence[int] = (16, 64, 256, 1024),
+    *,
+    n: int = 800,
+    ell: int = 12,
+    delta_cap: int | None = None,
+    seed: int = 17,
+    naive_limit: int = 64,
+    timing_reps: int = 3,
+) -> list[dict]:
+    """E21 — counting-engine equivalence and speedup curve.
+
+    Builds candidate-level-shaped batches (all pairwise concatenations of
+    the collection's 3-grams, exactly the shape of a doubling level
+    ``P_{2^k} x P_{2^k}``), counts each batch with every
+    :mod:`repro.counting` backend, checks the results are bitwise identical,
+    and reports the per-batch timings.  The headline column is
+    ``ac_speedup_vs_sa``: the single-pass Aho-Corasick engine against
+    per-pattern suffix-array queries, which must reach >= 5x on batches of
+    >= 256 patterns (the acceptance criterion of
+    ``benchmarks/bench_counting_engines.py``).  The naive reference engine
+    is only timed on small batches (``naive_limit``) — it is quadratic —
+    but its counts are still the ground truth the others must match there.
+    """
+    from repro.strings.qgrams import qgram_substring_counts
+
+    rng = np.random.default_rng(seed)
+    database = genome_with_motifs(n, ell, rng)
+    cap = database.max_length if delta_cap is None else delta_cap
+    # Frequent 3-grams first, so truncating to a batch size keeps the batch
+    # shaped like a pruned level rather than an arbitrary sample; the pair
+    # pool inherits that order (frequent x frequent concatenations first).
+    frequency = qgram_substring_counts(list(database), 3)
+    base = sorted(frequency, key=lambda g: (-frequency[g], g))
+    pool: list[str] = []
+    seen: set[str] = set()
+    for left in base:
+        for right in base:
+            candidate = left + right
+            if candidate not in seen:
+                seen.add(candidate)
+                pool.append(candidate)
+    corpus_length = database.total_length
+
+    def best_seconds(run) -> float:
+        return min(_timed(run) for _ in range(timing_reps))
+
+    rows = []
+    for batch in batch_sizes:
+        patterns = pool[: min(batch, len(pool))]
+        sa_engine = database.engine("suffix-array")
+        ac_engine = database.engine("aho-corasick")
+        sa_counts = sa_engine.count_many(patterns, cap)
+        ac_counts = ac_engine.count_many(patterns, cap)
+        engines_equal = bool(np.array_equal(sa_counts, ac_counts))
+        sa_seconds = best_seconds(lambda: sa_engine.count_many(patterns, cap))
+        ac_seconds = best_seconds(lambda: ac_engine.count_many(patterns, cap))
+        row = {
+            "batch": len(patterns),
+            "corpus_chars": corpus_length,
+            "delta_cap": cap,
+            "auto_backend": auto_backend(len(patterns), corpus_length),
+            "sa_seconds": sa_seconds,
+            "ac_seconds": ac_seconds,
+            "ac_speedup_vs_sa": sa_seconds / ac_seconds if ac_seconds else float("inf"),
+            "engines_equal": engines_equal,
+        }
+        if len(patterns) <= naive_limit:
+            naive_engine = database.engine("naive")
+            naive_counts = naive_engine.count_many(patterns, cap)
+            row["naive_seconds"] = best_seconds(
+                lambda: naive_engine.count_many(patterns, cap)
+            )
+            row["engines_equal"] = engines_equal and bool(
+                np.array_equal(naive_counts, sa_counts)
+            )
+        rows.append(row)
     return rows
 
 

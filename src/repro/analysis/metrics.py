@@ -58,15 +58,22 @@ def query_errors(
     patterns: Sequence[str],
     *,
     delta_cap: int | None = None,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Absolute error ``|structure.query(P) - count_Delta(P, D)|`` for every
-    pattern."""
+    pattern.
+
+    The exact counts of the whole pattern set are computed as one
+    :meth:`StringDatabase.count_many` batch on the requested engine backend.
+    """
     cap = database.max_length if delta_cap is None else delta_cap
-    errors = np.zeros(len(patterns), dtype=np.float64)
-    for i, pattern in enumerate(patterns):
-        exact = database.count(pattern, cap)
-        errors[i] = abs(structure.query(pattern) - exact)
-    return errors
+    exact = database.count_many(patterns, cap, backend=backend)
+    estimates = np.fromiter(
+        (structure.query(pattern) for pattern in patterns),
+        dtype=np.float64,
+        count=len(patterns),
+    )
+    return np.abs(estimates - exact)
 
 
 def error_summary(

@@ -14,7 +14,8 @@ serving layer from the shell::
 
 The experiments are the same ones the benchmark harness runs; the registry
 below maps each id to the paper's figures and theorems.  The serving
-commands are documented in docs/SERVING.md.
+commands are documented in docs/SERVING.md; the layer diagram and the
+``--count-backend`` engine-selection heuristic in docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ import numpy as np
 
 from repro.analysis import experiments, reporting
 from repro.core.construction import build_private_counting_structure
+from repro.counting import AUTO_BACKEND, BACKENDS
 from repro.core.mining import mine_frequent_substrings
 from repro.core.params import ConstructionParams
 from repro.dp.composition import PrivacyBudget
@@ -125,6 +127,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
             "Query-serving throughput (compiled trie vs per-node loops)",
             lambda: experiments.run_serving_throughput(),
         ),
+        "E21": (
+            "Counting-engine equivalence and speedup (batched Aho-Corasick vs per-pattern)",
+            lambda: experiments.run_counting_engine_benchmark(),
+        ),
     }
 
 
@@ -184,7 +190,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         database = genome_with_motifs(args.n, args.ell, rng)
     else:
         database = transit_trajectories(args.n, args.ell, rng)
-    params = ConstructionParams.pure(args.epsilon, beta=0.1)
+    params = ConstructionParams.pure(
+        args.epsilon, beta=0.1, count_backend=args.count_backend
+    )
     structure = build_private_counting_structure(database, params, rng=rng)
     result = mine_frequent_substrings(structure, structure.metadata.threshold)
     print(
@@ -269,7 +277,9 @@ def _cmd_releases(args: argparse.Namespace) -> int:
         database, rng = _build_workload_database(
             args.build, args.n, args.ell, args.seed
         )
-        params = ConstructionParams.pure(args.epsilon, beta=0.1)
+        params = ConstructionParams.pure(
+            args.epsilon, beta=0.1, count_backend=args.count_backend
+        )
         ledger = BudgetLedger(
             PrivacyBudget(args.cap_epsilon, args.cap_delta),
             path=store.root / "ledger.json",
@@ -338,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--ell", type=int, default=12)
     mine_parser.add_argument("--epsilon", type=float, default=20.0)
     mine_parser.add_argument("--seed", type=int, default=0)
+    _add_count_backend_argument(mine_parser)
     mine_parser.set_defaults(func=_cmd_mine)
 
     serve_parser = subparsers.add_parser(
@@ -399,8 +410,19 @@ def build_parser() -> argparse.ArgumentParser:
     releases_parser.add_argument("--cap-epsilon", type=float, default=100.0)
     releases_parser.add_argument("--cap-delta", type=float, default=1e-5)
     releases_parser.add_argument("--seed", type=int, default=0)
+    _add_count_backend_argument(releases_parser)
     releases_parser.set_defaults(func=_cmd_releases)
     return parser
+
+
+def _add_count_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--count-backend",
+        choices=(AUTO_BACKEND,) + BACKENDS,
+        default=AUTO_BACKEND,
+        help="exact-counting engine for the construction (speed only; "
+        "recorded in the release metadata — see docs/ARCHITECTURE.md)",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -29,29 +29,10 @@ from repro.core.candidate_set import CandidateSet, _prune_by_noisy_count
 from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
 from repro.dp.composition import PrivacyAccountant, PrivacyBudget
-from repro.dp.mechanisms import (
-    CountingMechanism,
-    GaussianMechanism,
-    LaplaceMechanism,
-    NoiselessMechanism,
-)
+from repro.dp.mechanisms import CountingMechanism, per_level_mechanism
 from repro.exceptions import ConstructionAborted
 
 __all__ = ["build_onestep_candidate_set", "onestep_candidate_alpha"]
-
-
-def _per_level_mechanism(
-    budget: PrivacyBudget, num_levels: int, noiseless: bool
-) -> CountingMechanism:
-    """One mechanism per length level; the budget is split evenly over all
-    ``ell`` levels (simple composition), exactly as the prior-work strategy
-    requires."""
-    if noiseless:
-        return NoiselessMechanism()
-    share = budget.split(num_levels)
-    if budget.is_pure:
-        return LaplaceMechanism(share.epsilon)
-    return GaussianMechanism(share.epsilon, share.delta)
 
 
 def onestep_candidate_alpha(
@@ -121,7 +102,7 @@ def build_onestep_candidate_set(
 
     limit = ell if max_pattern_length is None else min(max_pattern_length, ell)
     num_levels = max(1, limit)
-    mechanism = _per_level_mechanism(stage_budget, num_levels, params.noiseless)
+    mechanism = per_level_mechanism(stage_budget, num_levels, params.noiseless)
     beta_per_level = params.beta / num_levels
     alpha = onestep_candidate_alpha(
         n, ell, database.alphabet_size, mechanism, beta_per_level, delta_cap
@@ -131,13 +112,12 @@ def build_onestep_candidate_set(
     accountant = PrivacyAccountant()
     levels: dict[int, list[str]] = {}
     noisy_counts: dict[str, float] = {}
-    index = database.index
 
     # ------------------------------------------------------------------
     # Length 1: every letter of the public alphabet gets a noisy count.
     # ------------------------------------------------------------------
     letters = list(database.alphabet)
-    exact = [index.count(letter, delta_cap) for letter in letters]
+    exact = database.count_many(letters, delta_cap, backend=params.count_backend)
     kept, kept_counts = _prune_by_noisy_count(
         letters, exact, mechanism, ell, delta_cap, threshold, rng
     )
@@ -157,7 +137,9 @@ def build_onestep_candidate_set(
     for length in range(2, limit + 1):
         previous = levels[length - 1]
         extensions = sorted({left + letter for left in previous for letter in levels[1]})
-        exact = [index.count(pattern, delta_cap) for pattern in extensions]
+        exact = database.count_many(
+            extensions, delta_cap, backend=params.count_backend
+        )
         kept, kept_counts = _prune_by_noisy_count(
             extensions, exact, mechanism, ell, delta_cap, threshold, rng
         )

@@ -33,12 +33,7 @@ import numpy as np
 from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
 from repro.dp.composition import PrivacyAccountant, PrivacyBudget
-from repro.dp.mechanisms import (
-    CountingMechanism,
-    GaussianMechanism,
-    LaplaceMechanism,
-    NoiselessMechanism,
-)
+from repro.dp.mechanisms import CountingMechanism, per_level_mechanism
 from repro.exceptions import ConstructionAborted
 from repro.strings.lce import CollectionLCE
 
@@ -88,19 +83,6 @@ class CandidateSet:
 
     def max_level_length(self) -> int:
         return max(self.levels, default=0)
-
-
-def _level_mechanism(
-    budget: PrivacyBudget, num_levels: int, noiseless: bool
-) -> CountingMechanism:
-    """The per-level mechanism: the total budget is split evenly across the
-    ``floor(log2 ell) + 1`` doubling levels (simple composition)."""
-    if noiseless:
-        return NoiselessMechanism()
-    share = budget.split(num_levels)
-    if budget.is_pure:
-        return LaplaceMechanism(share.epsilon)
-    return GaussianMechanism(share.epsilon, share.delta)
 
 
 def candidate_alpha(
@@ -216,7 +198,7 @@ def build_candidate_set(
 
     limit = ell if doubling_limit is None else min(doubling_limit, ell)
     num_levels = int(math.floor(math.log2(max(1, limit)))) + 1
-    mechanism = _level_mechanism(stage_budget, num_levels, params.noiseless)
+    mechanism = per_level_mechanism(stage_budget, num_levels, params.noiseless)
     beta_per_level = params.beta / num_levels
     alpha = candidate_alpha(
         n, ell, database.alphabet_size, mechanism, beta_per_level, delta_cap
@@ -226,14 +208,13 @@ def build_candidate_set(
     accountant = PrivacyAccountant()
     levels: dict[int, list[str]] = {}
     noisy_counts: dict[str, float] = {}
-    index = database.index
 
     # ------------------------------------------------------------------
     # Level 0: single letters.  Every letter of the (public) alphabet gets a
     # noisy count, including letters that never occur.
     # ------------------------------------------------------------------
     letters = list(database.alphabet)
-    exact = [index.count(letter, delta_cap) for letter in letters]
+    exact = database.count_many(letters, delta_cap, backend=params.count_backend)
     kept, kept_counts = _prune_by_noisy_count(
         letters, exact, mechanism, ell, delta_cap, threshold, rng
     )
@@ -255,7 +236,9 @@ def build_candidate_set(
         pairs = [left + right for left in previous for right in previous]
         # Deduplicate while keeping order deterministic.
         pairs = sorted(set(pairs))
-        exact = [index.count(pattern, delta_cap) for pattern in pairs]
+        # One batched engine call per level: the whole |P|^2 concatenation
+        # batch is counted in one corpus pass under the Aho-Corasick backend.
+        exact = database.count_many(pairs, delta_cap, backend=params.count_backend)
         kept, kept_counts = _prune_by_noisy_count(
             pairs, exact, mechanism, ell, delta_cap, threshold, rng
         )

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.candidate_set import CandidateSet, build_candidate_set
 from repro.core.database import StringDatabase
+from repro.counting import resolve_backend
 from repro.core.params import ConstructionParams
 from repro.core.private_trie import PrivateCountingTrie, StructureMetadata
 from repro.dp.composition import PrivacyAccountant, PrivacyBudget
@@ -68,26 +69,46 @@ def _stage_mechanism(
 
 
 def annotate_trie_with_exact_counts(
-    trie: Trie, database: StringDatabase, delta_cap: int
+    trie: Trie, database: StringDatabase, delta_cap: int, *, backend: str = "auto"
 ) -> None:
     """Store ``count_Delta(str(v), D)`` in ``node.count`` for every node of
-    the candidate trie.
+    the candidate trie, using the requested :mod:`repro.counting` backend.
 
-    The counts of all prefixes of a candidate string are computed
-    incrementally by narrowing the suffix-array interval one character at a
-    time, so the whole trie is annotated in
-    ``O(num_nodes * (log N + cost of a capped count))``.
+    The trie's node set is prefix-closed, so the suffix-array backend has a
+    batch strategy of its own: the counts of all prefixes of a candidate
+    string are computed incrementally by narrowing the SA interval one
+    character at a time, annotating the whole trie in
+    ``O(num_nodes * (log N + cost of a capped count))``.  Every other
+    backend receives the node strings as one ``count_many`` batch.
     """
-    index = database.index
-    root_interval = (0, len(index.suffix_array))
-    trie.root.count = float(index.count("", delta_cap))
-    stack: list[tuple[TrieNode, tuple[int, int]]] = [(trie.root, root_interval)]
-    while stack:
-        node, (lo, hi) = stack.pop()
-        for char, child in node.children.items():
-            child_lo, child_hi = index.extend_interval(lo, hi, node.depth, char)
-            child.count = float(index.count_of_interval(child_lo, child_hi, delta_cap))
-            stack.append((child, (child_lo, child_hi)))
+    # The empty pattern occurs min(len(S), delta) times per document; computing
+    # it from the lengths keeps the non-suffix-array backends from forcing the
+    # O(N log N) index build.
+    trie.root.count = float(
+        sum(min(len(document), delta_cap) for document in database.documents)
+    )
+    nodes: list[TrieNode] = [
+        node for node in trie.iter_nodes() if node is not trie.root
+    ]
+    name = resolve_backend(backend, len(nodes), database.total_length)
+    if name == "suffix-array":
+        index = database.index
+        root_interval = (0, len(index.suffix_array))
+        stack: list[tuple[TrieNode, tuple[int, int]]] = [(trie.root, root_interval)]
+        while stack:
+            node, (lo, hi) = stack.pop()
+            for char, child in node.children.items():
+                child_lo, child_hi = index.extend_interval(lo, hi, node.depth, char)
+                child.count = float(
+                    index.count_of_interval(child_lo, child_hi, delta_cap)
+                )
+                stack.append((child, (child_lo, child_hi)))
+        return
+    counts = database.engine(name).count_many(
+        [node.string() for node in nodes], delta_cap
+    )
+    for node, count in zip(nodes, counts):
+        node.count = float(count)
 
 
 def build_private_counting_structure(
@@ -155,7 +176,9 @@ def build_private_counting_structure(
     trie = Trie()
     for pattern in sorted(candidate_set.all_strings()):
         trie.insert(pattern)
-    annotate_trie_with_exact_counts(trie, database, delta_cap)
+    annotate_trie_with_exact_counts(
+        trie, database, delta_cap, backend=params.count_backend
+    )
     decomposition = HeavyPathDecomposition(
         trie.root, lambda node: list(node.children.values())
     )
@@ -243,6 +266,7 @@ def build_private_counting_structure(
         error_bound=alpha_counts,
         threshold=prune_threshold,
         construction=construction_name,
+        count_backend=params.count_backend,
     )
     report = {
         "candidate_size": candidate_set.size,

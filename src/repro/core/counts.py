@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.core.database import StringDatabase
+from repro.counting import make_engine, resolve_backend
 from repro.strings import naive
 
 __all__ = [
@@ -48,15 +49,24 @@ def exact_count_table(
     database: StringDatabase | Sequence[str],
     delta: int,
     max_length: int | None = None,
+    *,
+    backend: str = "auto",
 ) -> Mapping[str, int]:
     """Exact ``count_Delta`` of every distinct substring of the collection
     with length at most ``max_length``.
 
     Only substrings that occur in the collection appear in the table; all
-    other patterns have count 0 by definition.
+    other patterns have count 0 by definition.  The table is one large
+    batch, so the default ``auto`` backend typically counts it in a single
+    Aho-Corasick pass over the collection; every backend returns identical
+    counts (``naive`` is the reference the engines are tested against).
     """
     documents = _documents(database)
-    table: dict[str, int] = {}
-    for pattern in naive.all_substrings(documents, max_length=max_length):
-        table[pattern] = naive.count_delta(pattern, documents, delta)
-    return table
+    patterns = sorted(naive.all_substrings(documents, max_length=max_length))
+    if isinstance(database, StringDatabase):
+        counts = database.count_many(patterns, delta, backend=backend)
+    else:
+        corpus_length = sum(len(document) for document in documents)
+        name = resolve_backend(backend, len(patterns), corpus_length)
+        counts = make_engine(name, documents).count_many(patterns, delta)
+    return {pattern: int(count) for pattern, count in zip(patterns, counts)}

@@ -12,6 +12,9 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Iterator, Sequence
 
+import numpy as np
+
+from repro.counting import AUTO_BACKEND, CountingEngine, make_engine, resolve_backend
 from repro.exceptions import InvalidDocumentError
 from repro.strings.alphabet import Alphabet, infer_alphabet
 from repro.strings.generalized_index import GeneralizedSuffixIndex
@@ -105,6 +108,49 @@ class StringDatabase:
         ``Delta = ell`` (Substring Count)."""
         delta = self.max_length if delta_cap is None else delta_cap
         return self.index.count(pattern, delta)
+
+    # ------------------------------------------------------------------
+    # Batched exact counting (the repro.counting engine layer)
+    # ------------------------------------------------------------------
+    def engine(self, backend: str) -> CountingEngine:
+        """The (cached) counting engine for a concrete backend name.
+
+        The suffix-array engine shares :attr:`index` instead of rebuilding
+        it; ``"auto"`` is resolved per batch by :meth:`count_many`, so it is
+        rejected here.
+        """
+        if backend == AUTO_BACKEND:
+            raise ValueError(
+                "engine() needs a concrete backend; 'auto' is resolved per "
+                "batch by count_many()"
+            )
+        name = resolve_backend(backend)
+        if not hasattr(self, "_engines"):
+            self._engines: dict[str, CountingEngine] = {}
+        if name not in self._engines:
+            index = self.index if name == "suffix-array" else None
+            self._engines[name] = make_engine(
+                name, self.documents, alphabet=self.alphabet, index=index
+            )
+        return self._engines[name]
+
+    def count_many(
+        self,
+        patterns: Sequence[str],
+        delta_cap: int | None = None,
+        *,
+        backend: str = "auto",
+    ) -> np.ndarray:
+        """Exact ``count_Delta(P, D)`` of a whole batch as an int64 vector.
+
+        ``backend`` is one of ``"auto"``, ``"naive"``, ``"suffix-array"`` or
+        ``"aho-corasick"``; ``"auto"`` picks per batch from the batch size
+        and the corpus size (every backend returns identical counts, so the
+        choice is purely a matter of speed).
+        """
+        delta = self.max_length if delta_cap is None else delta_cap
+        name = resolve_backend(backend, len(patterns), self.total_length)
+        return self.engine(name).count_many(patterns, delta)
 
     # ------------------------------------------------------------------
     # Neighboring databases

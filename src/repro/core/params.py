@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.counting import AUTO_BACKEND, BACKENDS
 from repro.dp.composition import PrivacyBudget
 from repro.exceptions import PrivacyParameterError
 
@@ -55,6 +56,12 @@ class ConstructionParams:
         Fraction of the budget spent on the candidate-set stage; the
         remainder is split evenly between heavy-path roots and prefix sums.
         The paper uses 1/3.
+    count_backend:
+        Which :mod:`repro.counting` engine computes the exact counts the
+        mechanisms then randomize: ``"auto"`` (per-batch selection),
+        ``"naive"``, ``"suffix-array"`` or ``"aho-corasick"``.  Every
+        backend returns identical counts, so this knob affects construction
+        speed only — never privacy or accuracy.
     """
 
     budget: PrivacyBudget
@@ -64,6 +71,7 @@ class ConstructionParams:
     threshold: float | None = None
     noiseless: bool = False
     candidate_budget_fraction: float = 1.0 / 3.0
+    count_backend: str = AUTO_BACKEND
 
     def __post_init__(self) -> None:
         if not 0 < self.beta < 1:
@@ -75,6 +83,11 @@ class ConstructionParams:
         if not 0 < self.candidate_budget_fraction < 1:
             raise PrivacyParameterError(
                 "candidate_budget_fraction must lie in (0, 1)"
+            )
+        if self.count_backend != AUTO_BACKEND and self.count_backend not in BACKENDS:
+            raise PrivacyParameterError(
+                f"count_backend must be one of {(AUTO_BACKEND,) + BACKENDS}, "
+                f"got {self.count_backend!r}"
             )
 
     # ------------------------------------------------------------------

@@ -47,6 +47,9 @@ class StructureMetadata:
     qgram_length: int | None = None
     #: free-form name of the construction that produced the structure.
     construction: str = ""
+    #: repro.counting backend that produced the exact counts the mechanisms
+    #: randomized ("" for structures predating the engine layer).
+    count_backend: str = ""
 
 
 @dataclass
@@ -172,8 +175,13 @@ class PrivateCountingTrie:
         root_count = self.trie.root.noisy_count
         if root_count is not None:
             counts[""] = float(root_count)
+        metadata = dict(self.metadata.__dict__)
+        if not metadata.get("count_backend"):
+            # Structures predating the engine layer serialized without this
+            # key; omitting the empty default keeps their digests stable.
+            metadata.pop("count_backend", None)
         return {
-            "metadata": self.metadata.__dict__,
+            "metadata": metadata,
             "counts": counts,
             "report": self.report,
         }

@@ -121,11 +121,9 @@ def build_theorem3_qgram_structure(
     )
     threshold = params.threshold if params.threshold is not None else 2.0 * alpha
 
-    index = database.index
-    exact = np.array(
-        [index.count(pattern, delta_cap) for pattern in candidate_qgrams],
-        dtype=np.float64,
-    )
+    exact = database.count_many(
+        candidate_qgrams, delta_cap, backend=params.count_backend
+    ).astype(np.float64)
     if len(candidate_qgrams):
         noisy = mechanism.randomize(
             exact,
@@ -162,6 +160,7 @@ def build_theorem3_qgram_structure(
         threshold=threshold,
         qgram_length=q,
         construction="theorem-3 (pure DP q-grams)",
+        count_backend=params.count_backend,
     )
     report = {
         "candidate_size": len(candidate_qgrams),
@@ -307,6 +306,9 @@ def build_theorem4_qgram_structure(
         threshold=threshold,
         qgram_length=q,
         construction="theorem-4 (approx DP q-grams)",
+        # The Lemma 21 walk reads counts straight off suffix-tree intervals;
+        # it never goes through a per-pattern engine batch.
+        count_backend="suffix-array",
     )
     report = {
         "stored_qgrams": kept,

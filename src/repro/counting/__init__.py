@@ -1,0 +1,29 @@
+"""Unified batched exact-counting layer (strings → counting → core).
+
+One protocol, three interchangeable backends and an ``auto`` selector; see
+:mod:`repro.counting.engines` and docs/ARCHITECTURE.md.
+"""
+
+from repro.counting.engines import (
+    AUTO_BACKEND,
+    BACKENDS,
+    AhoCorasickEngine,
+    CountingEngine,
+    NaiveEngine,
+    SuffixArrayEngine,
+    auto_backend,
+    make_engine,
+    resolve_backend,
+)
+
+__all__ = [
+    "AUTO_BACKEND",
+    "BACKENDS",
+    "AhoCorasickEngine",
+    "CountingEngine",
+    "NaiveEngine",
+    "SuffixArrayEngine",
+    "auto_backend",
+    "make_engine",
+    "resolve_backend",
+]

@@ -1,0 +1,232 @@
+"""Batched exact counting engines.
+
+Every stage of the private construction — candidate doubling (Lemmas 6/15),
+the one-letter-extension ablation, the q-gram structures, and the error
+metrics — needs the exact capped counts ``count_delta(P, D)`` of a *batch*
+of patterns.  This module gives all of them one interface,
+:class:`CountingEngine`, with three interchangeable backends:
+
+* :class:`NaiveEngine` — the quadratic reference (wraps
+  :mod:`repro.strings.naive`); ground truth for tests, never auto-selected.
+* :class:`SuffixArrayEngine` — per-pattern ``O(|P| log N)`` queries against
+  a :class:`~repro.strings.generalized_index.GeneralizedSuffixIndex`; best
+  for small batches once the index is built.
+* :class:`AhoCorasickEngine` — builds one Aho-Corasick automaton per batch
+  (one per candidate level) and counts *all* patterns in a single pass over
+  all documents, with the per-document capping done in vectorized numpy;
+  best for the large concatenation batches of the doubling levels.
+
+All three return bitwise-identical results; the property tests in
+``tests/counting`` enforce the equivalence.  :func:`resolve_backend`
+implements the ``auto`` policy that picks a backend from the batch size and
+the corpus size (see docs/ARCHITECTURE.md for the heuristic).
+
+This layer sits between :mod:`repro.strings` and :mod:`repro.core`
+(strings → counting → core → analysis/serving) and depends only on the
+string substrate, so both the construction algorithms and the serving build
+path can share it without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.strings import naive
+from repro.strings.aho_corasick import AhoCorasick
+from repro.strings.alphabet import Alphabet
+from repro.strings.generalized_index import GeneralizedSuffixIndex
+
+__all__ = [
+    "AUTO_BACKEND",
+    "BACKENDS",
+    "AhoCorasickEngine",
+    "CountingEngine",
+    "NaiveEngine",
+    "SuffixArrayEngine",
+    "auto_backend",
+    "make_engine",
+    "resolve_backend",
+]
+
+#: Concrete backend names, in reference-first order.
+BACKENDS = ("naive", "suffix-array", "aho-corasick")
+
+#: The data-dependent selector (not itself a backend).
+AUTO_BACKEND = "auto"
+
+#: ``auto`` never builds an automaton for batches smaller than this: the
+#: per-batch automaton construction cannot amortize.
+AUTO_MIN_BATCH = 32
+
+
+@runtime_checkable
+class CountingEngine(Protocol):
+    """Anything that answers batched exact capped counts.
+
+    ``count_many(patterns, delta_cap)`` returns an int64 vector with
+    ``count_delta(patterns[i], D)`` at position ``i``.  Duplicate patterns
+    are allowed and each position is answered independently; the empty
+    pattern counts every position of every document (capped per document),
+    matching :meth:`GeneralizedSuffixIndex.count`.
+    """
+
+    #: backend name recorded in structure metadata (e.g. ``"suffix-array"``).
+    name: str
+
+    def count_many(
+        self, patterns: Sequence[str], delta_cap: int
+    ) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+def _check_delta(delta_cap: int) -> None:
+    if delta_cap < 1:
+        raise ValueError("delta_cap must be at least 1")
+
+
+class NaiveEngine:
+    """Reference backend: quadratic scans via :mod:`repro.strings.naive`."""
+
+    name = "naive"
+
+    def __init__(self, documents: Sequence[str]) -> None:
+        self.documents = list(documents)
+
+    def count_many(self, patterns: Sequence[str], delta_cap: int) -> np.ndarray:
+        _check_delta(delta_cap)
+        return np.fromiter(
+            (
+                naive.count_delta(pattern, self.documents, delta_cap)
+                for pattern in patterns
+            ),
+            dtype=np.int64,
+            count=len(patterns),
+        )
+
+
+class SuffixArrayEngine:
+    """Per-pattern backend over the generalized suffix index."""
+
+    name = "suffix-array"
+
+    def __init__(
+        self,
+        documents: Sequence[str],
+        alphabet: Alphabet | None = None,
+        *,
+        index: GeneralizedSuffixIndex | None = None,
+    ) -> None:
+        self.index = (
+            index
+            if index is not None
+            else GeneralizedSuffixIndex(list(documents), alphabet)
+        )
+
+    def count_many(self, patterns: Sequence[str], delta_cap: int) -> np.ndarray:
+        _check_delta(delta_cap)
+        return np.asarray(self.index.counts(patterns, delta_cap), dtype=np.int64)
+
+
+class AhoCorasickEngine:
+    """Single-pass backend: one automaton per batch, one corpus scan.
+
+    The automaton is rebuilt for every ``count_many`` call — a candidate
+    level counts a fresh batch of concatenations, so there is nothing to
+    reuse — while the scan cost is shared by the whole batch.  Per-document
+    capping is a vectorized numpy reduction over the emitted matches (see
+    :meth:`AhoCorasick.capped_counts_over_documents`).
+    """
+
+    name = "aho-corasick"
+
+    def __init__(self, documents: Sequence[str]) -> None:
+        self.documents = list(documents)
+
+    def count_many(self, patterns: Sequence[str], delta_cap: int) -> np.ndarray:
+        _check_delta(delta_cap)
+        patterns = list(patterns)
+        if not patterns:
+            return np.zeros(0, dtype=np.int64)
+        automaton = AhoCorasick()
+        # slots[i] is the automaton index answering patterns[i]; -1 marks the
+        # empty pattern, which the automaton cannot hold.
+        slots = np.empty(len(patterns), dtype=np.int64)
+        for i, pattern in enumerate(patterns):
+            slots[i] = automaton.add_pattern(pattern) if pattern else -1
+        totals = automaton.capped_counts_over_documents(self.documents, delta_cap)
+        result = np.empty(len(patterns), dtype=np.int64)
+        occupied = slots >= 0
+        result[occupied] = totals[slots[occupied]] if len(totals) else 0
+        if not occupied.all():
+            empty_total = sum(
+                min(len(document), delta_cap) for document in self.documents
+            )
+            result[~occupied] = empty_total
+        return result
+
+
+def auto_backend(num_patterns: int, corpus_length: int) -> str:
+    """Pick a concrete backend from batch size × corpus size.
+
+    Cost model (Python-level operations): a suffix-array query costs about
+    ``log2(N)`` probes per pattern, each probe a small-array comparison, so a
+    batch costs ``~ num_patterns * log2(N)`` probes; the automaton costs one
+    scan of the corpus (``~ N`` dictionary steps) plus the per-batch build.
+    The automaton therefore wins once the batch is large and the corpus scan
+    amortizes over it; tiny batches against huge corpora stay on the index.
+    """
+    if num_patterns < AUTO_MIN_BATCH:
+        return "suffix-array"
+    probes = num_patterns * (math.log2(corpus_length + 2.0) + 1.0)
+    if probes < corpus_length / 16.0:
+        return "suffix-array"
+    return "aho-corasick"
+
+
+def resolve_backend(
+    backend: str, num_patterns: int | None = None, corpus_length: int | None = None
+) -> str:
+    """Validate ``backend`` and resolve ``"auto"`` to a concrete name.
+
+    Resolving ``"auto"`` requires the batch and corpus sizes; passing
+    ``None`` for either resolves to ``"suffix-array"`` (the safe default for
+    unknown batch shapes).
+    """
+    if backend == AUTO_BACKEND:
+        if num_patterns is None or corpus_length is None:
+            return "suffix-array"
+        return auto_backend(num_patterns, corpus_length)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown counting backend {backend!r}; "
+            f"expected one of {(AUTO_BACKEND,) + BACKENDS}"
+        )
+    return backend
+
+
+def make_engine(
+    backend: str,
+    documents: Sequence[str],
+    *,
+    alphabet: Alphabet | None = None,
+    index: GeneralizedSuffixIndex | None = None,
+) -> CountingEngine:
+    """Instantiate a concrete backend by name.
+
+    ``backend`` must be concrete (resolve ``"auto"`` first with
+    :func:`resolve_backend`).  ``index`` lets callers that already own a
+    :class:`GeneralizedSuffixIndex` (e.g. ``StringDatabase``) share it with
+    the suffix-array engine instead of rebuilding it.
+    """
+    if backend == "naive":
+        return NaiveEngine(documents)
+    if backend == "suffix-array":
+        return SuffixArrayEngine(documents, alphabet, index=index)
+    if backend == "aho-corasick":
+        return AhoCorasickEngine(documents)
+    raise ValueError(
+        f"unknown counting backend {backend!r}; expected one of {BACKENDS}"
+    )

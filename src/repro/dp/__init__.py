@@ -14,6 +14,7 @@ from repro.dp.mechanisms import (
     GaussianMechanism,
     LaplaceMechanism,
     NoiselessMechanism,
+    per_level_mechanism,
 )
 from repro.dp.prefix_sums import (
     NoisyPrefixSums,
@@ -36,6 +37,7 @@ __all__ = [
     "GaussianMechanism",
     "LaplaceMechanism",
     "NoiselessMechanism",
+    "per_level_mechanism",
     "NoisyPrefixSums",
     "PrefixSumMechanism",
     "canonical_cover",

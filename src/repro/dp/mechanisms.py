@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dp.composition import PrivacyBudget
 from repro.dp.distributions import (
     gaussian_tail_bound,
     laplace_tail_bound,
@@ -39,6 +40,7 @@ __all__ = [
     "LaplaceMechanism",
     "GaussianMechanism",
     "NoiselessMechanism",
+    "per_level_mechanism",
 ]
 
 
@@ -221,3 +223,23 @@ class NoiselessMechanism(CountingMechanism):
         l2_sensitivity: float = 0.0,
     ) -> float:
         return 0.0
+
+
+def per_level_mechanism(
+    budget: PrivacyBudget, num_levels: int, noiseless: bool = False
+) -> CountingMechanism:
+    """The per-level mechanism of a multi-level candidate construction.
+
+    The total budget is split evenly across the ``num_levels`` releases
+    (simple composition, Lemma 1): ``floor(log2 ell) + 1`` levels for the
+    paper's doubling strategy, ``ell`` for the one-letter-extension ablation.
+    Pure budgets get Laplace noise, approximate budgets Gaussian;
+    ``noiseless`` short-circuits to :class:`NoiselessMechanism` for tests and
+    exact figures.
+    """
+    if noiseless:
+        return NoiselessMechanism()
+    share = budget.split(num_levels)
+    if budget.is_pure:
+        return LaplaceMechanism(share.epsilon)
+    return GaussianMechanism(share.epsilon, share.delta)

@@ -4,14 +4,31 @@ The differentially private construction algorithms repeatedly need exact
 counts of *batches* of candidate strings against the database (Step 1 of the
 construction, the baseline trie expansion, the test oracles).  The
 Aho-Corasick automaton counts all occurrences of every pattern of a batch in
-one pass over each document, independent of the number of matches, by
-aggregating visit counts over the suffix-link tree.
+one pass over each document, independent of the number of patterns, which is
+what :class:`repro.counting.AhoCorasickEngine` builds on.
+
+Two matching paths are provided:
+
+* the classic dict API (:meth:`AhoCorasick.count_occurrences`,
+  :meth:`AhoCorasick.count_over_documents`), and
+* array-based batch counting (:meth:`AhoCorasick.pattern_counts`,
+  :meth:`AhoCorasick.capped_counts_over_documents`) that returns numpy
+  vectors indexed by pattern index and does the per-document capping
+  ``min(delta, count(P, S))`` with vectorized numpy reductions.
+
+``build()`` precomputes the full goto closure (failure transitions resolved
+into one dictionary per state) and per-state *output links* (the pattern
+indices whose strings are suffixes of the state's string), so the scan does
+one dict lookup per character and emits matches without walking failure
+chains.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Iterable, Sequence
+
+import numpy as np
 
 __all__ = ["AhoCorasick"]
 
@@ -34,12 +51,24 @@ class AhoCorasick:
         self._terminal: list[int] = [-1]
         self.patterns: list[str] = []
         self._built = False
+        # Populated by build():
+        self._goto: list[dict[str, int]] = []
+        self._outputs: list[tuple[int, ...]] = []
+        self._state_of_pattern: np.ndarray | None = None
         for pattern in patterns:
             self.add_pattern(pattern)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @property
+    def num_patterns(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def num_states(self) -> int:
+        return len(self._children)
+
     def add_pattern(self, pattern: str) -> int:
         """Add a non-empty pattern; returns its index.  Duplicate patterns
         share an index."""
@@ -66,15 +95,18 @@ class AhoCorasick:
         return index
 
     def build(self) -> None:
-        """Compute failure links (idempotent)."""
+        """Compute failure links, the goto closure and the per-state output
+        links (idempotent)."""
         if self._built:
             return
         queue: deque[int] = deque()
         for child in self._children[0].values():
             self._fail[child] = 0
             queue.append(child)
+        order: list[int] = []
         while queue:
             state = queue.popleft()
+            order.append(state)
             for char, child in self._children[state].items():
                 # Follow failure links of the parent to find the failure of
                 # the child.
@@ -85,6 +117,26 @@ class AhoCorasick:
                 if self._fail[child] == child:
                     self._fail[child] = 0
                 queue.append(child)
+        # Goto closure and output links, in BFS order so the failure target
+        # (which is strictly shallower) is always finished first.
+        self._goto = [dict(self._children[0])] + [{}] * (len(self._children) - 1)
+        self._outputs = [()] * len(self._children)
+        if self._terminal[0] >= 0:  # unreachable (patterns are non-empty)
+            self._outputs[0] = (self._terminal[0],)
+        for state in order:
+            fail = self._fail[state]
+            transitions = dict(self._goto[fail])
+            transitions.update(self._children[state])
+            self._goto[state] = transitions
+            if self._terminal[state] >= 0:
+                self._outputs[state] = self._outputs[fail] + (self._terminal[state],)
+            else:
+                self._outputs[state] = self._outputs[fail]
+        states = np.zeros(len(self.patterns), dtype=np.int64)
+        for state, pattern_index in enumerate(self._terminal):
+            if pattern_index >= 0:
+                states[pattern_index] = state
+        self._state_of_pattern = states
         self._built = True
 
     # ------------------------------------------------------------------
@@ -104,25 +156,71 @@ class AhoCorasick:
             visits[state] += 1
         return visits
 
+    def pattern_counts(self, text: str) -> np.ndarray:
+        """Occurrences of every pattern in ``text`` as an int64 vector
+        indexed by pattern index (one pass over ``text``)."""
+        self.build()
+        matches: list[int] = []
+        extend = matches.extend
+        goto = self._goto
+        outputs = self._outputs
+        state = 0
+        for char in text:
+            state = goto[state].get(char, 0)
+            if outputs[state]:
+                extend(outputs[state])
+        if not matches:
+            return np.zeros(len(self.patterns), dtype=np.int64)
+        return np.bincount(
+            np.asarray(matches, dtype=np.int64), minlength=len(self.patterns)
+        )
+
     def count_occurrences(self, text: str) -> dict[str, int]:
         """Exact number of (possibly overlapping) occurrences of every
         pattern in ``text``."""
+        counts = self.pattern_counts(text)
+        return {pattern: int(counts[i]) for i, pattern in enumerate(self.patterns)}
+
+    def capped_counts_over_documents(
+        self, documents: Sequence[str], delta: int
+    ) -> np.ndarray:
+        """``count_delta(P, D)`` for every pattern as an int64 vector indexed
+        by pattern index.
+
+        One pass over the concatenated collection emits every match as a
+        ``(pattern, document)`` pair; the per-document capping
+        ``sum_S min(delta, count(P, S))`` is then a vectorized numpy
+        reduction over the match list, independent of the number of states.
+        """
+        if delta < 1:
+            raise ValueError("delta must be at least 1")
         self.build()
-        visits = self._visit_counts(text)
-        # Aggregate visit counts bottom-up over the suffix-link tree: a state
-        # is "reached" whenever any state in its suffix-link subtree is
-        # visited.  Processing states in order of decreasing depth guarantees
-        # children are handled before their suffix-link parents.
-        order = sorted(range(len(self._children)), key=lambda s: -self._depth[s])
-        totals = list(visits)
-        for state in order:
-            if state:
-                totals[self._fail[state]] += totals[state]
-        result = {pattern: 0 for pattern in self.patterns}
-        for state, pattern_index in enumerate(self._terminal):
-            if pattern_index >= 0:
-                result[self.patterns[pattern_index]] = totals[state]
-        return result
+        num_patterns = len(self.patterns)
+        if num_patterns == 0:
+            return np.zeros(0, dtype=np.int64)
+        goto = self._goto
+        outputs = self._outputs
+        num_documents = len(documents)
+        match_keys: list[int] = []
+        extend = match_keys.extend
+        for doc_id, document in enumerate(documents):
+            state = 0
+            for char in document:
+                state = goto[state].get(char, 0)
+                out = outputs[state]
+                if out:
+                    # Key = pattern * num_documents + document, so one
+                    # np.unique pass groups matches per (pattern, document).
+                    extend(p * num_documents + doc_id for p in out)
+        if not match_keys:
+            return np.zeros(num_patterns, dtype=np.int64)
+        keys, counts = np.unique(
+            np.asarray(match_keys, dtype=np.int64), return_counts=True
+        )
+        np.minimum(counts, delta, out=counts)
+        return np.bincount(
+            keys // num_documents, weights=counts, minlength=num_patterns
+        ).astype(np.int64)
 
     def count_over_documents(
         self, documents: Sequence[str], delta: int
@@ -131,12 +229,5 @@ class AhoCorasick:
 
         Equivalent to summing ``min(delta, count(P, S))`` over the documents.
         """
-        if delta < 1:
-            raise ValueError("delta must be at least 1")
-        self.build()
-        totals = {pattern: 0 for pattern in self.patterns}
-        for document in documents:
-            per_document = self.count_occurrences(document)
-            for pattern, occurrences in per_document.items():
-                totals[pattern] += min(delta, occurrences)
-        return totals
+        totals = self.capped_counts_over_documents(documents, delta)
+        return {pattern: int(totals[i]) for i, pattern in enumerate(self.patterns)}

@@ -77,5 +77,5 @@ class TestSubpackages:
     def test_cli_registry_covers_design_index(self):
         from repro.cli import EXPERIMENT_REGISTRY
 
-        expected = {f"E{i}" for i in range(1, 21)}
+        expected = {f"E{i}" for i in range(1, 22)}
         assert set(EXPERIMENT_REGISTRY) == expected
