@@ -8,7 +8,8 @@ ever stores q-grams that actually occur in the reads:
 
 1. generate DNA-like reads with planted motifs (a stand-in for a private
    genome panel — see DESIGN.md "Substitutions");
-2. build the Theorem 4 structure for q = 4;
+2. build the Theorem 4 structure (kind ``"qgram-t4"`` of the unified API)
+   for q = 4;
 3. publish the noisy q-gram counts and compare them with the exact ones;
 4. mine the frequent q-grams at the structure's own threshold.
 
@@ -21,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ConstructionParams, build_theorem4_qgram_structure, mine_frequent_qgrams
+from repro import Dataset, mine_frequent_qgrams
 from repro.analysis.metrics import mining_quality
 from repro.strings.qgrams import qgram_capped_counts
 from repro.workloads import genome_with_motifs
@@ -45,10 +46,13 @@ def main() -> None:
     # once to every q-gram, which is both the natural privacy unit for a
     # genome panel and the setting where Theorem 4's sqrt(ell * Delta) error
     # shines.
-    params = ConstructionParams.approximate(
-        EPSILON, DELTA, beta=0.1
-    ).for_document_count()
-    structure = build_theorem4_qgram_structure(reads, Q, params, rng=rng)
+    structure = (
+        Dataset.from_database(reads)
+        .with_budget(EPSILON, DELTA)
+        .with_beta(0.1)
+        .with_contribution_cap(1)
+        .build("qgram-t4", rng=rng, q=Q)
+    )
     print(f"construction: {structure.metadata.construction}")
     print(f"construction time: {structure.report['construction_seconds']:.2f}s")
     print(f"stored {Q}-grams: {structure.num_stored_patterns}")

@@ -28,9 +28,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
-    ConstructionParams,
+    Dataset,
     PrivateCountingTrie,
-    build_private_counting_structure,
     mine_frequent_qgrams,
     mine_frequent_substrings,
 )
@@ -50,10 +49,13 @@ def curator_builds_and_publishes(release_path: Path) -> None:
         f"alphabet = {reads.alphabet_size}"
     )
 
-    params = ConstructionParams.approximate(
-        EPSILON, DELTA, beta=0.1
-    ).for_document_count()
-    structure = build_private_counting_structure(reads, params, rng=rng)
+    structure = (
+        Dataset.from_database(reads)
+        .with_budget(EPSILON, DELTA)
+        .with_beta(0.1)
+        .with_contribution_cap(1)  # Document Count semantics
+        .build("heavy-path", rng=rng)
+    )
     print(f"construction: {structure.metadata.construction}")
     print(f"privacy budget spent: epsilon = {EPSILON}, delta = {DELTA}")
     print(f"error bound alpha = {structure.error_bound:.1f}")

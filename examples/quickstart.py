@@ -3,10 +3,13 @@
 This walks through the library's core loop on the paper's running example and
 on a slightly larger synthetic collection:
 
-1. wrap documents in a :class:`StringDatabase`;
-2. run the epsilon-DP construction (Theorem 1) once — this is the only step
-   that touches the data and therefore the only step that costs privacy;
-3. query the resulting structure as often as you like (post-processing);
+1. wrap documents in a :class:`Dataset` (the unified fluent API; see
+   docs/API.md);
+2. run the epsilon-DP construction (Theorem 1, kind ``"heavy-path"``) once —
+   this is the only step that touches the data and therefore the only step
+   that costs privacy;
+3. query the resulting counter as often as you like (post-processing),
+   one pattern at a time or as a vectorized batch;
 4. mine frequent substrings at several thresholds, still without any further
    privacy loss.
 
@@ -19,12 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    ConstructionParams,
-    StringDatabase,
-    build_private_counting_structure,
-    mine_frequent_substrings,
-)
+from repro import Dataset, StringDatabase, mine_frequent_substrings
 from repro.workloads import planted_motif_documents
 
 
@@ -35,9 +33,11 @@ def toy_example() -> None:
     print(f"exact count('ab')   = {database.substring_count('ab')}")
     print(f"exact count_1('ab') = {database.document_count('ab')}")
 
-    params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
-    structure = build_private_counting_structure(
-        database, params, rng=np.random.default_rng(0)
+    structure = (
+        Dataset.from_database(database)
+        .with_budget(epsilon=2.0)
+        .with_beta(0.1)
+        .build("heavy-path", rng=np.random.default_rng(0))
     )
     print(f"construction: {structure.metadata.construction}")
     print(f"error bound alpha = {structure.error_bound:.1f}")
@@ -64,11 +64,17 @@ def realistic_example() -> None:
 
     # A generous budget keeps the demonstration fast and the output non-empty;
     # shrink epsilon to see the privacy/utility trade-off.
-    params = ConstructionParams.pure(epsilon=40.0, beta=0.1)
-    structure = build_private_counting_structure(database, params, rng=rng)
+    structure = (
+        Dataset.from_database(database)
+        .with_budget(epsilon=40.0)
+        .with_beta(0.1)
+        .build("heavy-path", rng=rng)
+    )
     print(f"error bound alpha = {structure.error_bound:.1f}")
     print(f"stored patterns: {structure.num_stored_patterns}")
     print(f"noisy count('abba') = {structure.query('abba'):.1f}")
+    batch = structure.query_many(["abba", "abb", "dcba"])
+    print(f"batched counts for ['abba', 'abb', 'dcba'] = {np.round(batch, 1)}")
 
     # Post-processing: query and mine as often as you like.
     for threshold in (structure.metadata.threshold, 2 * structure.metadata.threshold):

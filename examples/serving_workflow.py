@@ -2,10 +2,12 @@
 
 This demo plays all three roles of the serving story in one process:
 
-1. **Curator** — runs private constructions against a budget ledger with a
-   global ``(epsilon, delta)`` cap, storing each release in a versioned
-   on-disk release store.  A third build is refused by the ledger *before*
-   it touches the data.
+1. **Curator** — builds releases through the fluent ``Dataset`` API (two
+   structure kinds of the same genome panel: the heavy-path trie and a
+   Theorem 4 q-gram release) against a budget ledger with a global
+   ``(epsilon, delta)`` cap, storing each release in a versioned on-disk
+   release store.  A third build against the panel is refused by the
+   ledger *before* it touches the data.
 2. **Operator** — loads the store, compiles every release to the array form
    and serves them over HTTP (the same path as ``dpsc serve``).
 3. **Analyst** — uses the stdlib client for single queries, one vectorized
@@ -28,12 +30,11 @@ import numpy as np
 
 from repro import (
     BudgetLedger,
-    ConstructionParams,
+    Dataset,
     PrivacyBudget,
     QueryService,
     ReleaseStore,
     ServingClient,
-    build_release,
 )
 from repro.exceptions import BudgetExceededError
 from repro.serving import create_server
@@ -48,38 +49,49 @@ def curator(store: ReleaseStore, ledger: BudgetLedger) -> None:
     print("=== curator ===")
     print(f"global cap: epsilon = {CAP.epsilon}, delta = {CAP.delta}")
     rng = np.random.default_rng(11)
-    genome_params = ConstructionParams.pure(EPSILON, beta=0.1, threshold=40.0)
-    transit_params = ConstructionParams.pure(EPSILON, beta=0.1, threshold=45.0)
-
     genome = genome_with_motifs(1000, 12, rng)
-    structure = build_release(
-        genome, genome_params, ledger=ledger, database_id="genome-panel", rng=rng
+    genome_panel = (
+        Dataset.from_database(genome)
+        .with_budget(EPSILON)
+        .with_beta(0.1)
+        .with_threshold(40.0)
+        .with_ledger(ledger, "genome-panel")
     )
-    record = store.save("genome", structure)
+
+    record = genome_panel.build("heavy-path", rng=rng).release(store, "genome")
     print(f"released genome v{record.version}: {record.num_patterns} patterns")
 
-    transit = transit_trajectories(1000, 12, rng)
-    structure = build_release(
-        transit, transit_params, ledger=ledger, database_id="transit-trips", rng=rng
+    # A second release of the *same* panel — this time the fixed-length
+    # Theorem 4 q-gram structure — composes on the ledger: 2 * EPSILON = 40
+    # of the 45 cap spent.
+    record = (
+        genome_panel.with_budget(EPSILON, 1e-6)
+        .build("qgram-t4", rng=rng, q=4)
+        .release(store, "genome-4grams")
     )
-    record = store.save("transit", structure)
+    print(f"released genome-4grams v{record.version}: {record.num_patterns} patterns")
+
+    transit = transit_trajectories(1000, 12, rng)
+    record = (
+        Dataset.from_database(transit)
+        .with_budget(EPSILON)
+        .with_beta(0.1)
+        .with_threshold(45.0)
+        .with_ledger(ledger, "transit-trips")
+        .build("heavy-path", rng=rng)
+        .release(store, "transit")
+    )
     print(f"released transit v{record.version}: {record.num_patterns} patterns")
 
     spent = ledger.spent("genome-panel")
     print(f"ledger[genome-panel]: spent epsilon = {spent.epsilon:g}")
 
-    # A second genome release at the same budget would compose to
-    # 2 * EPSILON = 40 <= 45: allowed.  A third would reach 60 > 45 and the
-    # ledger must refuse it before any construction runs.
-    build_release(
-        genome, genome_params, ledger=ledger, database_id="genome-panel", rng=rng
-    )
+    # A third genome-panel release would compose to 60 > 45: the ledger
+    # must refuse it before any construction runs.
     try:
-        build_release(
-            genome, genome_params, ledger=ledger, database_id="genome-panel", rng=rng
-        )
+        genome_panel.build("heavy-path", rng=rng)
     except BudgetExceededError as error:
-        print(f"third genome build refused: {error}")
+        print(f"third genome-panel build refused: {error}")
 
 
 def analyst(client: ServingClient) -> None:
@@ -109,6 +121,11 @@ def analyst(client: ServingClient) -> None:
 
     frequent = client.mine(60.0, release="genome", min_length=3)
     print(f"  mining at tau = 60: {[p for p, _ in frequent[:5]]}")
+
+    # The q-gram release serves fixed-length traffic through the compiled
+    # trie's uniform-length batch path.
+    counts = client.batch(["ACGT", "GGCC", "TTTT"], release="genome-4grams")
+    print(f"  genome-4grams batch: {[round(c, 1) for c in counts]}")
 
     health = client.healthz()
     print(

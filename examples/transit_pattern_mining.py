@@ -21,12 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    ConstructionParams,
-    build_private_counting_structure,
-    check_mining_guarantee,
-    mine_frequent_substrings,
-)
+from repro import Dataset, check_mining_guarantee, mine_frequent_substrings
 from repro.workloads import TransitNetwork, transit_trajectories
 
 EPSILON = 30.0
@@ -50,10 +45,13 @@ def main() -> None:
     # pattern, which is the natural privacy unit for trajectory data.  Under
     # approximate DP this is exactly the regime where Theorem 2 improves the
     # error from ~ell to ~sqrt(ell).
-    params = ConstructionParams.approximate(
-        EPSILON, 1e-6, beta=0.1
-    ).for_document_count()
-    structure = build_private_counting_structure(trips, params, rng=rng)
+    structure = (
+        Dataset.from_database(trips)
+        .with_budget(EPSILON, 1e-6)
+        .with_beta(0.1)
+        .with_contribution_cap(1)
+        .build("heavy-path", rng=rng)
+    )
     print(f"construction: {structure.metadata.construction}")
     print(f"error bound alpha = {structure.error_bound:.1f}")
     print(

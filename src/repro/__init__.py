@@ -7,19 +7,32 @@ answer, for *every* possible pattern, how often it occurs in a collection of
 documents (Substring Count) or how many documents contain it (Document
 Count), with additive error nearly matching the paper's lower bounds.
 
-Quickstart::
+Quickstart (the unified API; see docs/API.md and README.md)::
 
-    from repro import StringDatabase, ConstructionParams
-    from repro import build_private_counting_structure
+    from repro import Dataset
 
-    db = StringDatabase(["aaaa", "abe", "absab", "babe", "bee", "bees"])
-    params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
-    structure = build_private_counting_structure(db, params)
-    structure.query("ab")          # noisy substring count, post-processing
-    structure.mine(threshold=3.0)  # frequent-pattern mining, no extra privacy cost
+    counter = (
+        Dataset.from_documents(["aaaa", "abe", "absab", "babe", "bee", "bees"])
+        .with_budget(epsilon=2.0)
+        .with_beta(0.1)
+        .build("heavy-path")       # or "qgram-t3"/"qgram-t4" (q=...), "baseline"
+    )
+    counter.query("ab")            # noisy substring count, post-processing
+    counter.query_many(["ab", "be"])   # vectorized batch, same counts
+    counter.mine(threshold=3.0)    # frequent-pattern mining, no extra privacy cost
+
+Every structure kind builds through the same ``Dataset`` façade, satisfies
+the ``PrivateCounter`` protocol, and plugs into the serving stack
+(``counter.release(store)``); new kinds register via
+``register_structure_kind`` without touching core.  The per-theorem
+``build_*`` functions still work as deprecation shims.
 
 Subpackages
 -----------
+``repro.api``
+    The canonical public surface: the ``PrivateCounter`` protocol, the
+    structure-kind registry, and the fluent ``Dataset`` builder
+    (see ``docs/API.md``).
 ``repro.core``
     The paper's contribution: candidate sets, the heavy-path construction
     (Theorems 1-2), q-gram structures (Theorems 3-4), mining, baselines,
@@ -47,6 +60,14 @@ Subpackages
     ``docs/SERVING.md``).
 """
 
+from repro.api import (
+    Dataset,
+    PrivateCounter,
+    StructureKind,
+    StructureRegistry,
+    default_registry,
+    register_structure_kind,
+)
 from repro.core import (
     DOCUMENT_COUNT,
     SUBSTRING_COUNT,
@@ -87,6 +108,12 @@ from repro.trees import private_colored_counts, private_hierarchical_counts, pri
 __version__ = "1.0.0"
 
 __all__ = [
+    "Dataset",
+    "PrivateCounter",
+    "StructureKind",
+    "StructureRegistry",
+    "default_registry",
+    "register_structure_kind",
     "DOCUMENT_COUNT",
     "SUBSTRING_COUNT",
     "ConstructionParams",

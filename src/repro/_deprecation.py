@@ -1,0 +1,41 @@
+"""Warn-once deprecation plumbing for the legacy ``build_*`` entry points.
+
+The unified :mod:`repro.api` layer (``Dataset`` + ``StructureRegistry``)
+replaced the per-theorem builder functions as the public surface.  The old
+names keep working forever — they forward to exactly the same construction
+code — but each one announces its replacement with a single
+:class:`DeprecationWarning` per process, so scripts see the notice once
+instead of once per build.  Internal code never calls the shims (CI imports
+the package under ``-W error::DeprecationWarning`` to enforce that imports
+stay warning-free).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated", "reset_deprecation_warnings"]
+
+_WARNED: set[str] = set()
+
+
+def warn_deprecated(name: str, replacement: str) -> None:
+    """Emit a :class:`DeprecationWarning` for ``name``, once per process.
+
+    ``replacement`` names the :mod:`repro.api` spelling the caller should
+    migrate to; it is included verbatim in the message.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement} instead "
+        "(see docs/API.md for the unified PrivateCounter API)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims have warned (so tests can observe the warnings)."""
+    _WARNED.clear()

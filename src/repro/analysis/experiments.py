@@ -30,7 +30,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.baselines import build_simple_trie_baseline
+from repro.api import Dataset, default_registry
 from repro.core.candidate_growth import build_onestep_candidate_set
 from repro.core.candidate_set import CandidateSet, build_candidate_set
 from repro.core.construction import (
@@ -51,16 +51,11 @@ from repro.core.error_bounds import (
 from repro.core.lower_bounds import exact_marginals
 from repro.core.mining import check_mining_guarantee, mine_frequent_substrings
 from repro.core.params import ConstructionParams
-from repro.core.qgram_structure import (
-    build_theorem3_qgram_structure,
-    build_theorem4_qgram_structure,
-)
 from repro.counting import auto_backend
 from repro.dp.composition import PrivacyBudget
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.dp.prefix_sums import PrefixSumMechanism
 from repro.analysis.metrics import mining_quality
-from repro.strings.qgrams import qgram_capped_counts
 from repro.strings.trie import Trie
 from repro.trees.colored import (
     ColoredItem,
@@ -77,7 +72,7 @@ from repro.trees.range_counting import (
     range_counting_error_bound,
     range_counting_tree_counts,
 )
-from repro.trees.tree_counting import private_tree_counts, tree_counting_error_bound
+from repro.trees.tree_counting import tree_counting_error_bound
 from repro.workloads.adversarial import (
     random_marginals_instance,
     worst_case_packing,
@@ -111,6 +106,7 @@ __all__ = [
     "run_tree_strategy_comparison",
     "run_candidate_growth_ablation",
     "run_counting_engine_benchmark",
+    "run_query_many_benchmark",
     "run_serving_throughput",
 ]
 
@@ -417,15 +413,20 @@ def run_qgram_error(
         exact_candidates = build_candidate_set(
             database, exact_params, doubling_limit=q, lengths=[q]
         )
-        pure = build_theorem3_qgram_structure(
+        pure = default_registry().build(
+            "qgram-t3",
             database,
-            q,
             pure_params,
             rng=np.random.default_rng(seed + q),
+            q=q,
             candidate_qgrams=exact_candidates.by_length.get(q, []),
         )
-        approx = build_theorem4_qgram_structure(
-            database, q, approx_params, rng=np.random.default_rng(seed + 100 + q)
+        approx = default_registry().build(
+            "qgram-t4",
+            database,
+            approx_params,
+            rng=np.random.default_rng(seed + 100 + q),
+            q=q,
         )
         cap = database.max_length
         pure_errors = _stored_count_errors(pure, database, cap)
@@ -460,8 +461,8 @@ def run_qgram_timing(
         database = genome_with_motifs(n, ell, rng)
         params = ConstructionParams.approximate(epsilon, delta, beta=0.1)
         started = time.perf_counter()
-        structure = build_theorem4_qgram_structure(
-            database, q, params, rng=np.random.default_rng(seed)
+        structure = default_registry().build(
+            "qgram-t4", database, params, rng=np.random.default_rng(seed), q=q
         )
         elapsed = time.perf_counter() - started
         rows.append(
@@ -514,7 +515,8 @@ def run_baseline_comparison(
             ours = build_structure_with_exact_candidates(
                 database, params, np.random.default_rng(seed * 31 + ell * 7 + trial)
             )
-            baseline = build_simple_trie_baseline(
+            baseline = default_registry().build(
+                "baseline",
                 database,
                 baseline_params,
                 rng=np.random.default_rng(seed * 77 + ell * 7 + trial),
@@ -576,9 +578,11 @@ def run_mining_experiment(
     exact = exact_count_table(database, cap, max_length=6)
     rows = []
     for epsilon in epsilons:
-        params = ConstructionParams.pure(epsilon, beta=0.1)
-        structure = build_private_counting_structure(
-            database, params, rng=np.random.default_rng(seed + int(epsilon))
+        structure = (
+            Dataset.from_database(database)
+            .with_budget(epsilon)
+            .with_beta(0.1)
+            .build("heavy-path", rng=np.random.default_rng(seed + int(epsilon)))
         )
         threshold = structure.metadata.threshold
         result = mine_frequent_substrings(structure, threshold)
@@ -1245,6 +1249,107 @@ def run_counting_engine_benchmark(
     return rows
 
 
+def run_query_many_benchmark(
+    batch_sizes: Sequence[int] = (64, 256, 512, 1024),
+    *,
+    n: int = 2000,
+    ell: int = 16,
+    epsilon: float = 60.0,
+    delta: float = 1e-6,
+    seed: int = 19,
+    hit_fraction: float = 0.85,
+    timing_reps: int = 5,
+) -> list[dict]:
+    """E22 — batched ``query_many`` vs per-pattern ``query`` loops for every
+    registered structure kind.
+
+    Builds one counter per kind through the unified ``Dataset`` façade on
+    the genome workload (per-kind parameters keep every construction
+    laptop-sized: the near-linear Theorem 4 structure carries the long
+    ``q = 12`` grams, Theorem 3 a cheaper ``q = 6``), then replays a
+    serving-style pattern mix through both query paths: ``hit_fraction``
+    stored patterns, the rest random document windows — fixed-length
+    windows for the q-gram kinds, whose traffic rides the compiled trie's
+    uniform-length batch path.  Batched answers must be bit-for-bit equal
+    to the loop; the acceptance headline
+    (``benchmarks/bench_query_many.py``) is a >= 5x speedup at >= 512
+    patterns on the q-gram structure.  Timings take the best of
+    ``timing_reps`` runs.
+    """
+    rng = np.random.default_rng(seed)
+    database = genome_with_motifs(n, ell, rng)
+    dataset = Dataset.from_database(database).with_beta(0.1)
+    builds: list[tuple[str, Dataset, dict]] = [
+        ("heavy-path", dataset.with_budget(epsilon).with_threshold(30.0), {}),
+        ("qgram-t3", dataset.with_budget(epsilon).with_threshold(20.0), {"q": 6}),
+        (
+            "qgram-t4",
+            dataset.with_budget(epsilon, delta).with_threshold(5.0),
+            {"q": 12},
+        ),
+        (
+            "baseline",
+            dataset.with_budget(epsilon),
+            {"max_nodes": 2000, "max_depth": 8},
+        ),
+    ]
+    counters = {
+        kind: configured.build(kind, rng=np.random.default_rng(seed + 1), **kwargs)
+        for kind, configured, kwargs in builds
+    }
+
+    documents = list(database)
+    max_batch = max(batch_sizes)
+
+    def pattern_pool(counter) -> list[str]:
+        """Serving-style traffic for one release: mostly stored patterns
+        (the hits analysts actually ask about), padded with random document
+        windows — of the release's fixed length for q-gram structures."""
+        query_rng = np.random.default_rng(seed + 2)
+        stored = sorted(dict(counter.items()))
+        q = counter.metadata.qgram_length
+        pool: list[str] = []
+        while len(pool) < max_batch:
+            if stored and query_rng.random() < hit_fraction:
+                pool.append(stored[query_rng.integers(len(stored))])
+            else:
+                document = documents[query_rng.integers(len(documents))]
+                width = q if q is not None else 1 + int(query_rng.integers(8))
+                lo = query_rng.integers(max(1, len(document) - width + 1))
+                pool.append(document[lo : lo + width])
+        return pool
+
+    def best_seconds(run: Callable[[], object]) -> float:
+        return min(_timed(run) for _ in range(timing_reps))
+
+    rows = []
+    for kind, counter in counters.items():
+        pool = pattern_pool(counter)
+        counter.query_many(pool[:1])  # warm the compiled batch view
+        for batch in batch_sizes:
+            patterns = pool[:batch]
+            loop_counts = np.array([counter.query(p) for p in patterns])
+            batch_counts = counter.query_many(patterns)
+            loop_seconds = best_seconds(
+                lambda: [counter.query(p) for p in patterns]
+            )
+            batch_seconds = best_seconds(lambda: counter.query_many(patterns))
+            rows.append(
+                {
+                    "kind": kind,
+                    "batch": batch,
+                    "stored_patterns": counter.num_stored_patterns,
+                    "loop_seconds": loop_seconds,
+                    "query_many_seconds": batch_seconds,
+                    "speedup": loop_seconds / batch_seconds
+                    if batch_seconds
+                    else float("inf"),
+                    "bitwise_equal": bool(np.array_equal(loop_counts, batch_counts)),
+                }
+            )
+    return rows
+
+
 def run_serving_throughput(
     workloads: Sequence[str] = ("genome", "transit"),
     n: int = 2000,
@@ -1278,8 +1383,13 @@ def run_serving_throughput(
             database = genome_with_motifs(n, ell, rng)
         else:
             database = transit_trajectories(n, ell, rng)
-        params = ConstructionParams.pure(epsilon, beta=0.1, threshold=threshold)
-        structure = build_private_counting_structure(database, params, rng=rng)
+        structure = (
+            Dataset.from_database(database)
+            .with_budget(epsilon)
+            .with_beta(0.1)
+            .with_threshold(threshold)
+            .build("heavy-path", rng=rng)
+        )
         compiled = CompiledTrie.from_structure(structure, cache_size=0)
         cached = CompiledTrie.from_structure(structure, cache_size=8192)
 

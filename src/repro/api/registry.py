@@ -1,0 +1,293 @@
+"""The structure-kind registry: kind names to counter builders.
+
+Every private counting construction is registered under a short kind name,
+so serving, the CLI, experiments — and downstream scenarios the repository
+has never heard of — can build any structure through one dispatch point
+instead of importing construction modules:
+
+===============  =====================================================
+kind             construction
+===============  =====================================================
+``heavy-path``   Theorems 1-2: candidate doubling + heavy-path trie
+                 (pure or approximate DP, selected by the budget)
+``qgram-t3``     Theorem 3: pure-DP fixed-length q-grams (needs ``q``)
+``qgram-t4``     Theorem 4: approximate-DP q-grams via the suffix tree
+                 (needs ``q`` and ``delta > 0``)
+``baseline``     the simple top-down noisy trie of the technical
+                 overview (the ``Omega(ell^2)``-error comparison point)
+===============  =====================================================
+
+A builder is any callable ``(database, params, *, rng=None, **kwargs) ->
+PrivateCounter``.  New scenarios plug in without touching core::
+
+    from repro.api import register_structure_kind
+
+    def build_my_structure(database, params, *, rng=None, **kwargs):
+        ...
+        return structure  # any PrivateCounter
+
+    register_structure_kind("my-kind", build_my_structure,
+                            description="what it answers")
+
+after which ``Dataset...build("my-kind")``, ``build_release(kind="my-kind")``
+and ``dpsc releases --build ... --kind my-kind`` all work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.api.protocol import PrivateCounter
+from repro.core.baselines import build_simple_trie_baseline
+from repro.core.construction import build_private_counting_structure
+from repro.core.database import StringDatabase
+from repro.core.params import ConstructionParams
+from repro.core.qgram_structure import (
+    theorem3_qgram_structure,
+    theorem4_qgram_structure,
+)
+from repro.exceptions import ReproError, UnknownStructureKindError
+
+__all__ = [
+    "StructureBuilder",
+    "StructureKind",
+    "StructureRegistry",
+    "default_registry",
+    "register_structure_kind",
+]
+
+#: Signature every registered builder satisfies.
+StructureBuilder = Callable[..., PrivateCounter]
+
+
+@dataclass(frozen=True)
+class StructureKind:
+    """One registered structure kind."""
+
+    name: str
+    builder: StructureBuilder
+    #: one-line description shown by ``dpsc`` and :meth:`StructureRegistry.describe`.
+    description: str = ""
+    #: keyword arguments :meth:`StructureRegistry.build` requires (e.g. ``q``).
+    requires: tuple[str, ...] = field(default=())
+
+
+class StructureRegistry:
+    """A mapping from kind names to :class:`StructureKind` entries.
+
+    The module-level :func:`default_registry` instance carries the paper's
+    four kinds; scenarios that need an isolated namespace (tests, plug-in
+    experiments) can instantiate their own.
+    """
+
+    def __init__(self) -> None:
+        self._kinds: dict[str, StructureKind] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        builder: StructureBuilder,
+        *,
+        description: str = "",
+        requires: tuple[str, ...] = (),
+        overwrite: bool = False,
+    ) -> StructureKind:
+        """Register ``builder`` under ``name`` and return the entry.
+
+        Re-registering an existing name raises unless ``overwrite=True`` —
+        silently replacing a construction behind a served kind name is the
+        kind of surprise a privacy library should refuse.
+        """
+        if not name or not name.strip():
+            raise ReproError("a structure kind needs a non-empty name")
+        if name in self._kinds and not overwrite:
+            raise ReproError(
+                f"structure kind {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        kind = StructureKind(
+            name=name,
+            builder=builder,
+            description=description,
+            requires=tuple(requires),
+        )
+        self._kinds[name] = kind
+        return kind
+
+    def unregister(self, name: str) -> None:
+        """Remove a kind (mainly for tests tearing down custom kinds)."""
+        self._kinds.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> StructureKind:
+        try:
+            return self._kinds[name]
+        except KeyError:
+            raise UnknownStructureKindError(
+                f"unknown structure kind {name!r}; registered kinds: "
+                f"{', '.join(self.kinds()) or '(none)'}"
+            ) from None
+
+    def kinds(self) -> list[str]:
+        """Registered kind names, in registration order."""
+        return list(self._kinds)
+
+    def describe(self) -> list[dict]:
+        """JSON-friendly view of every kind (name, description, requires)."""
+        return [
+            {
+                "kind": kind.name,
+                "description": kind.description,
+                "requires": list(kind.requires),
+            }
+            for kind in self._kinds.values()
+        ]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._kinds
+
+    def __iter__(self) -> Iterator[StructureKind]:
+        return iter(self._kinds.values())
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        kind: str,
+        database: StringDatabase,
+        params: ConstructionParams,
+        *,
+        rng: np.random.Generator | None = None,
+        **kwargs,
+    ) -> PrivateCounter:
+        """Build a counter of the given kind.
+
+        ``kwargs`` are forwarded to the kind's builder; missing required
+        keywords (e.g. ``q`` for the q-gram kinds) are reported up front
+        with the kind's name rather than as a bare ``TypeError`` from deep
+        inside a construction.
+        """
+        entry = self.get(kind)
+        missing = [key for key in entry.requires if key not in kwargs]
+        if missing:
+            raise ReproError(
+                f"structure kind {kind!r} requires keyword argument(s) "
+                f"{', '.join(repr(key) for key in missing)}"
+            )
+        return entry.builder(database, params, rng=rng, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The default registry and the paper's four kinds.
+# ----------------------------------------------------------------------
+def _build_heavy_path(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> PrivateCounter:
+    return build_private_counting_structure(database, params, rng=rng, **kwargs)
+
+
+def _build_qgram_t3(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+    q: int,
+    **kwargs,
+) -> PrivateCounter:
+    return theorem3_qgram_structure(database, q, params, rng=rng, **kwargs)
+
+
+def _build_qgram_t4(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+    q: int,
+    **kwargs,
+) -> PrivateCounter:
+    return theorem4_qgram_structure(database, q, params, rng=rng, **kwargs)
+
+
+def _build_baseline(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> PrivateCounter:
+    return build_simple_trie_baseline(database, params, rng=rng, **kwargs)
+
+
+_DEFAULT_REGISTRY = StructureRegistry()
+_DEFAULT_REGISTRY.register(
+    "heavy-path",
+    _build_heavy_path,
+    description=(
+        "Theorems 1-2: candidate doubling + heavy-path trie over all "
+        "pattern lengths (pure or approximate DP, chosen by the budget)"
+    ),
+)
+_DEFAULT_REGISTRY.register(
+    "qgram-t3",
+    _build_qgram_t3,
+    description="Theorem 3: pure-DP fixed-length q-gram counts",
+    requires=("q",),
+)
+_DEFAULT_REGISTRY.register(
+    "qgram-t4",
+    _build_qgram_t4,
+    description=(
+        "Theorem 4: approximate-DP q-gram counts via the suffix tree "
+        "(near-linear construction; needs delta > 0)"
+    ),
+    requires=("q",),
+)
+_DEFAULT_REGISTRY.register(
+    "baseline",
+    _build_baseline,
+    description=(
+        "simple top-down noisy trie (technical overview; Omega(ell^2) error "
+        "comparison point)"
+    ),
+)
+
+
+def default_registry() -> StructureRegistry:
+    """The process-wide registry holding the paper's four kinds (plus any
+    kinds registered through :func:`register_structure_kind`)."""
+    return _DEFAULT_REGISTRY
+
+
+def register_structure_kind(
+    name: str,
+    builder: StructureBuilder,
+    *,
+    description: str = "",
+    requires: tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> StructureKind:
+    """Register a new kind in the default registry (see the module docstring
+    for the builder contract and an end-to-end example)."""
+    return _DEFAULT_REGISTRY.register(
+        name,
+        builder,
+        description=description,
+        requires=requires,
+        overwrite=overwrite,
+    )

@@ -3,19 +3,21 @@
 ``dpsc`` exposes the library's experiments, a tiny demo, and the query
 serving layer from the shell::
 
-    dpsc list                      # list every experiment (E1-E20)
+    dpsc list                      # list every experiment (E1-E22)
     dpsc run E1                    # regenerate one experiment's table
     dpsc run all --save results    # regenerate every table (laptop-sized)
     dpsc quickstart                # run the quickstart demo
-    dpsc mine --workload genome    # private mining demo
-    dpsc releases --store ./rel    # inspect (or --build) a release store
+    dpsc mine --workload genome    # private mining demo (--kind qgram-t3 ...)
+    dpsc releases --store ./rel    # inspect (or --build --kind ...) a store
     dpsc serve --store ./rel       # serve compiled releases over HTTP
     dpsc query GATTACA ACGT        # query a running server
 
 The experiments are the same ones the benchmark harness runs; the registry
-below maps each id to the paper's figures and theorems.  The serving
-commands are documented in docs/SERVING.md; the layer diagram and the
-``--count-backend`` engine-selection heuristic in docs/ARCHITECTURE.md.
+below maps each id to the paper's figures and theorems.  Structure builds
+go through the unified :mod:`repro.api` layer: ``--kind`` selects any
+registered structure kind (docs/API.md), the serving commands are
+documented in docs/SERVING.md, and the ``--count-backend`` engine-selection
+heuristic in docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.analysis import experiments, reporting
-from repro.core.construction import build_private_counting_structure
+from repro.api import Dataset, default_registry
 from repro.counting import AUTO_BACKEND, BACKENDS
 from repro.core.mining import mine_frequent_substrings
 from repro.core.params import ConstructionParams
@@ -131,6 +133,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
             "Counting-engine equivalence and speedup (batched Aho-Corasick vs per-pattern)",
             lambda: experiments.run_counting_engine_benchmark(),
         ),
+        "E22": (
+            "Batched query_many vs per-pattern query loops across structure kinds",
+            lambda: experiments.run_query_many_benchmark(),
+        ),
     }
 
 
@@ -165,9 +171,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_quickstart(_: argparse.Namespace) -> int:
     database = experiments.example_database()
     print(f"database: {list(database)}")
-    params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
-    structure = build_private_counting_structure(
-        database, params, rng=np.random.default_rng(0)
+    structure = (
+        Dataset.from_database(database)
+        .with_budget(epsilon=2.0)
+        .with_beta(0.1)
+        .build("heavy-path", rng=np.random.default_rng(0))
     )
     print(f"construction: {structure.metadata.construction}")
     print(f"error bound alpha = {structure.error_bound:.1f}")
@@ -184,20 +192,41 @@ def _cmd_quickstart(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_params(args: argparse.Namespace) -> ConstructionParams:
+    """Construction parameters from the shared mine/releases flags."""
+    return ConstructionParams(
+        budget=PrivacyBudget(args.epsilon, args.delta),
+        beta=0.1,
+        count_backend=args.count_backend,
+    )
+
+
+def _kind_kwargs(args: argparse.Namespace) -> dict:
+    """Builder keyword arguments the selected kind requires (e.g. ``q``)."""
+    kind = default_registry().get(args.kind)
+    return {"q": args.q} if "q" in kind.requires else {}
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.workload == "genome":
         database = genome_with_motifs(args.n, args.ell, rng)
     else:
         database = transit_trajectories(args.n, args.ell, rng)
-    params = ConstructionParams.pure(
-        args.epsilon, beta=0.1, count_backend=args.count_backend
-    )
-    structure = build_private_counting_structure(database, params, rng=rng)
+    try:
+        structure = (
+            Dataset.from_database(database)
+            .with_params(_cli_params(args))
+            .build(args.kind, rng=rng, **_kind_kwargs(args))
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     result = mine_frequent_substrings(structure, structure.metadata.threshold)
     print(
-        f"workload={args.workload} n={args.n} ell={args.ell} eps={args.epsilon} "
-        f"alpha={structure.error_bound:.1f} tau={result.threshold:.1f}"
+        f"workload={args.workload} kind={args.kind} n={args.n} ell={args.ell} "
+        f"eps={args.epsilon} alpha={structure.error_bound:.1f} "
+        f"tau={result.threshold:.1f}"
     )
     for pattern, count in result.patterns[:20]:
         print(f"  {pattern:12s} noisy count {count:10.1f}")
@@ -277,9 +306,6 @@ def _cmd_releases(args: argparse.Namespace) -> int:
         database, rng = _build_workload_database(
             args.build, args.n, args.ell, args.seed
         )
-        params = ConstructionParams.pure(
-            args.epsilon, beta=0.1, count_backend=args.count_backend
-        )
         ledger = BudgetLedger(
             PrivacyBudget(args.cap_epsilon, args.cap_delta),
             path=store.root / "ledger.json",
@@ -288,11 +314,13 @@ def _cmd_releases(args: argparse.Namespace) -> int:
         try:
             structure = build_release(
                 database,
-                params,
+                _cli_params(args),
                 ledger=ledger,
                 database_id=name,
-                label=f"build:{args.build}",
+                label=f"build:{args.build}:{args.kind}",
                 rng=rng,
+                kind=args.kind,
+                **_kind_kwargs(args),
             )
         except ReproError as error:
             print(f"refused: {error}", file=sys.stderr)
@@ -348,7 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--ell", type=int, default=12)
     mine_parser.add_argument("--epsilon", type=float, default=20.0)
     mine_parser.add_argument("--seed", type=int, default=0)
-    _add_count_backend_argument(mine_parser)
+    _add_build_arguments(mine_parser)
     mine_parser.set_defaults(func=_cmd_mine)
 
     serve_parser = subparsers.add_parser(
@@ -410,12 +438,33 @@ def build_parser() -> argparse.ArgumentParser:
     releases_parser.add_argument("--cap-epsilon", type=float, default=100.0)
     releases_parser.add_argument("--cap-delta", type=float, default=1e-5)
     releases_parser.add_argument("--seed", type=int, default=0)
-    _add_count_backend_argument(releases_parser)
+    _add_build_arguments(releases_parser)
     releases_parser.set_defaults(func=_cmd_releases)
     return parser
 
 
-def _add_count_backend_argument(parser: argparse.ArgumentParser) -> None:
+def _add_build_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that builds a structure: the kind
+    (dispatched through the repro.api registry), its q-gram length, the
+    approximate-DP delta and the counting backend."""
+    parser.add_argument(
+        "--kind",
+        choices=default_registry().kinds(),
+        default="heavy-path",
+        help="structure kind to build (see docs/API.md; q-gram kinds use --q)",
+    )
+    parser.add_argument(
+        "--q",
+        type=int,
+        default=3,
+        help="pattern length for the q-gram structure kinds",
+    )
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=0.0,
+        help="privacy parameter delta (required > 0 by kind qgram-t4)",
+    )
     parser.add_argument(
         "--count-backend",
         choices=(AUTO_BACKEND,) + BACKENDS,

@@ -35,6 +35,9 @@ from repro.core.qgram_structure import (
     build_qgram_structure,
     build_theorem3_qgram_structure,
     build_theorem4_qgram_structure,
+    qgram_counting_structure,
+    theorem3_qgram_structure,
+    theorem4_qgram_structure,
 )
 
 __all__ = [
@@ -73,4 +76,7 @@ __all__ = [
     "build_qgram_structure",
     "build_theorem3_qgram_structure",
     "build_theorem4_qgram_structure",
+    "qgram_counting_structure",
+    "theorem3_qgram_structure",
+    "theorem4_qgram_structure",
 ]

@@ -30,10 +30,10 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro.core.candidate_set import CandidateSet, build_candidate_set
 from repro.core.database import StringDatabase
 from repro.counting import resolve_backend
@@ -303,7 +303,8 @@ def _prune(trie: Trie, threshold: float) -> None:
 
 
 # ----------------------------------------------------------------------
-# Named wrappers matching the paper's theorem statements.
+# Deprecated named wrappers matching the paper's theorem statements (the
+# pre-repro.api public surface; kind "heavy-path" in the registry).
 # ----------------------------------------------------------------------
 def build_theorem1_structure(
     database: StringDatabase,
@@ -314,7 +315,16 @@ def build_theorem1_structure(
     rng: np.random.Generator | None = None,
     threshold: float | None = None,
 ) -> PrivateCountingTrie:
-    """Theorem 1: the epsilon-differentially private structure."""
+    """Theorem 1: the epsilon-differentially private structure.
+
+    Deprecated; prefer
+    ``Dataset.from_database(db).with_budget(epsilon).build("heavy-path")``.
+    Results are identical under the same rng.
+    """
+    warn_deprecated(
+        "build_theorem1_structure",
+        'Dataset...with_budget(epsilon).build("heavy-path")',
+    )
     params = ConstructionParams.pure(
         epsilon, beta=beta, delta_cap=delta_cap, threshold=threshold
     )
@@ -331,7 +341,16 @@ def build_theorem2_structure(
     rng: np.random.Generator | None = None,
     threshold: float | None = None,
 ) -> PrivateCountingTrie:
-    """Theorem 2: the (epsilon, delta)-differentially private structure."""
+    """Theorem 2: the (epsilon, delta)-differentially private structure.
+
+    Deprecated; prefer
+    ``Dataset.from_database(db).with_budget(epsilon, delta).build("heavy-path")``.
+    Results are identical under the same rng.
+    """
+    warn_deprecated(
+        "build_theorem2_structure",
+        'Dataset...with_budget(epsilon, delta).build("heavy-path")',
+    )
     params = ConstructionParams.approximate(
         epsilon, delta, beta=beta, delta_cap=delta_cap, threshold=threshold
     )

@@ -134,7 +134,6 @@ def packing_database(
     half = len(secret_patterns[0])
     if any(len(p) != half for p in secret_patterns):
         raise ValueError("all secret patterns must have the same length")
-    m = 2 * half
     code_length = half
     carrier_parts = []
     planted = []

@@ -14,12 +14,67 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
 
 from repro.dp.composition import PrivacyBudget
 from repro.strings.trie import Trie, TrieNode
 
-__all__ = ["PrivateCountingTrie", "StructureMetadata"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.compiled import CompiledTrie
+
+__all__ = ["PrivateCountingTrie", "StructureMetadata", "payload_metadata"]
+
+
+def payload_metadata(metadata: "StructureMetadata") -> dict:
+    """``metadata`` as stored in release payloads.
+
+    Single source of the payload's metadata rules for every counter form
+    (in-memory and compiled): structures predating the engine layer
+    serialized without a ``count_backend`` key, so an empty default is
+    omitted to keep their digests stable.
+    """
+    payload = dict(metadata.__dict__)
+    if not payload.get("count_backend"):
+        payload.pop("count_backend", None)
+    return payload
+
+
+def release_payload(
+    counts: dict,
+    root_count: "float | None",
+    metadata: "StructureMetadata",
+    report: dict,
+) -> dict:
+    """Assemble the canonical release payload.
+
+    One source of truth for the payload schema, shared by
+    :meth:`PrivateCountingTrie.to_dict` and
+    :meth:`repro.serving.CompiledTrie.to_payload` so the two forms stay
+    byte-identical (the release store's digest check depends on it).
+    ``counts`` maps stored patterns to noisy counts (copied, never
+    mutated); the root / empty pattern's count is added when present so
+    save -> load preserves every query.
+    """
+    counts = dict(counts)
+    if root_count is not None:
+        counts[""] = float(root_count)
+    return {
+        "metadata": payload_metadata(metadata),
+        "counts": counts,
+        "report": report,
+    }
+
+
+def payload_json(payload: dict) -> str:
+    """The canonical JSON form every counter serializes (and digests)."""
+    return json.dumps(payload, sort_keys=True)
+
+
+def payload_digest(payload_text: str) -> str:
+    """SHA-256 of a canonical JSON payload (the release-store digest)."""
+    return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -67,6 +122,11 @@ class PrivateCountingTrie:
     metadata: StructureMetadata
     #: optional per-construction diagnostics (sizes, stage error bounds, ...).
     report: dict = field(default_factory=dict)
+    #: lazily compiled array view backing query_many (rebuilt if the trie's
+    #: node count changes; structures are immutable after construction).
+    _batch_view: "CompiledTrie | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Queries (post-processing; no privacy cost)
@@ -77,6 +137,38 @@ class PrivateCountingTrie:
         if node is None or node.noisy_count is None:
             return 0.0
         return float(node.noisy_count)
+
+    def query_many(self, patterns: Sequence[str]) -> np.ndarray:
+        """Noisy counts for a whole batch of patterns at once.
+
+        Bit-for-bit equal to ``[self.query(p) for p in patterns]`` but
+        answered by the compiled-trie batch machinery (all patterns advance
+        one character per vectorized numpy round), so large batches run
+        orders of magnitude faster than a per-pattern Python loop — see
+        ``benchmarks/bench_query_many.py`` (E22).  Like every query, this is
+        post-processing with no privacy cost.
+
+        The compiled view is cached; a structure is treated as read-only
+        once built.  Code that mutates stored nodes in place (tests,
+        ablations) must call :meth:`invalidate_cached_views` afterwards —
+        adding or pruning nodes is detected automatically via the node
+        count, but an in-place count edit is not observable cheaply.
+        """
+        return self._batch_engine().batch_query(patterns)
+
+    def invalidate_cached_views(self) -> None:
+        """Drop the cached compiled view so the next :meth:`query_many`
+        recompiles.  Required after mutating ``noisy_count`` values in
+        place; structural changes (insert/prune) invalidate automatically."""
+        self._batch_view = None
+
+    def _batch_engine(self) -> "CompiledTrie":
+        """The cached compiled view (compiled on first use)."""
+        view = self._batch_view
+        if view is None or view.num_nodes != self.trie.num_nodes:
+            view = self.compiled(cache_size=0)
+            self._batch_view = view
+        return view
 
     def __contains__(self, pattern: str) -> bool:
         node = self.trie.find(pattern)
@@ -169,25 +261,24 @@ class PrivateCountingTrie:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """A JSON-serializable representation of the structure."""
-        counts = {pattern: count for pattern, count in self.items()}
-        # items() excludes the root, but query("") answers from it; keep the
-        # empty pattern's count so save -> load preserves every query.
-        root_count = self.trie.root.noisy_count
-        if root_count is not None:
-            counts[""] = float(root_count)
-        metadata = dict(self.metadata.__dict__)
-        if not metadata.get("count_backend"):
-            # Structures predating the engine layer serialized without this
-            # key; omitting the empty default keeps their digests stable.
-            metadata.pop("count_backend", None)
-        return {
-            "metadata": metadata,
-            "counts": counts,
-            "report": self.report,
-        }
+        # items() excludes the root, but query("") answers from it;
+        # release_payload() keeps the empty pattern's count so save -> load
+        # preserves every query.
+        return release_payload(
+            {pattern: count for pattern, count in self.items()},
+            self.trie.root.noisy_count,
+            self.metadata,
+            self.report,
+        )
+
+    def to_payload(self) -> dict:
+        """The :class:`repro.api.PrivateCounter` payload form — an alias of
+        :meth:`to_dict`, shared by every structure kind so releases of any
+        kind round-trip through the same stores and servers."""
+        return self.to_dict()
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True)
+        return payload_json(self.to_dict())
 
     def content_digest(self) -> str:
         """SHA-256 of the canonical JSON form.
@@ -196,7 +287,7 @@ class PrivateCountingTrie:
         same digest; the release store uses this to detect tampered or
         corrupted files on load.
         """
-        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+        return payload_digest(self.to_json())
 
     def compiled(self, *, cache_size: int = 4096):
         """This structure flattened into a
@@ -214,6 +305,23 @@ class PrivateCountingTrie:
             node = trie.insert(pattern)
             node.noisy_count = float(count)
         return cls(trie=trie, metadata=metadata, report=dict(payload.get("report", {})))
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PrivateCountingTrie":
+        """Rebuild a structure from :meth:`to_payload` output (the
+        :class:`repro.api.PrivateCounter` counterpart of :meth:`from_dict`)."""
+        return cls.from_dict(payload)
+
+    def release(self, store, name: str = "release"):
+        """Persist this structure as the next version of release ``name`` in
+        ``store`` (any object with a ``save(name, structure)`` method, e.g.
+        :class:`repro.serving.ReleaseStore`) and return the store's record.
+
+        This is the tail of the fluent workflow
+        ``Dataset.from_documents(...).with_budget(...).build(kind).release(store)``;
+        like every operation on a built structure it is post-processing.
+        """
+        return store.save(name, self)
 
     @classmethod
     def from_json(cls, payload: str) -> "PrivateCountingTrie":

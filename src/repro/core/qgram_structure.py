@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro.core.candidate_set import build_candidate_set, candidate_alpha
 from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
@@ -41,30 +42,39 @@ from repro.exceptions import ConstructionAborted, PrivacyParameterError
 from repro.strings.trie import Trie
 
 __all__ = [
+    "qgram_counting_structure",
+    "theorem3_qgram_structure",
+    "theorem4_qgram_structure",
     "build_qgram_structure",
     "build_theorem3_qgram_structure",
     "build_theorem4_qgram_structure",
 ]
 
 
-def build_qgram_structure(
+def qgram_counting_structure(
     database: StringDatabase,
     q: int,
     params: ConstructionParams,
     *,
     rng: np.random.Generator | None = None,
+    **kwargs,
 ) -> PrivateCountingTrie:
     """Dispatch to the pure-DP (Theorem 3) or approximate-DP (Theorem 4)
-    q-gram construction depending on the budget."""
+    q-gram construction depending on the budget.
+
+    This is the canonical (non-deprecated) q-gram entry point; the
+    :mod:`repro.api` registry exposes the two constructions explicitly as
+    the ``"qgram-t3"`` and ``"qgram-t4"`` structure kinds.
+    """
     if params.is_pure:
-        return build_theorem3_qgram_structure(database, q, params, rng=rng)
-    return build_theorem4_qgram_structure(database, q, params, rng=rng)
+        return theorem3_qgram_structure(database, q, params, rng=rng, **kwargs)
+    return theorem4_qgram_structure(database, q, params, rng=rng, **kwargs)
 
 
 # ----------------------------------------------------------------------
 # Theorem 3: pure DP.
 # ----------------------------------------------------------------------
-def build_theorem3_qgram_structure(
+def theorem3_qgram_structure(
     database: StringDatabase,
     q: int,
     params: ConstructionParams,
@@ -72,7 +82,8 @@ def build_theorem3_qgram_structure(
     rng: np.random.Generator | None = None,
     candidate_qgrams: list[str] | None = None,
 ) -> PrivateCountingTrie:
-    """The epsilon-differentially private q-gram counting structure.
+    """The epsilon-differentially private q-gram counting structure
+    (registry kind ``"qgram-t3"``).
 
     ``candidate_qgrams`` lets callers supply a pre-built candidate set, in
     which case the candidate stage (and its budget) is skipped; the caller is
@@ -177,7 +188,7 @@ def build_theorem3_qgram_structure(
 # ----------------------------------------------------------------------
 # Theorem 4: approximate DP via the suffix tree (Lemma 21).
 # ----------------------------------------------------------------------
-def build_theorem4_qgram_structure(
+def theorem4_qgram_structure(
     database: StringDatabase,
     q: int,
     params: ConstructionParams,
@@ -185,7 +196,7 @@ def build_theorem4_qgram_structure(
     rng: np.random.Generator | None = None,
 ) -> PrivateCountingTrie:
     """The (epsilon, delta)-differentially private q-gram structure with
-    near-linear construction time.
+    near-linear construction time (registry kind ``"qgram-t4"``).
 
     Only strings with a non-zero true count ever receive a noisy count
     (Lemma 19 shows this preserves approximate DP), which is why the
@@ -319,3 +330,55 @@ def build_theorem4_qgram_structure(
         "absent_pattern_bound": threshold + alpha,
     }
     return PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+
+
+# ----------------------------------------------------------------------
+# Deprecated entry points (the pre-repro.api public surface).
+# ----------------------------------------------------------------------
+def build_qgram_structure(
+    database: StringDatabase,
+    q: int,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+) -> PrivateCountingTrie:
+    """Deprecated alias of :func:`qgram_counting_structure`; prefer
+    ``Dataset.from_database(db).with_params(params).build("qgram-t3", q=q)``
+    (or ``"qgram-t4"``).  Results are identical under the same rng."""
+    warn_deprecated(
+        "build_qgram_structure", 'Dataset...build("qgram-t3"/"qgram-t4", q=q)'
+    )
+    return qgram_counting_structure(database, q, params, rng=rng)
+
+
+def build_theorem3_qgram_structure(
+    database: StringDatabase,
+    q: int,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+    candidate_qgrams: list[str] | None = None,
+) -> PrivateCountingTrie:
+    """Deprecated alias of :func:`theorem3_qgram_structure` (registry kind
+    ``"qgram-t3"``).  Results are identical under the same rng."""
+    warn_deprecated(
+        "build_theorem3_qgram_structure", 'Dataset...build("qgram-t3", q=q)'
+    )
+    return theorem3_qgram_structure(
+        database, q, params, rng=rng, candidate_qgrams=candidate_qgrams
+    )
+
+
+def build_theorem4_qgram_structure(
+    database: StringDatabase,
+    q: int,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+) -> PrivateCountingTrie:
+    """Deprecated alias of :func:`theorem4_qgram_structure` (registry kind
+    ``"qgram-t4"``).  Results are identical under the same rng."""
+    warn_deprecated(
+        "build_theorem4_qgram_structure", 'Dataset...build("qgram-t4", q=q)'
+    )
+    return theorem4_qgram_structure(database, q, params, rng=rng)

@@ -55,6 +55,16 @@ class BudgetExceededError(ReproError):
         self.cap = cap
 
 
+class UnknownStructureKindError(ReproError):
+    """A structure kind name is not registered in the
+    :class:`repro.api.StructureRegistry` being consulted.
+
+    The message lists the registered kinds; register new ones with
+    :meth:`repro.api.StructureRegistry.register` (or the module-level
+    :func:`repro.api.register_structure_kind`) before building them.
+    """
+
+
 class ReleaseNotFoundError(ReproError):
     """A release name (or a specific version of it) is absent from a
     :class:`repro.serving.ReleaseStore` or a running query server."""

@@ -30,7 +30,13 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.core.private_trie import PrivateCountingTrie, StructureMetadata
+from repro.core.private_trie import (
+    PrivateCountingTrie,
+    StructureMetadata,
+    payload_digest,
+    payload_json,
+    release_payload,
+)
 
 __all__ = ["CompiledTrie", "CacheInfo"]
 
@@ -96,9 +102,12 @@ class CompiledTrie:
         # Dense codepoint -> code table for vectorized pattern encoding.
         # Unknown characters (and the NUL separator) map to the reserved
         # code 0, whose transition column is entirely dead.  Covering the
-        # whole BMP lets the common case skip bounds checks completely.
+        # whole BMP lets the common case skip bounds checks completely, and
+        # the extra guard slot past every vocab character stays 0 so
+        # ``take(..., mode="clip")`` maps astral-plane codepoints to
+        # "unknown" without a per-batch bounds scan.
         max_point = max((ord(c) for c in vocab), default=0)
-        table = np.zeros(max(0x10000, max_point + 1), dtype=np.int32)
+        table = np.zeros(max(0x10000, max_point + 2), dtype=np.int32)
         for char, code in vocab.items():
             table[ord(char)] = code
         self._code_table = table
@@ -120,6 +129,13 @@ class CompiledTrie:
             self._transitions = None
         # counts with a trailing NaN sentinel so the dead state gathers to 0.
         self._counts_ext = np.append(counts, np.nan)
+        # ... and the same array with NaN already folded to 0, so the
+        # uniform batch path finishes in one gather.
+        self._counts_zero = np.where(np.isnan(self._counts_ext), 0.0, self._counts_ext)
+        # (batch size, pattern length) -> code gather index; serving traffic
+        # repeats batch shapes, so the uniform path's index arithmetic is
+        # computed once per shape.
+        self._uniform_cache: dict[tuple[int, int], np.ndarray] = {}
         # Plain-list mirrors for the single-query walk: stdlib bisect on a
         # list beats per-call numpy overhead by an order of magnitude.
         self._edge_keys_list = edge_keys.tolist()
@@ -260,21 +276,60 @@ class CompiledTrie:
     #: outside every data-universe alphabet (and guarded against anyway).
     _SEPARATOR = "\x00"
 
-    def _encode_flat(
-        self, patterns: list[str]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(flat_codes, starts, lengths)``: every pattern's characters
-        mapped to edge codes (-1 outside the alphabet), concatenated.
+    def batch_query(self, patterns: Sequence[str]) -> np.ndarray:
+        """Noisy counts for every pattern, advancing all of them through the
+        trie one character per vectorized round.
 
-        Patterns are joined with NUL separators so lengths come from one
-        vectorized separator scan instead of ``len()`` per pattern; if a
-        pattern itself contains NUL the separator count betrays it and we
-        fall back to per-pattern lengths.
+        Patterns are joined with NUL separators so their codes and lengths
+        come from one vectorized encode + separator scan (falling back to
+        per-pattern ``len()`` when a pattern contains NUL itself; the guard
+        slot of the code table absorbs astral-plane codepoints via a clipped
+        gather).  Uniform-length batches take a dedicated fast path; mixed
+        batches are sorted by length so each round operates on a contiguous
+        suffix of still-running patterns — no per-round boolean compaction.
+        A pattern that ends simply drops out of the next round's suffix with
+        its node frozen; a pattern that mismatches moves to the dead state
+        and stays there.  Total work is proportional to the number of
+        characters consumed, in a few numpy kernels per round.
         """
+        if not isinstance(patterns, list):
+            patterns = list(patterns)
         m = len(patterns)
+        if m == 0:
+            return np.zeros(0, dtype=np.float64)
         joined = self._SEPARATOR.join(patterns)
         points = np.frombuffer(joined.encode("utf-32-le"), dtype=np.uint32)
-        separators = np.flatnonzero(points == 0)
+        flat_codes = self._code_table.take(points, mode="clip")
+        is_separator = points == 0
+        if self._transitions is not None and m > 1:
+            # Uniform-length fast path: q-gram releases serve fixed-length
+            # traffic, where the length sort, per-step activity cuts and the
+            # final unscramble are pure overhead.  Uniform lengths mean the
+            # joined batch carries exactly m - 1 NULs, all at the expected
+            # separator positions (which also rules out patterns containing
+            # NUL themselves); then one (L, m) gather of the codes up front
+            # and two kernels per round answer the batch.
+            length = len(patterns[0])
+            if points.size == m * (length + 1) - 1:
+                at_separators = is_separator[length :: length + 1]
+                if (
+                    at_separators.size == m - 1
+                    and bool(at_separators.all())
+                    and int(np.count_nonzero(is_separator)) == m - 1
+                ):
+                    gather_index = self._uniform_cache.get((m, length))
+                    if gather_index is None:
+                        gather_index = (
+                            np.arange(m) * (length + 1)
+                            + np.arange(length)[:, None]
+                        )
+                        if len(self._uniform_cache) >= 16:
+                            self._uniform_cache.clear()
+                        self._uniform_cache[(m, length)] = gather_index
+                    return self._batch_query_uniform(
+                        flat_codes, gather_index, length, m
+                    )
+        separators = np.flatnonzero(is_separator)
         if separators.size == m - 1:
             bounds = np.concatenate((separators, [points.size]))
             starts = np.concatenate(([0], separators + 1))
@@ -282,30 +337,6 @@ class CompiledTrie:
         else:  # some pattern contains NUL itself
             lengths = np.fromiter(map(len, patterns), dtype=np.int64, count=m)
             starts = np.concatenate(([0], np.cumsum(lengths + 1)))[:-1]
-        table = self._code_table
-        if points.size == 0 or int(points.max()) < table.size:
-            flat_codes = table.take(points)
-        else:  # astral-plane characters beyond the table: all unknown
-            clipped = np.minimum(points, np.uint32(table.size - 1))
-            flat_codes = np.where(points < table.size, table.take(clipped), 0)
-        return flat_codes, starts, lengths
-
-    def batch_query(self, patterns: Sequence[str]) -> np.ndarray:
-        """Noisy counts for every pattern, advancing all of them through the
-        trie one character per vectorized round.
-
-        Patterns are sorted by length so each round operates on a contiguous
-        suffix of still-running patterns — no per-round boolean compaction.
-        A pattern that ends simply drops out of the next round's suffix with
-        its node frozen; a pattern that mismatches moves to the dead state
-        and stays there.  Total work is proportional to the number of
-        characters consumed, in a few numpy kernels per round.
-        """
-        patterns = list(patterns)
-        m = len(patterns)
-        if m == 0:
-            return np.zeros(0, dtype=np.float64)
-        flat_codes, starts, lengths = self._encode_flat(patterns)
         # Grouping by length only needs buckets, not a stable order; uint16
         # keys keep the sort in numpy's radix path.
         if int(lengths.max()) < 0x10000:
@@ -341,6 +372,41 @@ class CompiledTrie:
         results = np.empty(m, dtype=np.float64)
         results[order] = results_sorted
         return results
+
+    def _batch_query_uniform(
+        self,
+        flat_codes: np.ndarray,
+        gather_index: np.ndarray,
+        length: int,
+        m: int,
+    ) -> np.ndarray:
+        """Dense-table batch walk for a batch whose patterns all have the
+        same ``length`` — bit-for-bit the counts of the general path, minus
+        its per-length bookkeeping.
+
+        Pattern ``i`` starts at flat offset ``i * (length + 1)`` (one NUL
+        separator apart); ``gather_index`` materializes the code matrix in
+        one gather, in ``(length, m)`` layout so each round reads one
+        contiguous row.  The two round kernels reuse preallocated buffers.
+        """
+        codes = flat_codes.take(gather_index)
+        transitions = self._transitions
+        nodes = np.zeros(m, dtype=np.int32)
+        scratch = np.empty(m, dtype=np.int32)
+        for step in range(length):
+            # Same row-offset arithmetic as the general path: table values
+            # are pre-scaled node offsets, codes index columns.
+            np.add(nodes, codes[step], out=scratch)
+            transitions.take(scratch, out=nodes)
+        if length:
+            nodes //= self._vocab_size
+        return self._counts_zero.take(nodes)
+
+    def query_many(self, patterns: Sequence[str]) -> np.ndarray:
+        """Alias of :meth:`batch_query` — the :class:`repro.api.PrivateCounter`
+        spelling, so compiled and in-memory structures expose one batched
+        query surface."""
+        return self.batch_query(patterns)
 
     def _advance_sparse(self, nodes: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """One batch step by binary search on ``edge_keys`` — the fallback
@@ -396,6 +462,49 @@ class CompiledTrie:
                 yield self.pattern_of(int(node)), float(self._counts[node])
 
     # ------------------------------------------------------------------
+    # Payloads (repro.api.PrivateCounter)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """The same payload :meth:`PrivateCountingTrie.to_dict` produces for
+        the source structure (both assemble it through
+        :func:`repro.core.private_trie.release_payload`) — compiling is
+        lossless for everything a release carries (stored counts, metadata,
+        report), so a compiled trie can be persisted and shipped through the
+        same stores."""
+        root_count = self._counts_list[0]
+        return release_payload(
+            {pattern: count for pattern, count in self.items()},
+            None if math.isnan(root_count) else root_count,
+            self.metadata,
+            self.report,
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON of :meth:`to_payload` — byte-identical to the
+        source structure's :meth:`PrivateCountingTrie.to_json`, which is what
+        lets :meth:`repro.serving.ReleaseStore.save` accept compiled tries
+        directly."""
+        return payload_json(self.to_payload())
+
+    def content_digest(self) -> str:
+        """SHA-256 of :meth:`to_json` (equal to the source structure's)."""
+        return payload_digest(self.to_json())
+
+    def release(self, store, name: str = "release"):
+        """Persist this compiled trie as the next version of release
+        ``name`` in ``store`` (same contract as
+        :meth:`PrivateCountingTrie.release`)."""
+        return store.save(name, self)
+
+    @classmethod
+    def from_payload(cls, payload: dict, *, cache_size: int = 4096) -> "CompiledTrie":
+        """Compile a structure straight from a :meth:`to_payload` /
+        ``PrivateCountingTrie.to_dict`` payload."""
+        return cls.from_structure(
+            PrivateCountingTrie.from_dict(payload), cache_size=cache_size
+        )
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     @property
@@ -427,8 +536,10 @@ class CompiledTrie:
             self._edge_targets,
             self._code_table,
             self._counts_ext,
+            self._counts_zero,
         )
         total = sum(array.nbytes for array in arrays)
+        total += sum(index.nbytes for index in self._uniform_cache.values())
         if self._transitions is not None:
             total += self._transitions.nbytes
         return int(total)

@@ -22,7 +22,6 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.construction import build_private_counting_structure
 from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
 from repro.core.private_trie import PrivateCountingTrie
@@ -170,9 +169,20 @@ def build_release(
     database_id: str,
     label: str = "release",
     rng: np.random.Generator | None = None,
-    builder: Callable[..., PrivateCountingTrie] = build_private_counting_structure,
+    kind: str = "heavy-path",
+    registry=None,
+    builder: Callable[..., PrivateCountingTrie] | None = None,
+    **build_kwargs,
 ) -> PrivateCountingTrie:
     """Build a private structure only if the ledger authorizes its budget.
+
+    The construction is dispatched through the :mod:`repro.api` structure
+    registry: ``kind`` names any registered structure kind and
+    ``build_kwargs`` are forwarded to its builder (e.g. ``q=4`` for the
+    q-gram kinds), so every kind — including ones registered by downstream
+    scenarios — gets ledger-guarded releases.  ``builder`` bypasses the
+    registry with an explicit callable (kept for ablations and older
+    callers).
 
     The affordability check runs *before* the construction, so a refused
     build never touches the sensitive database; the charge is recorded only
@@ -184,6 +194,17 @@ def build_release(
     if not ledger.can_afford(database_id, budget):
         # Re-raise through charge() for the detailed error message.
         ledger.charge(database_id, budget, label)
-    structure = builder(database, params, rng=rng)
+    if builder is not None:
+        structure = builder(database, params, rng=rng, **build_kwargs)
+    else:
+        if registry is None:
+            # Imported lazily: repro.api sits above serving in the layer
+            # diagram, so the ledger only reaches for it at call time.
+            from repro.api.registry import default_registry
+
+            registry = default_registry()
+        structure = registry.build(
+            kind, database, params, rng=rng, **build_kwargs
+        )
     ledger.charge(database_id, budget, label)
     return structure

@@ -24,9 +24,13 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.private_trie import PrivateCountingTrie
 from repro.exceptions import ReleaseNotFoundError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.compiled import CompiledTrie
 
 __all__ = ["ReleaseStore", "ReleaseRecord"]
 
@@ -67,8 +71,12 @@ class ReleaseStore:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def save(self, name: str, structure: PrivateCountingTrie) -> ReleaseRecord:
-        """Persist ``structure`` as the next version of release ``name``."""
+    def save(
+        self, name: str, structure: "PrivateCountingTrie | CompiledTrie"
+    ) -> ReleaseRecord:
+        """Persist ``structure`` as the next version of release ``name``
+        (any counter form with the shared payload surface: in-memory
+        structures and compiled tries serialize byte-identically)."""
         if not name or "/" in name or name.startswith("."):
             raise ReproError(f"invalid release name {name!r}")
         entry = self._index["releases"].setdefault(

@@ -17,7 +17,7 @@ random trees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
 
 __all__ = ["HeavyPath", "HeavyPathDecomposition"]
 

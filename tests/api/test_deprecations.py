@@ -1,0 +1,137 @@
+"""The legacy ``build_*`` entry points: warn exactly once per function, and
+keep producing bit-for-bit the results of the unified API under a fixed rng."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    build_private_counting_structure,
+    build_qgram_structure,
+    build_theorem1_structure,
+    build_theorem2_structure,
+    build_theorem3_qgram_structure,
+    build_theorem4_qgram_structure,
+)
+from repro._deprecation import reset_deprecation_warnings
+from repro.api import Dataset
+from repro.core.params import ConstructionParams
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _shim_calls(example_db):
+    """One invocation per deprecated shim (cheap noiseless builds)."""
+    pure = ConstructionParams.pure(2.0, beta=0.1, noiseless=True, threshold=1.0)
+    approx = ConstructionParams.approximate(
+        2.0, 1e-6, beta=0.1, noiseless=True, threshold=1.0
+    )
+    def rng():
+        return np.random.default_rng(0)
+
+    return {
+        "build_theorem1_structure": lambda: build_theorem1_structure(
+            example_db, 2.0, beta=0.1, rng=rng(), threshold=1.0
+        ),
+        "build_theorem2_structure": lambda: build_theorem2_structure(
+            example_db, 2.0, 1e-6, beta=0.1, rng=rng(), threshold=1.0
+        ),
+        "build_qgram_structure": lambda: build_qgram_structure(
+            example_db, 2, pure, rng=rng()
+        ),
+        "build_theorem3_qgram_structure": lambda: build_theorem3_qgram_structure(
+            example_db, 2, pure, rng=rng()
+        ),
+        "build_theorem4_qgram_structure": lambda: build_theorem4_qgram_structure(
+            example_db, 2, approx, rng=rng()
+        ),
+    }
+
+
+class TestWarnOnce:
+    def test_each_shim_warns_exactly_once(self, example_db):
+        for name, call in _shim_calls(example_db).items():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                call()
+                call()
+            messages = [
+                str(w.message)
+                for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and name in str(w.message)
+            ]
+            assert len(messages) == 1, (
+                f"{name} warned {len(messages)} times: {messages}"
+            )
+            assert "Dataset" in messages[0]
+
+    def test_importing_repro_is_deprecation_clean(self):
+        """Internal code never routes through the shims, so (re)importing
+        the package emits no DeprecationWarning (CI enforces the same with
+        ``python -W error::DeprecationWarning -c "import repro"``)."""
+        import importlib
+
+        import repro
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(repro)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert not deprecations
+
+
+class TestShimEquivalence:
+    def test_old_quickstart_matches_new_api_bit_for_bit(self, example_db):
+        """The pre-api quickstart (build_private_counting_structure) must
+        keep producing identical structures under a fixed rng."""
+        params = ConstructionParams.pure(2.0, beta=0.1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = build_private_counting_structure(
+                example_db, params, rng=np.random.default_rng(0)
+            )
+        new = (
+            Dataset.from_database(example_db)
+            .with_params(params)
+            .build("heavy-path", rng=np.random.default_rng(0))
+        )
+        assert old.to_payload()["counts"] == new.to_payload()["counts"]
+        assert old.metadata == new.metadata
+
+    @pytest.mark.parametrize(
+        "shim_name, kind, q",
+        [
+            ("build_theorem3_qgram_structure", "qgram-t3", 2),
+            ("build_theorem4_qgram_structure", "qgram-t4", 2),
+        ],
+    )
+    def test_qgram_shims_match_registry_kinds(self, example_db, shim_name, kind, q):
+        params = (
+            ConstructionParams.pure(2.0, beta=0.1, noiseless=True, threshold=1.0)
+            if kind == "qgram-t3"
+            else ConstructionParams.approximate(
+                2.0, 1e-6, beta=0.1, noiseless=True, threshold=1.0
+            )
+        )
+        shim = _shim_calls(example_db)[shim_name]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = shim()
+        new = (
+            Dataset.from_database(example_db)
+            .with_params(params)
+            .build(kind, rng=np.random.default_rng(0), q=q)
+        )
+        assert old.to_payload()["counts"] == new.to_payload()["counts"]
+        assert old.metadata == new.metadata

@@ -1,0 +1,139 @@
+"""Every registered structure kind satisfies the PrivateCounter protocol,
+builds through the fluent Dataset entry point, and round-trips through the
+release store with identical answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Dataset, PrivateCounter, default_registry
+from repro.core.private_trie import PrivateCountingTrie
+from repro.serving import CompiledTrie, QueryService, ReleaseStore
+
+#: (kind, builder kwargs) for every kind in the default registry; the budget
+#: carries delta > 0 so qgram-t4 builds, and noiseless + threshold 1 make
+#: the structures deterministic and non-empty on the tiny fixture.
+KIND_KWARGS = {
+    "heavy-path": {},
+    "qgram-t3": {"q": 2},
+    "qgram-t4": {"q": 2},
+    "baseline": {"max_nodes": 500},
+}
+
+
+@pytest.fixture(scope="module")
+def counters():
+    database_documents = ["abab", "abba", "baba", "bbbb", "aabb"]
+    dataset = (
+        Dataset.from_documents(database_documents)
+        .with_budget(2.0, 1e-6)
+        .with_beta(0.1)
+        .noiseless()
+        .with_threshold(1.0)
+    )
+    return {
+        kind: dataset.build(kind, rng=np.random.default_rng(7), **kwargs)
+        for kind, kwargs in KIND_KWARGS.items()
+    }
+
+
+def test_fixture_covers_every_registered_kind():
+    assert set(KIND_KWARGS) == set(default_registry().kinds())
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_KWARGS))
+class TestProtocol:
+    def test_satisfies_private_counter(self, counters, kind):
+        assert isinstance(counters[kind], PrivateCounter)
+
+    def test_stores_something(self, counters, kind):
+        assert counters[kind].num_stored_patterns > 0
+
+    def test_query_many_matches_query_loop(self, counters, kind):
+        counter = counters[kind]
+        patterns = [p for p, _ in counter.items()] + ["", "zz", "ab", "ba"]
+        expected = np.array([counter.query(p) for p in patterns])
+        assert np.array_equal(counter.query_many(patterns), expected)
+
+    def test_payload_round_trip_preserves_queries(self, counters, kind):
+        counter = counters[kind]
+        clone = PrivateCountingTrie.from_payload(counter.to_payload())
+        patterns = [p for p, _ in counter.items()] + ["", "zz"]
+        for pattern in patterns:
+            assert clone.query(pattern) == counter.query(pattern)
+
+    def test_release_store_round_trip(self, counters, kind, tmp_path):
+        counter = counters[kind]
+        store = ReleaseStore(tmp_path / "store")
+        record = counter.release(store, kind)
+        assert record.version == 1
+        loaded = store.load(kind)
+        assert loaded.content_digest() == counter.content_digest()
+        patterns = [p for p, _ in counter.items()] + ["", "zz"]
+        assert np.array_equal(
+            loaded.query_many(patterns), counter.query_many(patterns)
+        )
+
+    def test_serves_through_query_service(self, counters, kind):
+        counter = counters[kind]
+        service = QueryService({kind: counter}, micro_batch=False)
+        patterns = [p for p, _ in counter.items()][:5] or ["ab"]
+        assert service.batch(patterns, release=kind) == [
+            counter.query(p) for p in patterns
+        ]
+
+    def test_mine_agrees_with_items(self, counters, kind):
+        counter = counters[kind]
+        mined = counter.mine(1.0)
+        assert set(mined) <= set(counter.items())
+
+    def test_invalidate_cached_views_after_in_place_mutation(self, counters, kind):
+        """Structures are read-only by contract; code that edits stored
+        counts in place must invalidate, after which query_many agrees
+        with query again."""
+        counter = counters[kind]
+        pattern, original = next(iter(counter.items()))
+        counter.query_many([pattern])  # populate the cached view
+        node = counter.trie.find(pattern)
+        node.noisy_count = original + 123.0
+        try:
+            counter.invalidate_cached_views()
+            assert counter.query_many([pattern])[0] == counter.query(pattern)
+        finally:
+            node.noisy_count = original
+            counter.invalidate_cached_views()
+
+
+class TestCompiledCounter:
+    def test_compiled_trie_satisfies_protocol(self, counters):
+        compiled = CompiledTrie.from_structure(counters["heavy-path"])
+        assert isinstance(compiled, PrivateCounter)
+
+    def test_compiled_payload_matches_source(self, counters):
+        source = counters["heavy-path"]
+        compiled = CompiledTrie.from_structure(source)
+        assert compiled.to_payload() == source.to_payload()
+
+    def test_compiled_from_payload_round_trip(self, counters):
+        source = counters["qgram-t3"]
+        compiled = CompiledTrie.from_payload(source.to_payload())
+        patterns = [p for p, _ in source.items()] + ["", "zz"]
+        assert np.array_equal(
+            compiled.query_many(patterns), source.query_many(patterns)
+        )
+
+    def test_compiled_trie_releases_through_the_store(self, counters, tmp_path):
+        """A compiled trie ships through the same ReleaseStore as its
+        source, byte-identical (same JSON, same digest)."""
+        source = counters["heavy-path"]
+        compiled = CompiledTrie.from_structure(source)
+        assert compiled.content_digest() == source.content_digest()
+        store = ReleaseStore(tmp_path / "store")
+        record = compiled.release(store, "compiled")
+        assert record.digest == source.content_digest()
+        loaded = store.load("compiled")
+        patterns = [p for p, _ in source.items()] + ["", "zz"]
+        assert np.array_equal(
+            loaded.query_many(patterns), compiled.query_many(patterns)
+        )

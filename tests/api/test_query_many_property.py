@@ -1,0 +1,73 @@
+"""Property test: for every registered structure kind, ``query_many`` is
+bit-for-bit the per-pattern ``query`` loop — on arbitrary pattern batches,
+including empty patterns, misses, characters outside the alphabet and
+mixed/uniform lengths (the two vectorized paths of the compiled trie)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Dataset, default_registry
+
+#: Patterns probe stored entries, near-misses ("c" is in no document) and
+#: outside-alphabet characters ("z", NUL); uniform-length lists arise
+#: naturally from min/max size collisions.
+PATTERN = st.text(alphabet="abcz\x00", min_size=0, max_size=6)
+PATTERNS = st.lists(PATTERN, min_size=0, max_size=32)
+UNIFORM_PATTERNS = st.integers(1, 4).flatmap(
+    lambda width: st.lists(
+        st.text(alphabet="abcz", min_size=width, max_size=width),
+        min_size=2,
+        max_size=32,
+    )
+)
+
+KIND_KWARGS = {
+    "heavy-path": {},
+    "qgram-t3": {"q": 2},
+    "qgram-t4": {"q": 2},
+    "baseline": {"max_nodes": 500},
+}
+
+
+@pytest.fixture(scope="module")
+def counters():
+    dataset = (
+        Dataset.from_documents(["abab", "abba", "baba", "bbbb", "aabb", "abc"])
+        .with_budget(2.0, 1e-6)
+        .with_beta(0.1)
+        .noiseless()
+        .with_threshold(1.0)
+    )
+    built = {
+        kind: dataset.build(kind, rng=np.random.default_rng(3), **kwargs)
+        for kind, kwargs in KIND_KWARGS.items()
+    }
+    assert set(built) == set(default_registry().kinds())
+    return built
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_KWARGS))
+class TestQueryManyEquality:
+    @settings(max_examples=60, deadline=None)
+    @given(patterns=PATTERNS)
+    def test_arbitrary_batches(self, counters, kind, patterns):
+        counter = counters[kind]
+        expected = np.array(
+            [counter.query(p) for p in patterns], dtype=np.float64
+        )
+        assert np.array_equal(counter.query_many(patterns), expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(patterns=UNIFORM_PATTERNS)
+    def test_uniform_length_batches(self, counters, kind, patterns):
+        """Fixed-length traffic exercises the compiled trie's uniform batch
+        fast path; the counts must still match the loop exactly."""
+        counter = counters[kind]
+        expected = np.array(
+            [counter.query(p) for p in patterns], dtype=np.float64
+        )
+        assert np.array_equal(counter.query_many(patterns), expected)

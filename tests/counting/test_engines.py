@@ -15,7 +15,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
 from repro.counting import (
     AUTO_BACKEND,

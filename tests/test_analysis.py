@@ -14,7 +14,6 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.reporting import format_table, format_value, save_results
 from repro.core.baselines import ExactCountingOracle
-from repro.core.database import StringDatabase
 
 
 class TestMetrics:

@@ -10,6 +10,7 @@ import pytest
 import repro
 
 SUBPACKAGES = [
+    "repro.api",
     "repro.core",
     "repro.strings",
     "repro.dp",
@@ -31,13 +32,19 @@ class TestRootPackage:
 
     def test_quickstart_snippet_from_docstring_works(self):
         """The module docstring's quickstart must keep working verbatim."""
-        from repro import ConstructionParams, StringDatabase, build_private_counting_structure
+        import numpy as np
 
-        db = StringDatabase(["aaaa", "abe", "absab", "babe", "bee", "bees"])
-        params = ConstructionParams.pure(epsilon=2.0, beta=0.1)
-        structure = build_private_counting_structure(db, params)
-        assert isinstance(structure.query("ab"), float)
-        assert isinstance(structure.mine(threshold=3.0), list)
+        from repro import Dataset
+
+        counter = (
+            Dataset.from_documents(["aaaa", "abe", "absab", "babe", "bee", "bees"])
+            .with_budget(epsilon=2.0)
+            .with_beta(0.1)
+            .build("heavy-path")
+        )
+        assert isinstance(counter.query("ab"), float)
+        assert isinstance(counter.query_many(["ab", "be"]), np.ndarray)
+        assert isinstance(counter.mine(threshold=3.0), list)
 
 
 class TestSubpackages:
@@ -77,5 +84,5 @@ class TestSubpackages:
     def test_cli_registry_covers_design_index(self):
         from repro.cli import EXPERIMENT_REGISTRY
 
-        expected = {f"E{i}" for i in range(1, 22)}
+        expected = {f"E{i}" for i in range(1, 23)}
         assert set(EXPERIMENT_REGISTRY) == expected
