@@ -108,6 +108,7 @@ __all__ = [
     "run_counting_engine_benchmark",
     "run_query_many_benchmark",
     "run_serving_throughput",
+    "run_concurrent_serving",
 ]
 
 
@@ -1448,6 +1449,74 @@ def run_serving_throughput(
             }
         )
     return rows
+
+
+def run_concurrent_serving(
+    thread_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    workload: str = "genome",
+    n: int = 1000,
+    ell: int = 12,
+    num_operations: int = 2000,
+    epsilon: float = 60.0,
+    threshold: float = 30.0,
+    seed: int = 23,
+    micro_batch: bool = True,
+) -> list[dict]:
+    """E23 — concurrent serving correctness and throughput.
+
+    Builds one released structure, wraps it in a :class:`QueryService`, and
+    replays one seeded mixed workload (``/query``, ``/batch``, ``/mine``,
+    ``/healthz``) from 1, 2, 4 and 8 barrier-started threads.  Every replay
+    must be *bit-identical* to the serial replay and must advance the
+    health counters by exactly the workload totals — the concurrency
+    contract of ``repro.serving`` (lock-protected caches over immutable
+    array snapshots).  Throughput per thread count is recorded; on
+    CPython the GIL bounds the scaling, so the headline is correctness
+    under contention, not linear speedup.
+    """
+    from repro.serving import (
+        QueryService,
+        execute_operation,
+        generate_workload,
+        run_load_test,
+    )
+
+    rng = np.random.default_rng(seed)
+    if workload == "genome":
+        database = genome_with_motifs(n, ell, rng)
+    else:
+        database = transit_trajectories(n, ell, rng)
+    structure = (
+        Dataset.from_database(database)
+        .with_budget(epsilon)
+        .with_beta(0.1)
+        .with_threshold(threshold)
+        .build("heavy-path", rng=rng)
+    )
+    service = QueryService({workload: structure}, micro_batch=micro_batch)
+    try:
+        operations = generate_workload(service, num_operations, seed=seed + 1)
+        # One serial replay fixes the expected answers for every thread count.
+        expected = [execute_operation(service, operation) for operation in operations]
+        rows = []
+        for threads in thread_counts:
+            result = run_load_test(
+                service, operations, threads=int(threads), expected=expected
+            )
+            row = result.row()
+            row.update(
+                {
+                    "workload": workload,
+                    "n": n,
+                    "micro_batch": micro_batch,
+                    "mismatches": len(result.mismatches),
+                }
+            )
+            rows.append(row)
+        return rows
+    finally:
+        service.close()
 
 
 def _timed(run: Callable[[], object]) -> float:

@@ -3,7 +3,7 @@
 ``dpsc`` exposes the library's experiments, a tiny demo, and the query
 serving layer from the shell::
 
-    dpsc list                      # list every experiment (E1-E22)
+    dpsc list                      # list every experiment (E1-E23)
     dpsc run E1                    # regenerate one experiment's table
     dpsc run all --save results    # regenerate every table (laptop-sized)
     dpsc quickstart                # run the quickstart demo
@@ -11,6 +11,7 @@ serving layer from the shell::
     dpsc releases --store ./rel    # inspect (or --build --kind ...) a store
     dpsc serve --store ./rel       # serve compiled releases over HTTP
     dpsc query GATTACA ACGT        # query a running server
+    dpsc bench-load --threads 1,8  # hammer a service, assert bit-identical
 
 The experiments are the same ones the benchmark harness runs; the registry
 below maps each id to the paper's figures and theorems.  Structure builds
@@ -137,6 +138,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
             "Batched query_many vs per-pattern query loops across structure kinds",
             lambda: experiments.run_query_many_benchmark(),
         ),
+        "E23": (
+            "Concurrent serving: bit-identical replays and throughput vs threads",
+            lambda: experiments.run_concurrent_serving(),
+        ),
     }
 
 
@@ -207,6 +212,16 @@ def _kind_kwargs(args: argparse.Namespace) -> dict:
     return {"q": args.q} if "q" in kind.requires else {}
 
 
+def _build_cli_structure(args: argparse.Namespace, database, rng):
+    """One structure built from the shared --kind/--epsilon/... flags
+    (the block every structure-building subcommand shares)."""
+    return (
+        Dataset.from_database(database)
+        .with_params(_cli_params(args))
+        .build(args.kind, rng=rng, **_kind_kwargs(args))
+    )
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.workload == "genome":
@@ -214,11 +229,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     else:
         database = transit_trajectories(args.n, args.ell, rng)
     try:
-        structure = (
-            Dataset.from_database(database)
-            .with_params(_cli_params(args))
-            .build(args.kind, rng=rng, **_kind_kwargs(args))
-        )
+        structure = _build_cli_structure(args, database, rng)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -281,6 +292,98 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_bench_load(args: argparse.Namespace) -> int:
+    """Hammer a QueryService with mixed concurrent traffic and assert every
+    answer is bit-identical to a serial replay (the E23 harness)."""
+    from repro.serving import (
+        QueryService,
+        ServingClient,
+        execute_operation,
+        generate_workload,
+        run_load_test,
+    )
+
+    try:
+        thread_counts = [int(t) for t in args.threads.split(",") if t]
+    except ValueError:
+        thread_counts = []
+    if not thread_counts or any(t < 1 for t in thread_counts):
+        print(
+            "error: --threads must be a comma list of positive integers, "
+            f"got {args.threads!r}",
+            file=sys.stderr,
+        )
+        return 2
+    service = None
+    if args.url:
+        target = ServingClient(args.url)
+        verify_counters = False  # other clients may share the live server
+    elif args.store:
+        store = ReleaseStore(args.store)
+        try:
+            service = QueryService.from_store(
+                store, micro_batch=not args.no_batch
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        target = service
+        verify_counters = True
+    else:
+        database, rng = _build_workload_database(
+            args.workload, args.n, args.ell, args.seed
+        )
+        try:
+            structure = _build_cli_structure(args, database, rng)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        service = QueryService(
+            {args.workload: structure}, micro_batch=not args.no_batch
+        )
+        target = service
+        verify_counters = True
+    try:
+        workload = generate_workload(target, args.ops, seed=args.seed)
+        expected = [execute_operation(target, operation) for operation in workload]
+        print(
+            f"{'threads':>7s} {'ops':>7s} {'seconds':>9s} {'ops/s':>10s} "
+            f"{'lookups/s':>10s} {'identical':>9s} {'counters':>8s}"
+        )
+        failures = 0
+        for threads in thread_counts:
+            result = run_load_test(
+                target,
+                workload,
+                threads=threads,
+                expected=expected,
+                verify_counters=verify_counters,
+            )
+            ok = result.bit_identical and (
+                result.counters_consistent or not verify_counters
+            )
+            failures += 0 if ok else 1
+            print(
+                f"{result.threads:7d} {result.operations:7d} "
+                f"{result.seconds:9.3f} {result.ops_per_second:10.0f} "
+                f"{result.queries_per_second:10.0f} "
+                f"{str(result.bit_identical):>9s} "
+                f"{str(result.counters_consistent):>8s}"
+            )
+            for line in result.errors[:5]:
+                print(f"  error: {line}", file=sys.stderr)
+        if failures:
+            print(f"error: {failures} replay(s) diverged", file=sys.stderr)
+            return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if service is not None:
+            service.close()
     return 0
 
 
@@ -415,6 +518,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_parser.add_argument("--limit", type=int, default=20)
     query_parser.set_defaults(func=_cmd_query)
+
+    bench_parser = subparsers.add_parser(
+        "bench-load",
+        help="load-test a query service with mixed concurrent traffic",
+    )
+    bench_parser.add_argument(
+        "--threads",
+        default="1,2,4,8",
+        help="comma list of thread counts to replay the workload with",
+    )
+    bench_parser.add_argument(
+        "--ops", type=int, default=2000, help="operations per replay"
+    )
+    bench_parser.add_argument(
+        "--store", default="", help="serve the releases of this store"
+    )
+    bench_parser.add_argument(
+        "--url", default="", help="hammer a running server instead (skips "
+        "the counter check: other clients may share it)",
+    )
+    bench_parser.add_argument(
+        "--workload", choices=("genome", "transit"), default="genome",
+        help="workload to build in-process when no --store/--url is given",
+    )
+    bench_parser.add_argument("--n", type=int, default=1000)
+    bench_parser.add_argument("--ell", type=int, default=12)
+    bench_parser.add_argument("--epsilon", type=float, default=60.0)
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable micro-batching of concurrent single queries",
+    )
+    _add_build_arguments(bench_parser)
+    bench_parser.set_defaults(func=_cmd_bench_load)
 
     releases_parser = subparsers.add_parser(
         "releases", help="list (and optionally build) stored releases"

@@ -19,14 +19,30 @@ PrivateCountingTrie` to serving millions of pattern queries:
     A stdlib ``ThreadingHTTPServer`` JSON API (``/query``, ``/batch``,
     ``/mine``, ``/releases``, ``/healthz``) with request micro-batching and
     per-release routing, plus a ``urllib``-based client.
+``loadtest``
+    A deterministic concurrency harness: seeded mixed workloads replayed
+    from barrier-started threads, checked bit-identical against a serial
+    replay (``dpsc bench-load``, E23).
 
-See ``docs/SERVING.md`` for the end-to-end workflow and ``dpsc serve`` /
-``dpsc query`` / ``dpsc releases`` for the command-line entry points.
+Everything above is safe under the concurrency it advertises: compiled
+tries are immutable snapshots with lock-protected caches, and the ledger
+and store write their JSON state atomically under advisory file locks —
+see the "Concurrency & durability" section of ``docs/SERVING.md`` and
+``dpsc serve`` / ``dpsc query`` / ``dpsc releases`` / ``dpsc bench-load``
+for the command-line entry points.
 """
 
 from repro.serving.compiled import CacheInfo, CompiledTrie
 from repro.serving.client import ServingClient, ServingClientError
 from repro.serving.ledger import BudgetLedger, build_release
+from repro.serving.loadtest import (
+    LoadTestError,
+    LoadTestResult,
+    Operation,
+    execute_operation,
+    generate_workload,
+    run_load_test,
+)
 from repro.serving.server import MicroBatcher, QueryService, create_server, serve_forever
 from repro.serving.store import ReleaseRecord, ReleaseStore
 
@@ -37,6 +53,12 @@ __all__ = [
     "ServingClientError",
     "BudgetLedger",
     "build_release",
+    "LoadTestError",
+    "LoadTestResult",
+    "Operation",
+    "execute_operation",
+    "generate_workload",
+    "run_load_test",
     "MicroBatcher",
     "QueryService",
     "create_server",

@@ -1,0 +1,148 @@
+"""Crash-safe, multi-process-safe file primitives for the serving layer.
+
+The ledger and the release store both persist read-modify-write state
+(privacy accounting, the version index) as whole JSON files.  Two failure
+modes are unacceptable for a DP curator:
+
+* a crash mid-write truncating ``ledger.json`` — *losing* privacy
+  accounting is the one failure a curator must never have; and
+* two curator processes interleaving read-modify-write cycles and silently
+  clobbering each other's releases or double-spending budget.
+
+This module provides the shared building blocks both use:
+
+:func:`atomic_write_text`
+    tmp file in the same directory + flush + ``os.fsync`` + ``os.replace``,
+    so a reader (or a crash at any instant) observes either the complete old
+    contents or the complete new contents, never a prefix.
+:class:`FileLock`
+    an advisory, blocking, inter-process lock on a sidecar ``*.lock`` file
+    (``fcntl.flock`` where available; a no-op elsewhere — documented in
+    ``docs/SERVING.md``).  Reentrant within a thread is *not* supported;
+    callers hold it only across one read-modify-write cycle.
+:func:`file_signature`
+    a cheap ``(mtime_ns, size)`` fingerprint used for stale-state detection:
+    a process re-reads its cached JSON state whenever the on-disk signature
+    no longer matches the one recorded at the last load/save.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["atomic_write_text", "file_signature", "FileLock", "atomic_write_json"]
+
+#: distinguishes concurrent in-process writers (pid alone would collide on
+#: platforms where FileLock is a no-op); next() is atomic under the GIL.
+_tmp_counter = itertools.count()
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically and durably.
+
+    The bytes go to a temporary file in the same directory (same filesystem,
+    so ``os.replace`` is atomic), are fsynced, and only then renamed over
+    ``path``.  A crash at any point leaves either the previous complete file
+    or the new complete file — never a truncated hybrid.  The directory is
+    fsynced best-effort afterwards so the rename itself survives power loss.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}.{next(_tmp_counter)}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def atomic_write_json(path: str | Path, payload: object, **dumps_kwargs) -> None:
+    """:func:`atomic_write_text` of ``json.dumps(payload, **dumps_kwargs)``."""
+    atomic_write_text(path, json.dumps(payload, **dumps_kwargs))
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory (so renames within it are durable)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def file_signature(path: str | Path) -> tuple[int, int] | None:
+    """``(mtime_ns, size)`` of ``path``, or ``None`` when it does not exist.
+
+    Two signatures comparing unequal means the file changed on disk since
+    the signature was recorded (atomic replaces always bump ``mtime_ns`` of
+    the new inode); callers treat that as "my cached state is stale".
+    """
+    try:
+        stat = os.stat(path)
+    except FileNotFoundError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+class FileLock:
+    """A blocking, advisory, inter-process file lock (context manager).
+
+    Locks a dedicated sidecar file (never the data file itself, which is
+    atomically *replaced* and would drop the lock with the old inode).  On
+    platforms without ``fcntl`` the lock degrades to a no-op — single-process
+    curators stay correct there via the in-process locks; see the
+    "Concurrency & durability" section of ``docs/SERVING.md``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    def acquire(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except BaseException:  # pragma: no cover - interrupted acquire
+            os.close(fd)
+            raise
+        self._fd = fd
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -18,11 +18,24 @@ patterns run in ``O(max|P|)`` vectorized rounds over all ``m`` patterns at
 once, which is where the serving throughput comes from (see
 ``benchmarks/bench_serving.py``).  A small LRU cache short-circuits repeated
 single-pattern queries, as real query traffic is heavily skewed.
+
+Thread safety
+-------------
+A compiled trie is served concurrently by ``ThreadingHTTPServer`` handler
+threads, so it guarantees an *immutable snapshot*: every shared numpy array
+is marked read-only after construction (:meth:`CompiledTrie.assert_immutable`
+verifies this), query paths only allocate thread-local scratch, and the two
+mutable members — the LRU result cache and the uniform-batch gather-index
+cache — are each guarded by their own lock.  Any number of threads may call
+``query`` / ``batch_query`` / ``mine`` concurrently and observe exactly the
+serial results, with exact hit/miss counters
+(``tests/serving/test_concurrency.py`` is the stress suite).
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -134,8 +147,10 @@ class CompiledTrie:
         self._counts_zero = np.where(np.isnan(self._counts_ext), 0.0, self._counts_ext)
         # (batch size, pattern length) -> code gather index; serving traffic
         # repeats batch shapes, so the uniform path's index arithmetic is
-        # computed once per shape.
+        # computed once per shape.  Guarded by _uniform_lock: concurrent
+        # /batch handler threads share this dict.
         self._uniform_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._uniform_lock = threading.Lock()
         # Plain-list mirrors for the single-query walk: stdlib bisect on a
         # list beats per-call numpy overhead by an order of magnitude.
         self._edge_keys_list = edge_keys.tolist()
@@ -145,10 +160,18 @@ class CompiledTrie:
         self._counts_list = counts.tolist()
         self.metadata = metadata
         self.report = dict(report or {})
+        # The LRU cache (an OrderedDict whose move_to_end/popitem are not
+        # atomic under concurrent callers) and its exact hit/miss counters
+        # share one lock; the count lookup itself runs outside it.
         self._cache: OrderedDict[str, float] = OrderedDict()
         self._cache_max = max(0, int(cache_size))
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_lock = threading.Lock()
+        # Immutable-snapshot guarantee: all shared arrays are frozen so a
+        # rogue writer faults loudly instead of racing readers.
+        for array in self._shared_arrays():
+            array.setflags(write=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -243,19 +266,28 @@ class CompiledTrie:
         return node
 
     def query(self, pattern: str) -> float:
-        """Noisy count of ``pattern`` (0 when absent), LRU-cached."""
+        """Noisy count of ``pattern`` (0 when absent), LRU-cached.
+
+        Safe for any number of concurrent callers: the OrderedDict LRU is
+        only touched under ``_cache_lock`` (``move_to_end``/``popitem`` are
+        read-modify-write sequences that corrupt the dict when interleaved),
+        while the array walk itself runs outside the lock.  Hit/miss
+        counters are exact, not best-effort.
+        """
         if self._cache_max:
-            cached = self._cache.get(pattern)
-            if cached is not None:
-                self._cache_hits += 1
-                self._cache.move_to_end(pattern)
-                return cached
-            self._cache_misses += 1
+            with self._cache_lock:
+                cached = self._cache.get(pattern)
+                if cached is not None:
+                    self._cache_hits += 1
+                    self._cache.move_to_end(pattern)
+                    return cached
+                self._cache_misses += 1
         result = self._query_uncached(pattern)
         if self._cache_max:
-            self._cache[pattern] = result
-            if len(self._cache) > self._cache_max:
-                self._cache.popitem(last=False)
+            with self._cache_lock:
+                self._cache[pattern] = result
+                while len(self._cache) > self._cache_max:
+                    self._cache.popitem(last=False)
         return result
 
     def _query_uncached(self, pattern: str) -> float:
@@ -317,15 +349,20 @@ class CompiledTrie:
                     and bool(at_separators.all())
                     and int(np.count_nonzero(is_separator)) == m - 1
                 ):
-                    gather_index = self._uniform_cache.get((m, length))
+                    with self._uniform_lock:
+                        gather_index = self._uniform_cache.get((m, length))
                     if gather_index is None:
                         gather_index = (
                             np.arange(m) * (length + 1)
                             + np.arange(length)[:, None]
                         )
-                        if len(self._uniform_cache) >= 16:
-                            self._uniform_cache.clear()
-                        self._uniform_cache[(m, length)] = gather_index
+                        # Frozen before publication: once in the dict the
+                        # index is shared by every handler thread.
+                        gather_index.setflags(write=False)
+                        with self._uniform_lock:
+                            if len(self._uniform_cache) >= 16:
+                                self._uniform_cache.clear()
+                            self._uniform_cache[(m, length)] = gather_index
                     return self._batch_query_uniform(
                         flat_codes, gather_index, length, m
                     )
@@ -521,10 +558,9 @@ class CompiledTrie:
     def error_bound(self) -> float:
         return self.metadata.error_bound
 
-    @property
-    def nbytes(self) -> int:
-        """Total array storage of the compiled form."""
-        arrays = (
+    def _shared_arrays(self) -> tuple[np.ndarray, ...]:
+        """Every numpy array reachable by more than one serving thread."""
+        arrays = [
             self._counts,
             self._depths,
             self._parents,
@@ -537,22 +573,44 @@ class CompiledTrie:
             self._code_table,
             self._counts_ext,
             self._counts_zero,
-        )
-        total = sum(array.nbytes for array in arrays)
-        total += sum(index.nbytes for index in self._uniform_cache.values())
+        ]
         if self._transitions is not None:
-            total += self._transitions.nbytes
+            arrays.append(self._transitions)
+        return tuple(arrays)
+
+    def assert_immutable(self) -> None:
+        """Raise :class:`AssertionError` unless every shared array (and
+        every published uniform gather index) is read-only — the snapshot
+        guarantee concurrent query paths rely on.  Raised explicitly (not
+        via ``assert``) so the check survives ``python -O``."""
+        for array in self._shared_arrays():
+            if array.flags.writeable:
+                raise AssertionError("shared compiled array is writable")
+        with self._uniform_lock:
+            cached = list(self._uniform_cache.values())
+        for index in cached:
+            if index.flags.writeable:
+                raise AssertionError("published gather index is writable")
+
+    @property
+    def nbytes(self) -> int:
+        """Total array storage of the compiled form."""
+        total = sum(array.nbytes for array in self._shared_arrays())
+        with self._uniform_lock:
+            total += sum(index.nbytes for index in self._uniform_cache.values())
         return int(total)
 
     def cache_info(self) -> CacheInfo:
-        return CacheInfo(
-            hits=self._cache_hits,
-            misses=self._cache_misses,
-            size=len(self._cache),
-            max_size=self._cache_max,
-        )
+        with self._cache_lock:
+            return CacheInfo(
+                hits=self._cache_hits,
+                misses=self._cache_misses,
+                size=len(self._cache),
+                max_size=self._cache_max,
+            )
 
     def cache_clear(self) -> None:
-        self._cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0

@@ -17,6 +17,7 @@ restarts.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Callable
 
@@ -27,6 +28,7 @@ from repro.core.params import ConstructionParams
 from repro.core.private_trie import PrivateCountingTrie
 from repro.dp.composition import CompositionRecord, PrivacyAccountant, PrivacyBudget
 from repro.exceptions import BudgetExceededError
+from repro.serving._fsio import FileLock, atomic_write_json, file_signature
 
 __all__ = ["BudgetLedger", "build_release"]
 
@@ -46,37 +48,65 @@ class BudgetLedger:
         Optional JSON file the ledger loads on construction and rewrites
         after every charge, so accounting is durable across curator runs.
 
-    The ledger assumes a single curator process at a time: charges are
-    serialized through this object, and the file is written whole after
-    each one.  Two processes charging the same file concurrently could
-    each pass the affordability check before seeing the other's charge;
-    run one curator per store.
+    Durability and concurrency
+    --------------------------
+    The file is rewritten atomically (tmp file + fsync + ``os.replace``)
+    after every charge, so a crash mid-write can never truncate or lose
+    accounting: readers observe either the pre-charge or the post-charge
+    ledger, both complete.  Charges from threads of one process serialize
+    on an internal lock; charges from *different* curator processes
+    serialize on an advisory ``<path>.lock`` file, and every charge first
+    re-reads the file when its on-disk signature changed — so two curators
+    sharing one ledger file can no longer both pass the affordability check
+    and double-spend the cap.
     """
 
     def __init__(self, cap: PrivacyBudget, path: str | Path | None = None) -> None:
         self.cap = cap
         self._path = Path(path) if path is not None else None
         self._accountants: dict[str, PrivacyAccountant] = {}
+        self._lock = threading.Lock()
+        self._file_lock = (
+            FileLock(self._path.with_name(self._path.name + ".lock"))
+            if self._path is not None
+            else None
+        )
+        self._signature: tuple[int, int] | None = None
         if self._path is not None and self._path.exists():
-            self._load()
+            with self._file_lock:
+                self._load()
+                # Persist the *effective* (component-wise min) cap right
+                # away: a reopen that tightened the policy must be durable
+                # even if this process never charges anything.
+                if self._loaded_cap != (self.cap.epsilon, self.cap.delta):
+                    self._save()
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def spent(self, database_id: str) -> PrivacyBudget:
         """Composed budget of everything charged to ``database_id`` so far."""
-        return self._accountant(database_id).total()
+        with self._lock:
+            self._refresh_if_stale()
+            return self._accountant(database_id).total()
 
     def remaining(self, database_id: str) -> tuple[float, float]:
         """``(epsilon, delta)`` still available under the cap (clamped at 0)."""
-        accountant = self._accountant(database_id)
-        return (
-            max(0.0, self.cap.epsilon - accountant.total_epsilon),
-            max(0.0, self.cap.delta - accountant.total_delta),
-        )
+        with self._lock:
+            self._refresh_if_stale()
+            accountant = self._accountant(database_id)
+            return (
+                max(0.0, self.cap.epsilon - accountant.total_epsilon),
+                max(0.0, self.cap.delta - accountant.total_delta),
+            )
 
     def can_afford(self, database_id: str, budget: PrivacyBudget) -> bool:
         """Would charging ``budget`` stay within the cap?"""
+        with self._lock:
+            self._refresh_if_stale()
+            return self._can_afford(database_id, budget)
+
+    def _can_afford(self, database_id: str, budget: PrivacyBudget) -> bool:
         accountant = self._accountant(database_id)
         tolerance = 1e-9
         return (
@@ -88,8 +118,25 @@ class BudgetLedger:
         self, database_id: str, budget: PrivacyBudget, label: str = "release"
     ) -> None:
         """Record an expenditure, or raise :class:`BudgetExceededError`
-        without recording anything when it would breach the cap."""
-        if not self.can_afford(database_id, budget):
+        without recording anything when it would breach the cap.
+
+        With a persistence path the charge runs as one atomic
+        check-spend-save critical section: under the in-process lock *and*
+        the advisory file lock, against freshly re-read accounting whenever
+        another process changed the file since we last saw it.
+        """
+        with self._lock:
+            if self._file_lock is None:
+                self._charge_locked(database_id, budget, label)
+                return
+            with self._file_lock:
+                self._refresh_if_stale()
+                self._charge_locked(database_id, budget, label)
+
+    def _charge_locked(
+        self, database_id: str, budget: PrivacyBudget, label: str
+    ) -> None:
+        if not self._can_afford(database_id, budget):
             accountant = self._accountant(database_id)
             raise BudgetExceededError(
                 f"charging ({budget.epsilon:g}, {budget.delta:g}) to "
@@ -105,6 +152,13 @@ class BudgetLedger:
 
     def entries(self, database_id: str | None = None) -> list[tuple[str, CompositionRecord]]:
         """``(database_id, record)`` pairs, optionally for one database."""
+        with self._lock:
+            self._refresh_if_stale()
+            return self._entries(database_id)
+
+    def _entries(
+        self, database_id: str | None = None
+    ) -> list[tuple[str, CompositionRecord]]:
         names = [database_id] if database_id is not None else sorted(self._accountants)
         return [
             (name, record)
@@ -113,15 +167,19 @@ class BudgetLedger:
         ]
 
     def database_ids(self) -> list[str]:
-        return sorted(self._accountants)
+        with self._lock:
+            self._refresh_if_stale()
+            return sorted(self._accountants)
 
     def summary(self) -> str:
         """Human-readable per-database accounting breakdown."""
-        lines = [f"cap: epsilon={self.cap.epsilon:g}, delta={self.cap.delta:g}"]
-        for name in self.database_ids():
-            lines.append(f"database {name!r}:")
-            lines.append(self._accountant(name).summary())
-        return "\n".join(lines)
+        with self._lock:
+            self._refresh_if_stale()
+            lines = [f"cap: epsilon={self.cap.epsilon:g}, delta={self.cap.delta:g}"]
+            for name in sorted(self._accountants):
+                lines.append(f"database {name!r}:")
+                lines.append(self._accountant(name).summary())
+            return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -129,11 +187,34 @@ class BudgetLedger:
     def _accountant(self, database_id: str) -> PrivacyAccountant:
         return self._accountants.setdefault(database_id, PrivacyAccountant())
 
+    def _refresh_if_stale(self) -> None:
+        """Re-read the ledger file when another process replaced it.
+
+        Every mutation goes through :meth:`_save`, so an *existing* file is
+        always a superset of what this process wrote; dropping the
+        in-memory state and reloading can only *add* other curators'
+        charges.  A *vanished* file is the opposite case — memory is then
+        the only copy of the accounting — so it is kept (and re-persisted
+        by the next charge) rather than forgotten, which would let a
+        curator double-spend against an empty ledger.
+        """
+        if self._path is None:
+            return
+        signature = file_signature(self._path)
+        if signature == self._signature:
+            return
+        if signature is None:
+            self._signature = None
+            return
+        self._accountants = {}
+        self._load()
+
     def _save(self) -> None:
         if self._path is None:
             return
+        cap = (self.cap.epsilon, self.cap.delta)
         payload = {
-            "cap": {"epsilon": self.cap.epsilon, "delta": self.cap.delta},
+            "cap": {"epsilon": cap[0], "delta": cap[1]},
             "entries": [
                 {
                     "database_id": name,
@@ -141,14 +222,24 @@ class BudgetLedger:
                     "epsilon": record.epsilon,
                     "delta": record.delta,
                 }
-                for name, record in self.entries()
+                for name, record in self._entries()
             ],
         }
-        self._path.write_text(json.dumps(payload, indent=2))
+        # Atomic + fsynced: a crash mid-save leaves the previous complete
+        # ledger in place — privacy accounting is never lost or truncated.
+        atomic_write_json(self._path, payload, indent=2)
+        self._signature = file_signature(self._path)
+        self._loaded_cap = cap
 
     def _load(self) -> None:
+        signature = file_signature(self._path)
         payload = json.loads(self._path.read_text())
         stored_cap = payload.get("cap")
+        self._loaded_cap = (
+            (stored_cap["epsilon"], stored_cap["delta"])
+            if stored_cap is not None
+            else None
+        )
         if stored_cap is not None:
             # Never let a default-capped reopen weaken the recorded policy.
             self.cap = PrivacyBudget(
@@ -159,6 +250,7 @@ class BudgetLedger:
             self._accountant(entry["database_id"]).spend(
                 entry["label"], entry["epsilon"], entry["delta"]
             )
+        self._signature = signature
 
 
 def build_release(

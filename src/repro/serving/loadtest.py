@@ -1,0 +1,329 @@
+"""A deterministic load-test harness for the query-serving stack.
+
+The serving layer's concurrency claim — any number of handler threads may
+hammer a released structure and every answer is still exact post-processing
+— is only as good as the harness that can falsify it.  This module
+generates a *seeded* mixed workload (``query`` / ``batch`` / ``mine`` /
+``healthz`` operations), replays it once serially to fix the expected
+answers, then replays it again from ``N`` barrier-started threads and
+checks three properties:
+
+1. **bit-identical results** — every concurrent answer equals the serial
+   replay's, float-for-float (queries are deterministic post-processing,
+   so any divergence is a concurrency bug, e.g. the pre-fix unlocked LRU);
+2. **no errors** — no operation may raise (a corrupted ``OrderedDict``
+   typically surfaces as ``KeyError``/``RuntimeError`` under load);
+3. **consistent counters** — the service's ``/healthz`` counters advance by
+   exactly the workload's operation totals (exact, not best-effort).
+
+The harness drives either a :class:`~repro.serving.server.QueryService`
+directly (in-process, what ``tests/serving/test_concurrency.py`` and E23
+use) or a :class:`~repro.serving.client.ServingClient` pointed at a live
+HTTP server (``dpsc bench-load --url``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "Operation",
+    "LoadTestError",
+    "LoadTestResult",
+    "generate_workload",
+    "expected_counter_deltas",
+    "execute_operation",
+    "run_load_test",
+]
+
+#: default traffic mix: (query, batch, mine, healthz) probabilities.
+DEFAULT_MIX = (0.62, 0.25, 0.03, 0.10)
+
+
+class LoadTestError(ReproError):
+    """The concurrent replay diverged from the serial replay."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a load-test workload (hashable, replayable)."""
+
+    kind: str  # "query" | "batch" | "mine" | "healthz"
+    release: str | None = None
+    pattern: str = ""
+    patterns: tuple[str, ...] = ()
+    threshold: float = 0.0
+    min_length: int = 1
+
+
+@dataclass
+class LoadTestResult:
+    """Outcome of one concurrent replay (see :func:`run_load_test`)."""
+
+    threads: int
+    operations: int
+    seconds: float
+    num_queries: int
+    num_batches: int
+    num_batch_patterns: int
+    num_mines: int
+    num_healthz: int
+    mismatches: list[int] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    counters_consistent: bool = True
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.seconds if self.seconds else float("inf")
+
+    @property
+    def queries_per_second(self) -> float:
+        """Throughput in *pattern lookups* (batch patterns each count)."""
+        total = self.num_queries + self.num_batch_patterns
+        return total / self.seconds if self.seconds else float("inf")
+
+    @property
+    def bit_identical(self) -> bool:
+        return not self.mismatches and not self.errors
+
+    def row(self) -> dict:
+        """A flat JSON-friendly summary (experiment/benchmark rows)."""
+        return {
+            "threads": self.threads,
+            "operations": self.operations,
+            "seconds": self.seconds,
+            "ops_per_second": self.ops_per_second,
+            "queries_per_second": self.queries_per_second,
+            "bit_identical": self.bit_identical,
+            "counters_consistent": self.counters_consistent,
+            "errors": len(self.errors),
+        }
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+def generate_workload(
+    service,
+    num_operations: int,
+    *,
+    seed: int = 0,
+    mix: Sequence[float] = DEFAULT_MIX,
+    max_batch: int = 64,
+    releases: Sequence[str] | None = None,
+) -> list[Operation]:
+    """A seeded list of mixed operations against ``service``'s releases.
+
+    Patterns are drawn from each release's stored patterns (the traffic
+    analysts actually send), their prefixes/extensions, and misses, so both
+    the LRU cache and the dead-state paths get exercised.  The same
+    ``(service releases, num_operations, seed, mix)`` always produce the
+    same workload — the determinism the bit-identical check rests on.
+    """
+    rng = np.random.default_rng(seed)
+    names = sorted(releases) if releases else _release_names(service)
+    pools: dict[str, list[str]] = {}
+    for name in names:
+        stored = _stored_patterns(service, name)
+        pool = list(stored) or [""]
+        pool += [p[:-1] for p in stored if len(p) > 1]
+        pool += [p + p[0] for p in stored[:64]]
+        pool += ["", "\x00", "zzz-miss", "…"]
+        pools[name] = pool
+    probabilities = np.asarray(mix, dtype=float)
+    probabilities = probabilities / probabilities.sum()
+    kinds = ("query", "batch", "mine", "healthz")
+    operations: list[Operation] = []
+    for _ in range(num_operations):
+        kind = kinds[int(rng.choice(4, p=probabilities))]
+        name = names[int(rng.integers(len(names)))]
+        pool = pools[name]
+        if kind == "query":
+            operations.append(
+                Operation(
+                    kind="query",
+                    release=name,
+                    pattern=pool[int(rng.integers(len(pool)))],
+                )
+            )
+        elif kind == "batch":
+            size = int(rng.integers(1, max_batch + 1))
+            patterns = tuple(
+                pool[int(index)] for index in rng.integers(len(pool), size=size)
+            )
+            operations.append(Operation(kind="batch", release=name, patterns=patterns))
+        elif kind == "mine":
+            operations.append(
+                Operation(
+                    kind="mine",
+                    release=name,
+                    threshold=float(rng.uniform(0.0, 10.0)),
+                    min_length=int(rng.integers(1, 4)),
+                )
+            )
+        else:
+            operations.append(Operation(kind="healthz"))
+    return operations
+
+
+def expected_counter_deltas(workload: Sequence[Operation]) -> dict[str, int]:
+    """How much each ``/healthz`` counter must advance after one replay."""
+    deltas = {"queries": 0, "batches": 0, "batch_patterns": 0, "mines": 0}
+    for operation in workload:
+        if operation.kind == "query":
+            deltas["queries"] += 1
+        elif operation.kind == "batch":
+            deltas["batches"] += 1
+            deltas["batch_patterns"] += len(operation.patterns)
+        elif operation.kind == "mine":
+            deltas["mines"] += 1
+    return deltas
+
+
+def _release_names(target) -> list[str]:
+    # QueryService spells it releases_info(); ServingClient releases().
+    info = getattr(target, "releases_info", None) or target.releases
+    return sorted(entry["name"] for entry in info())
+
+
+def _stored_patterns(target, name: str) -> list[str]:
+    release = getattr(target, "release", None)
+    if release is not None:  # in-process QueryService
+        return sorted(pattern for pattern, _ in release(name).items())
+    # Over HTTP: a bottomless mine threshold lists every stored pattern.
+    return sorted(pattern for pattern, _ in target.mine(-1e18, name))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _health(target) -> dict:
+    # QueryService spells it health(); ServingClient spells it healthz().
+    probe = getattr(target, "health", None)
+    if probe is None:
+        probe = target.healthz
+    return probe()
+
+
+def execute_operation(target, operation: Operation):
+    """Run one operation; the return value is what gets compared."""
+    if operation.kind == "query":
+        return float(target.query(operation.pattern, operation.release))
+    if operation.kind == "batch":
+        return [float(c) for c in target.batch(list(operation.patterns), operation.release)]
+    if operation.kind == "mine":
+        return target.mine(
+            operation.threshold,
+            operation.release,
+            min_length=operation.min_length,
+        )
+    if operation.kind == "healthz":
+        # Counters move during the run; only liveness is comparable.
+        return _health(target)["status"]
+    raise ReproError(f"unknown load-test operation kind {operation.kind!r}")
+
+
+def run_load_test(
+    target,
+    workload: Sequence[Operation],
+    *,
+    threads: int = 8,
+    expected: Sequence[object] | None = None,
+    check: bool = False,
+    verify_counters: bool = True,
+) -> LoadTestResult:
+    """Replay ``workload`` from ``threads`` barrier-started threads and
+    compare every answer against a serial replay.
+
+    ``target`` is a :class:`QueryService` or a :class:`ServingClient`.
+    ``expected`` lets the caller reuse one serial replay across several
+    thread counts; otherwise it is computed here (serially, before any
+    thread starts).  With ``check=True`` a divergence raises
+    :class:`LoadTestError` instead of only being recorded in the result.
+    ``verify_counters`` snapshots the target's health counters around the
+    concurrent replay and requires them to advance by exactly the
+    workload's totals (turn it off when other traffic shares the target).
+
+    Thread ``t`` executes operations ``t, t + threads, t + 2*threads, ...``
+    — a deterministic round-robin partition, so the same workload and
+    thread count replay identically (modulo scheduling, which must not
+    matter: that is the property under test).
+    """
+    workload = list(workload)
+    if expected is None:
+        expected = [execute_operation(target, operation) for operation in workload]
+    expected = list(expected)
+    if len(expected) != len(workload):
+        raise ReproError("expected results and workload differ in length")
+
+    results: list[object] = [None] * len(workload)
+    errors: list[str] = []
+    errors_lock = threading.Lock()
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(offset: int) -> None:
+        barrier.wait()
+        for index in range(offset, len(workload), threads):
+            try:
+                results[index] = execute_operation(target, workload[index])
+            except Exception as error:  # noqa: BLE001 - recorded, re-raised below
+                with errors_lock:
+                    errors.append(f"op {index} ({workload[index].kind}): {error!r}")
+
+    pool = [
+        threading.Thread(target=worker, args=(offset,), name=f"loadtest-{offset}")
+        for offset in range(threads)
+    ]
+    before = _health(target) if verify_counters else None
+    for thread in pool:
+        thread.start()
+    barrier.wait()  # every worker released at once
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    seconds = time.perf_counter() - started
+    after = _health(target) if verify_counters else None
+
+    mismatches = [
+        index
+        for index in range(len(workload))
+        if workload[index].kind != "healthz" and results[index] != expected[index]
+    ]
+    deltas = expected_counter_deltas(workload)
+    counters_consistent = True
+    if verify_counters:
+        counters_consistent = all(
+            after[key] - before[key] == deltas[key] for key in deltas
+        )
+    result = LoadTestResult(
+        threads=threads,
+        operations=len(workload),
+        seconds=seconds,
+        num_queries=deltas["queries"],
+        num_batches=deltas["batches"],
+        num_batch_patterns=deltas["batch_patterns"],
+        num_mines=deltas["mines"],
+        num_healthz=sum(1 for op in workload if op.kind == "healthz"),
+        mismatches=mismatches,
+        errors=errors,
+        counters_consistent=counters_consistent,
+    )
+    if check and not (result.bit_identical and result.counters_consistent):
+        detail = "; ".join(errors[:3]) or (
+            f"ops {mismatches[:10]} diverged"
+            if mismatches
+            else "health counters drifted from the workload totals"
+        )
+        raise LoadTestError(
+            f"concurrent replay with {threads} threads diverged from the "
+            f"serial replay ({len(mismatches)} mismatches, "
+            f"{len(errors)} errors): {detail}"
+        )
+    return result

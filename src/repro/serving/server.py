@@ -132,8 +132,12 @@ class MicroBatcher:
                         self._service.release(release).query(group[0].pattern)
                     )
                 else:
-                    counts = self._service.batch(
-                        [pending.pattern for pending in group], release=release
+                    # The *uncounted* batch path: these requests were
+                    # already counted as single queries in num_queries, so
+                    # routing the flush through the public batch() would
+                    # misreport them as /batch traffic in /healthz.
+                    counts = self._service.release(release).batch_query(
+                        [pending.pattern for pending in group]
                     )
                     for pending, count in zip(group, counts):
                         pending.result = float(count)
@@ -261,15 +265,21 @@ class QueryService:
             name: compiled.cache_info().__dict__
             for name, compiled in self._releases.items()
         }
+        with self._stats_lock:
+            # One consistent snapshot: a reader must never observe e.g. a
+            # batch counted whose patterns are not.
+            counters = {
+                "queries": self.num_queries,
+                "batches": self.num_batches,
+                "batch_patterns": self.num_batch_patterns,
+                "mines": self.num_mines,
+            }
         payload = {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
             "releases": sorted(self._releases),
             "default_release": self.default_release,
-            "queries": self.num_queries,
-            "batches": self.num_batches,
-            "batch_patterns": self.num_batch_patterns,
-            "mines": self.num_mines,
+            **counters,
             "cache": cache,
         }
         if self._batcher is not None:
@@ -301,6 +311,12 @@ class QueryService:
             name: CompiledTrie.from_structure(store.load(name)) for name in selected
         }
         return cls(releases, **kwargs)
+
+
+def _is_int(value: object) -> bool:
+    """True for JSON integers only (bool is an int subclass in Python —
+    ``true`` is not a length)."""
+    return isinstance(value, int) and not isinstance(value, bool)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -360,12 +376,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(str(error), 404)
         except ReproError as error:
             self._error(str(error), 400)
+        except Exception as error:  # noqa: BLE001 - JSON 500, not a raw traceback
+            self._error(f"internal error: {error}", 500)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
             payload = self._read_json()
         except (ValueError, UnicodeDecodeError):
             self._error("request body is not valid JSON", 400)
+            return
+        if not isinstance(payload, dict):
+            # Valid JSON but not an object (e.g. a bare list or string)
+            # must be a JSON 400 too, not an unhandled AttributeError.
+            self._error("request body must be a JSON object", 400)
             return
         release = payload.get("release")
         try:
@@ -396,15 +419,29 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/mine":
                 threshold = payload.get("threshold")
-                if not isinstance(threshold, (int, float)):
+                if not isinstance(threshold, (int, float)) or isinstance(
+                    threshold, bool
+                ):
                     self._error("'threshold' must be a number", 400)
+                    return
+                min_length = payload.get("min_length", 1)
+                if not _is_int(min_length):
+                    self._error("'min_length' must be an integer", 400)
+                    return
+                max_length = payload.get("max_length")
+                if max_length is not None and not _is_int(max_length):
+                    self._error("'max_length' must be an integer or null", 400)
+                    return
+                exact_length = payload.get("exact_length")
+                if exact_length is not None and not _is_int(exact_length):
+                    self._error("'exact_length' must be an integer or null", 400)
                     return
                 patterns = self.service.mine(
                     float(threshold),
                     release,
-                    min_length=int(payload.get("min_length", 1)),
-                    max_length=payload.get("max_length"),
-                    exact_length=payload.get("exact_length"),
+                    min_length=int(min_length),
+                    max_length=None if max_length is None else int(max_length),
+                    exact_length=None if exact_length is None else int(exact_length),
                 )
                 self._respond(
                     {
@@ -419,6 +456,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(str(error), 404)
         except ReproError as error:
             self._error(str(error), 400)
+        except Exception as error:  # noqa: BLE001 - JSON 500, not a raw traceback
+            self._error(f"internal error: {error}", 500)
 
 
 def create_server(

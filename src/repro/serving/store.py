@@ -16,18 +16,32 @@ released noisy counts plus public metadata — so a store can be rsynced to
 untrusted analysts wholesale.  The index records a SHA-256 digest per version
 (verified on load) and an optional *pin*: the version served by default when
 a caller asks for a name without a version (otherwise the latest).
+
+Durability and concurrency
+--------------------------
+Version payloads and ``index.json`` are written atomically (tmp file +
+fsync + ``os.replace`` via :mod:`repro.serving._fsio`), so a crash mid-write
+leaves the previous complete index in place instead of a truncated one.
+Mutations (``save``/``pin``/``unpin``) serialize across threads on an
+internal lock and across curator *processes* on an advisory
+``.index.lock`` file, and every operation first re-reads ``index.json``
+when its on-disk signature changed — two processes saving into the same
+store interleave cleanly (distinct version numbers) instead of silently
+clobbering each other's index entries.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.private_trie import PrivateCountingTrie
 from repro.exceptions import ReleaseNotFoundError, ReproError
+from repro.serving._fsio import FileLock, atomic_write_text, file_signature
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.compiled import CompiledTrie
@@ -58,15 +72,16 @@ class ReleaseStore:
     """Save, version, pin and reload released private structures."""
 
     INDEX_NAME = "index.json"
+    LOCK_NAME = ".index.lock"
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._index_path = self.root / self.INDEX_NAME
-        if self._index_path.exists():
-            self._index = json.loads(self._index_path.read_text())
-        else:
-            self._index = {"releases": {}}
+        self._lock = threading.RLock()
+        self._file_lock = FileLock(self.root / self.LOCK_NAME)
+        self._signature: tuple[int, int] | None = None
+        self._load_index()
 
     # ------------------------------------------------------------------
     # Writing
@@ -79,37 +94,53 @@ class ReleaseStore:
         structures and compiled tries serialize byte-identically)."""
         if not name or "/" in name or name.startswith("."):
             raise ReproError(f"invalid release name {name!r}")
-        entry = self._index["releases"].setdefault(
-            name, {"pinned": None, "versions": {}}
-        )
-        version = 1 + max((int(v) for v in entry["versions"]), default=0)
         payload = structure.to_json()
-        directory = self.root / name
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"v{version:04d}.json"
-        path.write_text(payload)
-        entry["versions"][str(version)] = {
-            "digest": _digest(payload),
-            "epsilon": structure.metadata.epsilon,
-            "delta": structure.metadata.delta,
-            "construction": structure.metadata.construction,
-            "num_patterns": structure.num_stored_patterns,
-        }
-        self._write_index()
-        return self._record(name, version)
+        with self._lock, self._file_lock:
+            self._refresh_if_stale()
+            entry = self._index["releases"].setdefault(
+                name, {"pinned": None, "versions": {}}
+            )
+            version = 1 + max((int(v) for v in entry["versions"]), default=0)
+            directory = self.root / name
+            directory.mkdir(parents=True, exist_ok=True)
+            # Never overwrite a payload file the index does not know about
+            # (e.g. after a lost index): versions are immutable releases,
+            # so skip past whatever already exists on disk.
+            while (directory / f"v{version:04d}.json").exists():
+                version += 1
+            path = directory / f"v{version:04d}.json"
+            # Payload first, index second: a crash in between leaves an
+            # orphan version file the index never references (and the next
+            # save of that name atomically overwrites it).
+            atomic_write_text(path, payload)
+            entry["versions"][str(version)] = {
+                "digest": _digest(payload),
+                "epsilon": structure.metadata.epsilon,
+                "delta": structure.metadata.delta,
+                "construction": structure.metadata.construction,
+                "num_patterns": structure.num_stored_patterns,
+            }
+            self._write_index()
+            return self._record(name, version)
 
     def pin(self, name: str, version: int) -> None:
         """Make ``version`` the default served version of ``name``."""
-        entry = self._entry(name)
-        if str(version) not in entry["versions"]:
-            raise ReleaseNotFoundError(f"release {name!r} has no version {version}")
-        entry["pinned"] = int(version)
-        self._write_index()
+        with self._lock, self._file_lock:
+            self._refresh_if_stale()
+            entry = self._entry(name)
+            if str(version) not in entry["versions"]:
+                raise ReleaseNotFoundError(
+                    f"release {name!r} has no version {version}"
+                )
+            entry["pinned"] = int(version)
+            self._write_index()
 
     def unpin(self, name: str) -> None:
         """Revert ``name`` to serving its latest version by default."""
-        self._entry(name)["pinned"] = None
-        self._write_index()
+        with self._lock, self._file_lock:
+            self._refresh_if_stale()
+            self._entry(name)["pinned"] = None
+            self._write_index()
 
     # ------------------------------------------------------------------
     # Reading
@@ -117,8 +148,10 @@ class ReleaseStore:
     def load(self, name: str, version: int | None = None) -> PrivateCountingTrie:
         """Reload a stored structure (pinned-or-latest when no version is
         given), verifying its recorded digest."""
-        resolved = self.resolve_version(name, version)
-        record = self._record(name, resolved)
+        with self._lock:
+            self._refresh_if_stale()
+            resolved = self.resolve_version(name, version)
+            record = self._record(name, resolved)
         payload = Path(record.path).read_text()
         if _digest(payload) != record.digest:
             raise ReproError(
@@ -129,30 +162,40 @@ class ReleaseStore:
 
     def resolve_version(self, name: str, version: int | None = None) -> int:
         """The version ``load(name, version)`` would read."""
-        entry = self._entry(name)
-        if version is not None:
-            if str(version) not in entry["versions"]:
-                raise ReleaseNotFoundError(
-                    f"release {name!r} has no version {version}"
-                )
-            return int(version)
-        if entry["pinned"] is not None:
-            return int(entry["pinned"])
-        return max(int(v) for v in entry["versions"])
+        with self._lock:
+            self._refresh_if_stale()
+            entry = self._entry(name)
+            if version is not None:
+                if str(version) not in entry["versions"]:
+                    raise ReleaseNotFoundError(
+                        f"release {name!r} has no version {version}"
+                    )
+                return int(version)
+            if entry["pinned"] is not None:
+                return int(entry["pinned"])
+            return max(int(v) for v in entry["versions"])
 
     def names(self) -> list[str]:
-        return sorted(self._index["releases"])
+        with self._lock:
+            self._refresh_if_stale()
+            return sorted(self._index["releases"])
 
     def versions(self, name: str) -> list[int]:
-        return sorted(int(v) for v in self._entry(name)["versions"])
+        with self._lock:
+            self._refresh_if_stale()
+            return sorted(int(v) for v in self._entry(name)["versions"])
 
     def list_releases(self) -> list[ReleaseRecord]:
         """Every stored version of every release, in (name, version) order."""
-        return [
-            self._record(name, version)
-            for name in self.names()
-            for version in self.versions(name)
-        ]
+        with self._lock:
+            self._refresh_if_stale()
+            return [
+                self._record(name, version)
+                for name in sorted(self._index["releases"])
+                for version in sorted(
+                    int(v) for v in self._entry(name)["versions"]
+                )
+            ]
 
     def describe(self) -> list[dict]:
         """JSON-friendly view of :meth:`list_releases` (for the server)."""
@@ -161,6 +204,28 @@ class ReleaseStore:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _load_index(self) -> None:
+        signature = file_signature(self._index_path)
+        if signature is not None:
+            self._index = json.loads(self._index_path.read_text())
+        else:
+            self._index = {"releases": {}}
+        self._signature = signature
+
+    def _refresh_if_stale(self) -> None:
+        """Re-read ``index.json`` when another process replaced it (the
+        atomic writes guarantee whatever we read is a complete index).  A
+        *vanished* index is kept in memory instead — resetting to empty
+        would restart version numbering at 1 and overwrite published
+        payload files."""
+        signature = file_signature(self._index_path)
+        if signature == self._signature:
+            return
+        if signature is None:
+            self._signature = None
+            return
+        self._load_index()
+
     def _entry(self, name: str) -> dict:
         try:
             return self._index["releases"][name]
@@ -186,4 +251,9 @@ class ReleaseStore:
         )
 
     def _write_index(self) -> None:
-        self._index_path.write_text(json.dumps(self._index, indent=2, sort_keys=True))
+        # Atomic + fsynced: a crash mid-write leaves the previous complete
+        # index loadable instead of truncated JSON.
+        atomic_write_text(
+            self._index_path, json.dumps(self._index, indent=2, sort_keys=True)
+        )
+        self._signature = file_signature(self._index_path)

@@ -138,6 +138,61 @@ class TestBatchQueryParity:
         assert np.allclose(compiled.batch_query(probes), expected)
 
 
+class TestBatchQueryEdgeCases:
+    """The separator-scan shortcuts (NUL-joined encode, uniform fast path)
+    must agree with single queries on every degenerate batch, on both the
+    dense-table and the sparse ``_advance_sparse`` paths."""
+
+    @pytest.fixture(params=["dense", "sparse"])
+    def compiled(self, built_structure, monkeypatch, request):
+        if request.param == "sparse":
+            monkeypatch.setattr(CompiledTrie, "DENSE_TRANSITION_LIMIT", 0)
+        trie = CompiledTrie.from_structure(built_structure)
+        assert (trie._transitions is None) == (request.param == "sparse")
+        return trie
+
+    def test_empty_batch(self, compiled):
+        result = compiled.batch_query([])
+        assert result.tolist() == [] and result.dtype == np.float64
+
+    def test_all_empty_patterns(self, compiled, built_structure):
+        expected = built_structure.query("")
+        assert compiled.batch_query([""] * 5).tolist() == [expected] * 5
+
+    def test_nul_containing_patterns(self, compiled, built_structure):
+        # NUL is the join separator; patterns containing it must fall back
+        # to the per-pattern length scan and still answer 0 (NUL is outside
+        # every vocab).
+        probes = ["\x00", "a\x00b", "\x00ab", "ab\x00", "ab", "\x00\x00"]
+        expected = [built_structure.query(p) for p in probes]
+        assert compiled.batch_query(probes).tolist() == expected
+        assert all(built_structure.query(p) == 0.0 for p in probes if "\x00" in p)
+
+    def test_uniform_nul_batch_falls_through_to_general_path(
+        self, compiled, built_structure
+    ):
+        # Uniform lengths but NULs inside the patterns: the separator-count
+        # guard must reject the uniform fast path, not misparse the join.
+        probes = ["a\x00b", "a\x00b", "ab\x00", "\x00ab"]
+        assert compiled.batch_query(probes).tolist() == [0.0] * 4
+
+    def test_uniform_batch_matches_general_path(self, compiled, built_structure):
+        stored = built_structure.patterns()
+        width = max(len(p) for p in stored)
+        uniform = [p for p in stored if len(p) == width][:3] * 4
+        if not uniform:
+            pytest.skip("structure stores no uniform-width patterns")
+        expected = [built_structure.query(p) for p in uniform]
+        assert compiled.batch_query(uniform).tolist() == expected
+        # A single pattern (m == 1) takes the general path by design.
+        assert compiled.batch_query(uniform[:1]).tolist() == expected[:1]
+
+    def test_mixed_lengths_with_empties_and_misses(self, compiled, built_structure):
+        probes = ["", "zz", built_structure.patterns()[0], "", "a", "☃", "\x00"]
+        expected = [built_structure.query(p) for p in probes]
+        assert compiled.batch_query(probes).tolist() == expected
+
+
 class TestMiningParity:
     def test_mine_matches(self, built_structure):
         compiled = CompiledTrie.from_structure(built_structure)

@@ -109,6 +109,48 @@ class TestPersistence:
         with pytest.raises(BudgetExceededError):
             tightened.charge("db", PrivacyBudget(2.0))
 
+    def test_reopen_with_looser_cap_persists_the_effective_cap(self, tmp_path):
+        # Regression: the file must always record the cap the ledger
+        # actually enforces — the component-wise min — never the looser
+        # cap a reopen happened to pass.
+        import json
+
+        path = tmp_path / "ledger.json"
+        BudgetLedger(PrivacyBudget(10.0, 1e-6), path=path).charge(
+            "db", PrivacyBudget(4.0), label="v1"
+        )
+        reopened = BudgetLedger(PrivacyBudget(100.0, 1e-4), path=path)
+        assert reopened.cap == PrivacyBudget(10.0, 1e-6)
+        reopened.charge("db", PrivacyBudget(1.0), label="v2")
+        stored = json.loads(path.read_text())["cap"]
+        assert stored == {"epsilon": 10.0, "delta": 1e-6}
+
+    def test_reopen_with_tighter_cap_is_durable_without_a_charge(self, tmp_path):
+        # A tightened policy must be persisted at load time: a later
+        # default-capped open (e.g. another curator process) has to see it
+        # even if this handle never charges anything.
+        import json
+
+        path = tmp_path / "ledger.json"
+        BudgetLedger(PrivacyBudget(10.0, 1e-5), path=path).charge(
+            "db", PrivacyBudget(4.0)
+        )
+        BudgetLedger(PrivacyBudget(6.0, 1e-7), path=path)  # tighten, no charge
+        stored = json.loads(path.read_text())["cap"]
+        assert stored == {"epsilon": 6.0, "delta": 1e-7}
+        third = BudgetLedger(PrivacyBudget(100.0, 1e-4), path=path)
+        assert third.cap == PrivacyBudget(6.0, 1e-7)
+        with pytest.raises(BudgetExceededError):
+            third.charge("db", PrivacyBudget(3.0))
+
+    def test_mixed_component_caps_take_the_min_of_each(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        BudgetLedger(PrivacyBudget(10.0, 1e-7), path=path).charge(
+            "db", PrivacyBudget(1.0)
+        )
+        reopened = BudgetLedger(PrivacyBudget(5.0, 1e-5), path=path)
+        assert reopened.cap == PrivacyBudget(5.0, 1e-7)
+
 
 class TestGuardedBuild:
     def test_build_release_charges_the_ledger(self, example_db):

@@ -148,6 +148,33 @@ class TestMicroBatcher:
         with pytest.raises(ReproError):
             batcher.submit("ab", "first")
 
+    def test_flushes_do_not_count_as_batch_traffic(self, structures):
+        # A micro-batched flush of coalesced single queries must not bump
+        # num_batches/num_batch_patterns: /healthz would misreport single
+        # -query traffic as /batch traffic.
+        service = QueryService(structures, micro_batch=True, max_wait=0.001)
+        try:
+            probes = ["ab", "ba", "bb", "zz", "abab", "bee"] * 8
+            threads = [
+                threading.Thread(target=service.query, args=(p,)) for p in probes
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            health = service.health()
+            assert health["queries"] == len(probes)
+            assert health["batches"] == 0
+            assert health["batch_patterns"] == 0
+            assert health["micro_batched_requests"] == len(probes)
+            # An actual /batch request still counts as one.
+            service.batch(["ab", "ba"])
+            health = service.health()
+            assert health["batches"] == 1
+            assert health["batch_patterns"] == 2
+        finally:
+            service.close()
+
 
 @pytest.fixture(scope="module")
 def http_client(structures):
@@ -213,6 +240,38 @@ class TestHTTPEndToEnd:
             client._request("/batch", {"patterns": "not-a-list"})
         with pytest.raises(ServingClientError):
             client._request("/mine", {"threshold": "high"})
+
+    def test_non_object_json_bodies_are_json_400(self, http_client):
+        # Valid JSON that is not an object must be a JSON 400, not an
+        # unhandled AttributeError that drops the connection.
+        client, _ = http_client
+        for body in ([1, 2, 3], "abc", 42, True):
+            with pytest.raises(ServingClientError) as excinfo:
+                client._request("/query", body)
+            assert excinfo.value.status == 400, body
+
+    def test_malformed_mine_lengths_are_json_400(self, http_client):
+        # A string max_length (or any non-integer length field) must come
+        # back as a JSON 400, not escape as a raw 500.
+        client, _ = http_client
+        for payload in (
+            {"threshold": 1.0, "max_length": "three"},
+            {"threshold": 1.0, "min_length": "2"},
+            {"threshold": 1.0, "min_length": 1.5},
+            {"threshold": 1.0, "exact_length": [2]},
+            {"threshold": 1.0, "exact_length": True},
+            {"threshold": True},
+        ):
+            with pytest.raises(ServingClientError) as excinfo:
+                client._request("/mine", payload)
+            assert excinfo.value.status == 400, payload
+            assert excinfo.value.args[0], payload  # JSON error message
+
+    def test_mine_accepts_integral_fields(self, http_client):
+        client, structures = http_client
+        assert client.mine(
+            1.0, release="first", min_length=1, max_length=3
+        ) == structures["first"].mine(1.0, min_length=1, max_length=3)
 
     def test_get_query_with_params(self, http_client):
         client, structures = http_client
