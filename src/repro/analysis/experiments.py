@@ -109,6 +109,7 @@ __all__ = [
     "run_query_many_benchmark",
     "run_serving_throughput",
     "run_concurrent_serving",
+    "run_construction_benchmark",
 ]
 
 
@@ -1523,3 +1524,82 @@ def _timed(run: Callable[[], object]) -> float:
     started = time.perf_counter()
     run()
     return time.perf_counter() - started
+
+
+def run_construction_benchmark(
+    scenarios: Sequence[tuple[int, int, float, float]] = (
+        (600, 12, 40.0, 20.0),
+        (1000, 14, 50.0, 25.0),
+    ),
+    *,
+    seed: int = 29,
+    timing_reps: int = 1,
+) -> list[dict]:
+    """E24 — end-to-end ``build("heavy-path")`` with the array pipeline vs
+    the object pipeline.
+
+    Each scenario is ``(n, ell, epsilon, threshold)`` on the genome
+    workload.  Both pipelines run from the same seeded rng, so beyond the
+    timing the rows carry the real acceptance contract: the released
+    structures must be **bit-identical** — same ``content_digest()``, same
+    stored patterns, same report.  The headline
+    (``benchmarks/bench_construction.py``) is a >= 5x end-to-end speedup on
+    every scenario whose candidate trie exceeds 10k nodes; per-stage
+    timings of the array build are reported so BENCH_construction.json can
+    track where the remaining time goes.  ``timing_reps`` takes the best of
+    that many builds per backend (same seeded rng each rep, so every rep
+    produces the same structure) — the CI smoke uses 3 so a one-off
+    scheduler stall on a shared runner cannot fail the speedup gate.
+    """
+    from dataclasses import replace
+
+    rows = []
+    for n, ell, epsilon, threshold in scenarios:
+        database = genome_with_motifs(n, ell, np.random.default_rng(seed))
+        params = ConstructionParams.pure(epsilon, beta=0.1, threshold=threshold)
+        build_rng = seed + 1
+
+        def timed_build(backend: str):
+            best, structure = float("inf"), None
+            for _ in range(max(1, timing_reps)):
+                # Every rep is a cold build: drop the sorted-window cache the
+                # array pipeline pins on the database, or reps 2+ would
+                # measure warm-cache times the object pipeline never gets.
+                database.__dict__.pop("_sortjoin_counter", None)
+                started = time.perf_counter()
+                structure = build_private_counting_structure(
+                    database,
+                    replace(params, build_backend=backend),
+                    rng=np.random.default_rng(build_rng),
+                )
+                best = min(best, time.perf_counter() - started)
+            return structure, best
+
+        array_structure, array_seconds = timed_build("array")
+        object_structure, object_seconds = timed_build("object")
+
+        stages = array_structure.timings.get("stages", {})
+        rows.append(
+            {
+                "n": n,
+                "ell": ell,
+                "epsilon": epsilon,
+                "candidate_trie_nodes": array_structure.report[
+                    "trie_nodes_before_pruning"
+                ],
+                "stored_nodes": array_structure.report["trie_nodes_after_pruning"],
+                "object_seconds": object_seconds,
+                "array_seconds": array_seconds,
+                "speedup": object_seconds / array_seconds
+                if array_seconds
+                else float("inf"),
+                "digests_equal": array_structure.content_digest()
+                == object_structure.content_digest(),
+                "items_equal": dict(array_structure.items())
+                == dict(object_structure.items()),
+                "array_candidates_seconds": stages.get("candidates", 0.0),
+                "array_annotate_seconds": stages.get("annotate", 0.0),
+                "array_noise_seconds": stages.get("noise", 0.0),
+            }
+        )
+    return rows

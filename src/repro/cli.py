@@ -3,11 +3,12 @@
 ``dpsc`` exposes the library's experiments, a tiny demo, and the query
 serving layer from the shell::
 
-    dpsc list                      # list every experiment (E1-E23)
+    dpsc list                      # list every experiment (E1-E24)
     dpsc run E1                    # regenerate one experiment's table
     dpsc run all --save results    # regenerate every table (laptop-sized)
     dpsc quickstart                # run the quickstart demo
-    dpsc mine --workload genome    # private mining demo (--kind qgram-t3 ...)
+    dpsc mine --workload genome    # private mining demo (--kind qgram-t3,
+                                   #   --profile for per-stage build timings)
     dpsc releases --store ./rel    # inspect (or --build --kind ...) a store
     dpsc serve --store ./rel       # serve compiled releases over HTTP
     dpsc query GATTACA ACGT        # query a running server
@@ -33,7 +34,11 @@ from repro.analysis import experiments, reporting
 from repro.api import Dataset, default_registry
 from repro.counting import AUTO_BACKEND, BACKENDS
 from repro.core.mining import mine_frequent_substrings
-from repro.core.params import ConstructionParams
+from repro.core.params import (
+    AUTO_BUILD_BACKEND,
+    BUILD_BACKENDS,
+    ConstructionParams,
+)
 from repro.dp.composition import PrivacyBudget
 from repro.exceptions import ReproError
 from repro.serving import (
@@ -142,6 +147,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
             "Concurrent serving: bit-identical replays and throughput vs threads",
             lambda: experiments.run_concurrent_serving(),
         ),
+        "E24": (
+            "Construction pipeline: array backend vs object backend (bit-identical)",
+            lambda: experiments.run_construction_benchmark(),
+        ),
     }
 
 
@@ -203,6 +212,7 @@ def _cli_params(args: argparse.Namespace) -> ConstructionParams:
         budget=PrivacyBudget(args.epsilon, args.delta),
         beta=0.1,
         count_backend=args.count_backend,
+        build_backend=args.build_backend,
     )
 
 
@@ -243,7 +253,29 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(f"  {pattern:12s} noisy count {count:10.1f}")
     if not result.patterns:
         print("  (no pattern exceeded the private threshold)")
+    if args.profile:
+        _print_profile(structure)
     return 0
+
+
+def _print_profile(structure) -> None:
+    """Per-stage construction timing breakdown (``dpsc mine --profile``)."""
+    timings = getattr(structure, "timings", None) or {}
+    total = timings.get("total_seconds")
+    if total is None:
+        print("profile: no construction timings recorded for this structure")
+        return
+    print(
+        f"profile: build_backend={timings.get('build_backend', '?')} "
+        f"total {total:.3f}s"
+    )
+    stages = timings.get("stages", {})
+    for stage, seconds in stages.items():
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"  {stage:14s} {seconds:8.3f}s {share:5.1f}%")
+    accounted = sum(stages.values())
+    if stages and total:
+        print(f"  {'(other)':14s} {max(0.0, total - accounted):8.3f}s")
 
 
 def _build_workload_database(workload: str, n: int, ell: int, seed: int):
@@ -479,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--ell", type=int, default=12)
     mine_parser.add_argument("--epsilon", type=float, default=20.0)
     mine_parser.add_argument("--seed", type=int, default=0)
+    mine_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the construction's per-stage timing breakdown",
+    )
     _add_build_arguments(mine_parser)
     mine_parser.set_defaults(func=_cmd_mine)
 
@@ -609,6 +646,14 @@ def _add_build_arguments(parser: argparse.ArgumentParser) -> None:
         default=AUTO_BACKEND,
         help="exact-counting engine for the construction (speed only; "
         "recorded in the release metadata — see docs/ARCHITECTURE.md)",
+    )
+    parser.add_argument(
+        "--build-backend",
+        choices=(AUTO_BUILD_BACKEND,) + BUILD_BACKENDS,
+        default=AUTO_BUILD_BACKEND,
+        help="construction pipeline: 'array' (numpy fast path, the 'auto' "
+        "default) or 'object' (linked-node reference); bit-identical "
+        "results either way — see docs/PERFORMANCE.md",
     )
 
 

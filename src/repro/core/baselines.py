@@ -129,7 +129,6 @@ def build_simple_trie_baseline(
         if truncated:
             break
 
-    elapsed = time.perf_counter() - started
     metadata = StructureMetadata(
         epsilon=params.budget.epsilon,
         delta=params.budget.delta,
@@ -146,9 +145,16 @@ def build_simple_trie_baseline(
         "expanded_nodes": expanded,
         "truncated": truncated,
         "l1_sensitivity": l1_sensitivity,
-        "construction_seconds": elapsed,
     }
-    return PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+    structure = PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+    structure.timings.update(
+        {
+            "build_backend": "object",
+            "total_seconds": time.perf_counter() - started,
+            "stages": {},
+        }
+    )
+    return structure
 
 
 class ExactCountingOracle:

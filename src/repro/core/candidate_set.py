@@ -30,8 +30,17 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.array_build import (
+    SortJoinCounter,
+    decode_rows,
+    dedup_rows,
+    match_overlap_pairs,
+    pack_strings,
+    row_bytes,
+)
 from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
+from repro.counting import AUTO_BACKEND
 from repro.dp.composition import PrivacyAccountant, PrivacyBudget
 from repro.dp.mechanisms import CountingMechanism, per_level_mechanism
 from repro.exceptions import ConstructionAborted
@@ -61,6 +70,12 @@ class CandidateSet:
         phase (useful for inspection; not needed by later stages).
     accountant:
         Privacy expenditure of the doubling phase.
+    matrices:
+        Optional int32 code-matrix form of ``by_length`` (one lexsorted
+        ``(k, m)`` matrix per completed length), populated by the array
+        construction pipeline so downstream stages can keep working on
+        arrays without re-encoding the string lists.  ``None`` when the
+        object pipeline built the set.
     """
 
     levels: dict[int, list[str]]
@@ -69,6 +84,9 @@ class CandidateSet:
     threshold: float
     noisy_counts: dict[str, float] = field(default_factory=dict)
     accountant: PrivacyAccountant = field(default_factory=PrivacyAccountant)
+    matrices: "dict[int, np.ndarray] | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def all_strings(self) -> set[str]:
         """The full candidate set ``C`` (union over all lengths)."""
@@ -143,18 +161,33 @@ def suffix_prefix_overlaps(
     """All ordered pairs ``(i, j)`` such that the length-``overlap`` suffix of
     ``strings[i]`` equals the length-``overlap`` prefix of ``strings[j]``.
 
-    Uses the longest-common-extension structure over the collection, as in
-    the paper's efficient implementation (Lemma 7, Step 2).
+    This realizes the overlap step of the paper's efficient implementation
+    (Lemma 7, Step 2) by hash-bucketing the encoded length-``overlap``
+    suffix and prefix keys and joining the buckets — ``O(k log k)`` total
+    instead of the ``O(k^2)`` all-pairs probe loop, with one bulk encode of
+    the collection instead of a per-string ``np.fromiter``.  Pairs come out
+    in the double loop's order (``i``-major, ``j`` ascending).
+
+    ``lce`` is accepted for backward compatibility and ignored: bucketing on
+    the exact keys already decides equality, so no extension queries remain.
     """
-    if lce is None:
-        encoded = [np.fromiter((ord(c) for c in s), dtype=np.int64, count=len(s)) for s in strings]
-        lce = CollectionLCE(encoded)
-    pairs: list[tuple[int, int]] = []
-    for i in range(len(strings)):
-        for j in range(len(strings)):
-            if lce.has_overlap(i, j, overlap):
-                pairs.append((i, j))
-    return pairs
+    del lce  # superseded by exact key bucketing; kept for API compatibility
+    n = len(strings)
+    if n == 0:
+        return []
+    if overlap == 0:
+        return [(i, j) for i in range(n) for j in range(n)]
+    matrix, lengths = pack_strings(strings)
+    valid = np.flatnonzero(lengths >= overlap)
+    if valid.size == 0:
+        return []
+    suffix_columns = (lengths[valid] - overlap)[:, None] + np.arange(overlap)[None, :]
+    suffix_keys = row_bytes(
+        np.ascontiguousarray(matrix[valid[:, None], suffix_columns])
+    )
+    prefix_keys = row_bytes(np.ascontiguousarray(matrix[valid, :overlap]))
+    left, right = match_overlap_pairs(suffix_keys, prefix_keys)
+    return list(zip(valid[left].tolist(), valid[right].tolist()))
 
 
 def build_candidate_set(
@@ -205,6 +238,21 @@ def build_candidate_set(
     )
     threshold = params.threshold if params.threshold is not None else 2.0 * alpha
 
+    if params.resolve_build_backend() == "array":
+        return _build_candidate_set_array(
+            database,
+            params,
+            rng,
+            mechanism=mechanism,
+            ell=ell,
+            delta_cap=delta_cap,
+            capacity=capacity,
+            limit=limit,
+            alpha=alpha,
+            threshold=threshold,
+            lengths=lengths,
+        )
+
     accountant = PrivacyAccountant()
     levels: dict[int, list[str]] = {}
     noisy_counts: dict[str, float] = {}
@@ -253,40 +301,7 @@ def build_candidate_set(
         levels[length] = sorted(kept)
         noisy_counts.update(kept_counts)
 
-    # ------------------------------------------------------------------
-    # Completion: C_m for non-powers of two via suffix/prefix overlaps.
-    # This is post-processing of the released sets P_{2^k}.
-    # ------------------------------------------------------------------
-    if lengths is None:
-        lengths = list(range(1, ell + 1))
-    by_length: dict[int, list[str]] = {}
-    lce_cache: dict[int, CollectionLCE] = {}
-    for m in sorted(set(lengths)):
-        if m < 1 or m > ell:
-            continue
-        power = 1 << int(math.floor(math.log2(m)))
-        if power not in levels:
-            by_length[m] = []
-            continue
-        if m == power:
-            by_length[m] = list(levels[power])
-            continue
-        base = levels[power]
-        if not base:
-            by_length[m] = []
-            continue
-        overlap = 2 * power - m
-        if power not in lce_cache:
-            encoded = [database.alphabet.encode(s) for s in base]
-            lce_cache[power] = CollectionLCE(encoded)
-        lce = lce_cache[power]
-        candidates: set[str] = set()
-        for i, left in enumerate(base):
-            for j, right in enumerate(base):
-                if lce.has_overlap(i, j, overlap):
-                    candidates.add(left + right[overlap:])
-        by_length[m] = sorted(candidates)
-
+    by_length, _ = _complete_lengths(levels, None, lengths, ell)
     return CandidateSet(
         levels=levels,
         by_length=by_length,
@@ -295,3 +310,181 @@ def build_candidate_set(
         noisy_counts=noisy_counts,
         accountant=accountant,
     )
+
+
+def _build_candidate_set_array(
+    database: StringDatabase,
+    params: ConstructionParams,
+    rng: np.random.Generator,
+    *,
+    mechanism: CountingMechanism,
+    ell: int,
+    delta_cap: int,
+    capacity: int,
+    limit: int,
+    alpha: float,
+    threshold: float,
+    lengths: Sequence[int] | None,
+) -> CandidateSet:
+    """The ``build_backend="array"`` body of :func:`build_candidate_set`.
+
+    Bit-identical to the object body: the concatenation batch of every
+    doubling level is the index cross-product of the previous (lexsorted)
+    level matrix — whose row-major order *is* ``sorted(set(left + right))``,
+    because all strings of a level share one length — so each level feeds
+    the same exact-count vector to the same single ``randomize`` call.
+    Counting goes through :class:`~repro.core.array_build.SortJoinCounter`
+    when the counting backend is ``"auto"`` (identical integers, no
+    per-batch automaton); an explicit backend is honored via
+    ``count_many``.
+    """
+    use_sortjoin = params.count_backend == AUTO_BACKEND
+    counter = SortJoinCounter.shared(database) if use_sortjoin else None
+    l1 = 2.0 * ell
+    l2 = math.sqrt(2.0 * ell * delta_cap)
+
+    def batch_counts(matrix: np.ndarray) -> np.ndarray:
+        if counter is not None:
+            return counter.counts(matrix, delta_cap)
+        return database.count_many(
+            decode_rows(matrix), delta_cap, backend=params.count_backend
+        )
+
+    accountant = PrivacyAccountant()
+    levels: dict[int, list[str]] = {}
+    matrices: dict[int, np.ndarray] = {}
+    noisy_counts: dict[str, float] = {}
+
+    # Level 0: one noisy count per alphabet letter (present or not).
+    letters = list(database.alphabet)
+    letters_matrix = np.array([[ord(letter)] for letter in letters], dtype=np.int32)
+    exact = batch_counts(letters_matrix)
+    noisy = mechanism.randomize(
+        np.asarray(exact, dtype=np.float64),
+        l1_sensitivity=l1,
+        l2_sensitivity=l2,
+        rng=rng,
+    )
+    keep = np.flatnonzero(noisy >= threshold)
+    accountant.spend("candidates level 1", mechanism.epsilon, mechanism.delta)
+    if keep.size > capacity:
+        raise ConstructionAborted(
+            f"candidate set P_1 grew to {keep.size} > n*ell = {capacity}", level=1
+        )
+    noisy_counts.update(
+        (letters[int(i)], float(noisy[i])) for i in keep
+    )
+    levels[1] = sorted(letters[int(i)] for i in keep)
+    matrices[1] = np.array([[ord(letter)] for letter in levels[1]], dtype=np.int32)
+
+    # Doubling levels: the cross product of a lexsorted equal-length level
+    # with itself, in row-major order, is already sorted and duplicate-free.
+    length = 1
+    while length * 2 <= limit:
+        length *= 2
+        previous = matrices[length // 2]
+        k = previous.shape[0]
+        if k:
+            left = np.repeat(np.arange(k), k)
+            right = np.tile(np.arange(k), k)
+            pairs_matrix = np.concatenate(
+                [previous[left], previous[right]], axis=1
+            )
+            exact = batch_counts(pairs_matrix)
+            noisy = mechanism.randomize(
+                np.asarray(exact, dtype=np.float64),
+                l1_sensitivity=l1,
+                l2_sensitivity=l2,
+                rng=rng,
+            )
+            keep = noisy >= threshold
+        else:
+            pairs_matrix = np.zeros((0, length), dtype=np.int32)
+            noisy = np.zeros(0, dtype=np.float64)
+            keep = np.zeros(0, dtype=bool)
+        accountant.spend(
+            f"candidates level {length}", mechanism.epsilon, mechanism.delta
+        )
+        kept_matrix = pairs_matrix[keep]
+        if kept_matrix.shape[0] > capacity:
+            raise ConstructionAborted(
+                f"candidate set P_{length} grew to {kept_matrix.shape[0]} "
+                f"> n*ell = {capacity}",
+                level=length,
+            )
+        levels[length] = decode_rows(kept_matrix)
+        matrices[length] = kept_matrix
+        noisy_counts.update(
+            zip(levels[length], (float(value) for value in noisy[keep]))
+        )
+
+    by_length, completion_matrices = _complete_lengths(levels, matrices, lengths, ell)
+    return CandidateSet(
+        levels=levels,
+        by_length=by_length,
+        alpha=alpha,
+        threshold=threshold,
+        noisy_counts=noisy_counts,
+        accountant=accountant,
+        matrices=completion_matrices,
+    )
+
+
+def _complete_lengths(
+    levels: dict[int, list[str]],
+    matrices: dict[int, np.ndarray] | None,
+    lengths: Sequence[int] | None,
+    ell: int,
+) -> tuple[dict[int, list[str]], dict[int, np.ndarray]]:
+    """Completion step shared by both pipelines: ``C_m`` for every requested
+    length via suffix/prefix overlap joins on the doubling levels.
+
+    Pure post-processing of the released ``P_{2^k}`` sets (Lemma 7, Step 2):
+    a length-``m`` candidate is ``left + right[overlap:]`` for every pair
+    whose length-``overlap`` suffix/prefix keys match, deduplicated and
+    sorted — the hash-bucketed equivalent of the LCE probe loop.  Returns
+    the string lists plus the code matrices they were cut from.
+    """
+    if lengths is None:
+        lengths = list(range(1, ell + 1))
+    by_length: dict[int, list[str]] = {}
+    by_length_matrices: dict[int, np.ndarray] = {}
+    packed: dict[int, np.ndarray] = {}
+
+    def level_matrix(power: int) -> np.ndarray:
+        if matrices is not None:
+            return matrices[power]
+        if power not in packed:
+            packed[power], _ = pack_strings(levels[power])
+        return packed[power]
+
+    for m in sorted(set(lengths)):
+        if m < 1 or m > ell:
+            continue
+        power = 1 << int(math.floor(math.log2(m)))
+        if power not in levels:
+            by_length[m] = []
+            by_length_matrices[m] = np.zeros((0, m), dtype=np.int32)
+            continue
+        base_matrix = level_matrix(power)
+        if m == power:
+            by_length[m] = list(levels[power])
+            by_length_matrices[m] = base_matrix
+            continue
+        if not base_matrix.shape[0]:
+            by_length[m] = []
+            by_length_matrices[m] = np.zeros((0, m), dtype=np.int32)
+            continue
+        overlap = 2 * power - m
+        suffix_keys = row_bytes(
+            np.ascontiguousarray(base_matrix[:, power - overlap :])
+        )
+        prefix_keys = row_bytes(np.ascontiguousarray(base_matrix[:, :overlap]))
+        left, right = match_overlap_pairs(suffix_keys, prefix_keys)
+        joined = np.concatenate(
+            [base_matrix[left], base_matrix[right][:, overlap:]], axis=1
+        )
+        deduped = dedup_rows(joined)
+        by_length[m] = decode_rows(deduped)
+        by_length_matrices[m] = deduped
+    return by_length, by_length_matrices

@@ -24,6 +24,16 @@ steps follow Section 3 of the paper:
 
 The same code serves both privacy flavours: the mechanisms are selected from
 the budget (``delta = 0`` -> Laplace, ``delta > 0`` -> Gaussian).
+
+Steps 2-6 run on one of two **bit-identical pipelines** selected by
+``ConstructionParams.build_backend``: the linked-object reference pipeline
+(``"object"``) and the array-native fast path (``"array"``, the default via
+``"auto"``), which keeps the candidate trie, heavy paths, difference
+sequences and noise application in flat numpy arrays until the final
+structure is materialized.  Identical means identical: same exact counts,
+same RNG draw order, same noisy values, same prune set, same
+``content_digest()`` — see docs/PERFORMANCE.md and
+``tests/core/test_build_backends.py``.
 """
 
 from __future__ import annotations
@@ -34,6 +44,14 @@ import time
 import numpy as np
 
 from repro._deprecation import warn_deprecated
+from repro.core.array_build import (
+    PAD,
+    annotate_counts_array,
+    build_array_trie,
+    lexsort_rows,
+    materialize_structure,
+    pack_strings,
+)
 from repro.core.candidate_set import CandidateSet, build_candidate_set
 from repro.core.database import StringDatabase
 from repro.counting import resolve_backend
@@ -48,7 +66,7 @@ from repro.dp.mechanisms import (
 )
 from repro.dp.prefix_sums import PrefixSumMechanism
 from repro.strings.trie import Trie, TrieNode
-from repro.trees.heavy_path import HeavyPathDecomposition
+from repro.trees.heavy_path import FlatHeavyPathDecomposition, HeavyPathDecomposition
 
 __all__ = [
     "build_private_counting_structure",
@@ -79,7 +97,11 @@ def annotate_trie_with_exact_counts(
     string are computed incrementally by narrowing the SA interval one
     character at a time, annotating the whole trie in
     ``O(num_nodes * (log N + cost of a capped count))``.  Every other
-    backend receives the node strings as one ``count_many`` batch.
+    backend receives the node strings as one ``count_many`` batch; the
+    strings are collected incrementally during one DFS (extending the
+    parent's prefix by one character), never via the ``O(depth)``
+    parent-pointer walk of ``node.string()`` — so the batch assembly is
+    linear in total characters instead of quadratic on deep tries.
     """
     # The empty pattern occurs min(len(S), delta) times per document; computing
     # it from the lengths keeps the non-suffix-array backends from forcing the
@@ -87,10 +109,8 @@ def annotate_trie_with_exact_counts(
     trie.root.count = float(
         sum(min(len(document), delta_cap) for document in database.documents)
     )
-    nodes: list[TrieNode] = [
-        node for node in trie.iter_nodes() if node is not trie.root
-    ]
-    name = resolve_backend(backend, len(nodes), database.total_length)
+    num_nodes = trie.num_nodes - 1
+    name = resolve_backend(backend, num_nodes, database.total_length)
     if name == "suffix-array":
         index = database.index
         root_interval = (0, len(index.suffix_array))
@@ -104,9 +124,17 @@ def annotate_trie_with_exact_counts(
                 )
                 stack.append((child, (child_lo, child_hi)))
         return
-    counts = database.engine(name).count_many(
-        [node.string() for node in nodes], delta_cap
-    )
+    nodes: list[TrieNode] = []
+    patterns: list[str] = []
+    prefix_stack: list[tuple[TrieNode, str]] = [(trie.root, "")]
+    while prefix_stack:
+        node, prefix = prefix_stack.pop()
+        if node is not trie.root:
+            nodes.append(node)
+            patterns.append(prefix)
+        for char, child in node.children.items():
+            prefix_stack.append((child, prefix + char))
+    counts = database.engine(name).count_many(patterns, delta_cap)
     for node, count in zip(nodes, counts):
         node.count = float(count)
 
@@ -126,7 +154,9 @@ def build_private_counting_structure(
     database:
         The database ``D``.
     params:
-        Privacy budget, failure probability, contribution cap and knobs.
+        Privacy budget, failure probability, contribution cap and knobs
+        (including ``build_backend``, which selects the object or array
+        pipeline — bit-identical outputs, different speeds).
     rng:
         Randomness source (fresh default generator when omitted).
     candidate_set:
@@ -138,10 +168,10 @@ def build_private_counting_structure(
     if rng is None:
         rng = np.random.default_rng()
     started = time.perf_counter()
+    stage_seconds: dict[str, float] = {}
 
     ell = params.resolve_max_length(database.max_length)
     delta_cap = params.resolve_delta_cap(ell)
-    n = database.num_documents
     beta_stage = params.beta / 3.0
     accountant = PrivacyAccountant()
 
@@ -164,24 +194,138 @@ def build_private_counting_structure(
     # Step 1: candidate set.
     # ------------------------------------------------------------------
     if candidate_set is None:
+        stage_started = time.perf_counter()
         candidate_set = build_candidate_set(
             database, params, budget=candidate_budget, rng=rng
         )
+        stage_seconds["candidates"] = time.perf_counter() - stage_started
         for record in candidate_set.accountant.records:
             accountant.spend(record.label, record.epsilon, record.delta)
 
+    backend = params.resolve_build_backend()
+    if backend == "array":
+        structure = _finish_structure_array(
+            database,
+            params,
+            rng,
+            candidate_set,
+            stage_budget=stage_budget,
+            accountant=accountant,
+            ell=ell,
+            delta_cap=delta_cap,
+            beta_stage=beta_stage,
+            stage_seconds=stage_seconds,
+        )
+    else:
+        structure = _finish_structure_object(
+            database,
+            params,
+            rng,
+            candidate_set,
+            stage_budget=stage_budget,
+            accountant=accountant,
+            ell=ell,
+            delta_cap=delta_cap,
+            beta_stage=beta_stage,
+            stage_seconds=stage_seconds,
+        )
+    structure.timings.update(
+        {
+            "build_backend": backend,
+            "total_seconds": time.perf_counter() - started,
+            "stages": stage_seconds,
+        }
+    )
+    return structure
+
+
+def _assemble_metadata_report(
+    *,
+    database: StringDatabase,
+    params: ConstructionParams,
+    ell: int,
+    delta_cap: int,
+    accountant: PrivacyAccountant,
+    candidate_set: CandidateSet,
+    nodes_before: int,
+    nodes_after: int,
+    num_paths: int,
+    max_path_length: int,
+    roots_error: float,
+    sums_error: float,
+    prune_threshold: float,
+) -> tuple[StructureMetadata, dict]:
+    """Metadata and report shared verbatim by both pipelines (every value is
+    derived from the same deterministic quantities, so the two backends
+    produce identical payloads and digests)."""
+    alpha_counts = roots_error + sums_error
+    construction_name = (
+        "theorem-1 (pure DP)" if params.is_pure else "theorem-2 (approx DP)"
+    )
+    metadata = StructureMetadata(
+        epsilon=params.budget.epsilon,
+        delta=params.budget.delta,
+        beta=params.beta,
+        delta_cap=delta_cap,
+        max_length=ell,
+        num_documents=database.num_documents,
+        alphabet_size=database.alphabet_size,
+        error_bound=alpha_counts,
+        threshold=prune_threshold,
+        construction=construction_name,
+        count_backend=params.count_backend,
+    )
+    report = {
+        "candidate_size": candidate_set.size,
+        "candidate_alpha": candidate_set.alpha,
+        "candidate_threshold": candidate_set.threshold,
+        "trie_nodes_before_pruning": nodes_before,
+        "trie_nodes_after_pruning": nodes_after,
+        "num_heavy_paths": num_paths,
+        "max_heavy_path_length": max_path_length,
+        "roots_error_bound": roots_error,
+        "prefix_sums_error_bound": sums_error,
+        "absent_pattern_bound": max(
+            3.0 * candidate_set.alpha, prune_threshold + alpha_counts
+        ),
+        "privacy_spent_epsilon": accountant.total_epsilon,
+        "privacy_spent_delta": accountant.total_delta,
+    }
+    return metadata, report
+
+
+def _finish_structure_object(
+    database: StringDatabase,
+    params: ConstructionParams,
+    rng: np.random.Generator,
+    candidate_set: CandidateSet,
+    *,
+    stage_budget: PrivacyBudget,
+    accountant: PrivacyAccountant,
+    ell: int,
+    delta_cap: int,
+    beta_stage: float,
+    stage_seconds: dict[str, float],
+) -> PrivateCountingTrie:
+    """Steps 2-6 on the linked-object reference pipeline."""
     # ------------------------------------------------------------------
     # Step 2: candidate trie and heavy path decomposition.
     # ------------------------------------------------------------------
+    stage_started = time.perf_counter()
     trie = Trie()
     for pattern in sorted(candidate_set.all_strings()):
         trie.insert(pattern)
+    stage_seconds["trie_build"] = time.perf_counter() - stage_started
+    stage_started = time.perf_counter()
     annotate_trie_with_exact_counts(
         trie, database, delta_cap, backend=params.count_backend
     )
+    stage_seconds["annotate"] = time.perf_counter() - stage_started
+    stage_started = time.perf_counter()
     decomposition = HeavyPathDecomposition(
         trie.root, lambda node: list(node.children.values())
     )
+    stage_seconds["decomposition"] = time.perf_counter() - stage_started
     trie_size = trie.num_nodes
     log_trie = math.floor(math.log2(max(2, trie_size))) + 1
 
@@ -192,6 +336,7 @@ def build_private_counting_structure(
     # L1 sensitivity is 2 ell (log|T_C| + 1); every coordinate changes by at
     # most Delta, so the L2 sensitivity is sqrt(L1 * Delta) (Lemma 14).
     # ------------------------------------------------------------------
+    stage_started = time.perf_counter()
     roots_mechanism = _stage_mechanism(stage_budget, params.noiseless)
     roots = decomposition.path_roots()
     roots_l1 = 2.0 * ell * log_trie
@@ -241,6 +386,7 @@ def build_private_counting_structure(
                 node.noisy_count = float(root_estimate)
             else:
                 node.noisy_count = float(root_estimate) + sums.prefix(offset)
+    stage_seconds["noise"] = time.perf_counter() - stage_started
 
     alpha_counts = roots_error + sums_error
     prune_threshold = (
@@ -250,42 +396,197 @@ def build_private_counting_structure(
     # ------------------------------------------------------------------
     # Step 6: prune subtrees with small noisy counts (post-processing).
     # ------------------------------------------------------------------
+    stage_started = time.perf_counter()
     nodes_before_pruning = trie.num_nodes
     _prune(trie, prune_threshold)
+    stage_seconds["prune"] = time.perf_counter() - stage_started
 
-    elapsed = time.perf_counter() - started
-    construction_name = "theorem-1 (pure DP)" if params.is_pure else "theorem-2 (approx DP)"
-    metadata = StructureMetadata(
-        epsilon=params.budget.epsilon,
-        delta=params.budget.delta,
-        beta=params.beta,
+    metadata, report = _assemble_metadata_report(
+        database=database,
+        params=params,
+        ell=ell,
         delta_cap=delta_cap,
-        max_length=ell,
-        num_documents=n,
-        alphabet_size=database.alphabet_size,
-        error_bound=alpha_counts,
-        threshold=prune_threshold,
-        construction=construction_name,
-        count_backend=params.count_backend,
+        accountant=accountant,
+        candidate_set=candidate_set,
+        nodes_before=nodes_before_pruning,
+        nodes_after=trie.num_nodes,
+        num_paths=len(decomposition.paths),
+        max_path_length=decomposition.max_path_length(),
+        roots_error=roots_error,
+        sums_error=sums_error,
+        prune_threshold=prune_threshold,
     )
-    report = {
-        "candidate_size": candidate_set.size,
-        "candidate_alpha": candidate_set.alpha,
-        "candidate_threshold": candidate_set.threshold,
-        "trie_nodes_before_pruning": nodes_before_pruning,
-        "trie_nodes_after_pruning": trie.num_nodes,
-        "num_heavy_paths": len(decomposition.paths),
-        "max_heavy_path_length": decomposition.max_path_length(),
-        "roots_error_bound": roots_error,
-        "prefix_sums_error_bound": sums_error,
-        "absent_pattern_bound": max(
-            3.0 * candidate_set.alpha, prune_threshold + alpha_counts
-        ),
-        "construction_seconds": elapsed,
-        "privacy_spent_epsilon": accountant.total_epsilon,
-        "privacy_spent_delta": accountant.total_delta,
-    }
     return PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+
+
+def _finish_structure_array(
+    database: StringDatabase,
+    params: ConstructionParams,
+    rng: np.random.Generator,
+    candidate_set: CandidateSet,
+    *,
+    stage_budget: PrivacyBudget,
+    accountant: PrivacyAccountant,
+    ell: int,
+    delta_cap: int,
+    beta_stage: float,
+    stage_seconds: dict[str, float],
+) -> PrivateCountingTrie:
+    """Steps 2-6 on the array-native pipeline — bit-identical to the object
+    finisher (same candidate trie, same heavy-path order, same RNG draws,
+    same float operations), with every intermediate a flat numpy array."""
+    # ------------------------------------------------------------------
+    # Step 2: radix-build the candidate trie over the lexsorted candidate
+    # matrix, then decompose it.
+    # ------------------------------------------------------------------
+    stage_started = time.perf_counter()
+    matrix, row_lengths = _candidate_matrix(candidate_set)
+    trie = build_array_trie(matrix, row_lengths)
+    stage_seconds["trie_build"] = time.perf_counter() - stage_started
+    stage_started = time.perf_counter()
+    counts = annotate_counts_array(
+        trie, database, delta_cap, count_backend=params.count_backend
+    )
+    stage_seconds["annotate"] = time.perf_counter() - stage_started
+    stage_started = time.perf_counter()
+    decomposition = FlatHeavyPathDecomposition(
+        trie.parents, trie.depths, trie.child_start, trie.child_end, trie.children
+    )
+    stage_seconds["decomposition"] = time.perf_counter() - stage_started
+    trie_size = trie.num_nodes
+    log_trie = math.floor(math.log2(max(2, trie_size))) + 1
+
+    # ------------------------------------------------------------------
+    # Steps 3-5: noisy roots, noisy prefix sums, combine — one vectorized
+    # pass each, drawing noise in exactly the object pipeline's order
+    # (roots vector first, then the per-path interval draws path-major).
+    # ------------------------------------------------------------------
+    stage_started = time.perf_counter()
+    roots_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+    roots_l1 = 2.0 * ell * log_trie
+    roots_l2 = math.sqrt(roots_l1 * delta_cap)
+    root_values = counts[decomposition.path_start]
+    noisy_roots = roots_mechanism.randomize(
+        root_values, l1_sensitivity=roots_l1, l2_sensitivity=roots_l2, rng=rng
+    )
+    accountant.spend(
+        "heavy-path roots", roots_mechanism.epsilon if not params.noiseless else 0.0,
+        roots_mechanism.delta if not params.noiseless else 0.0,
+    )
+    roots_error = roots_mechanism.sup_error_bound(
+        max(1, decomposition.num_paths),
+        beta_stage,
+        l1_sensitivity=roots_l1,
+        l2_sensitivity=roots_l2,
+    )
+
+    sums_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+    differences = decomposition.difference_sequences_flat(counts)
+    difference_offsets = decomposition.difference_offsets()
+    max_sequence_length = max(
+        1,
+        int(decomposition.path_length.max() - 1) if decomposition.num_paths else 0,
+    )
+    prefix_mechanism = PrefixSumMechanism(
+        sums_mechanism,
+        total_l1_sensitivity=2.0 * ell * log_trie,
+        per_sequence_l1_sensitivity=2.0 * delta_cap,
+        max_length=max_sequence_length,
+    )
+    prefix_values = prefix_mechanism.release_many_flat(
+        differences, difference_offsets, rng
+    )
+    accountant.spend(
+        "difference-sequence prefix sums",
+        sums_mechanism.epsilon if not params.noiseless else 0.0,
+        sums_mechanism.delta if not params.noiseless else 0.0,
+    )
+    sums_error = prefix_mechanism.sup_error_bound(
+        max(1, decomposition.num_paths), beta_stage
+    )
+
+    path_of = decomposition.path_id
+    offset = decomposition.offset_on_path
+    noisy = noisy_roots[path_of].astype(np.float64, copy=True)
+    deeper = offset > 0
+    noisy[deeper] = noisy[deeper] + prefix_values[
+        difference_offsets[path_of[deeper]] + offset[deeper] - 1
+    ]
+    stage_seconds["noise"] = time.perf_counter() - stage_started
+
+    alpha_counts = roots_error + sums_error
+    prune_threshold = (
+        params.threshold if params.threshold is not None else 2.0 * alpha_counts
+    )
+
+    # ------------------------------------------------------------------
+    # Step 6: prune — a node survives iff it and all its ancestors clear
+    # the threshold, computed top-down one level slice at a time.
+    # ------------------------------------------------------------------
+    stage_started = time.perf_counter()
+    keep = np.zeros(trie.num_nodes, dtype=bool)
+    keep[0] = True
+    clears = noisy >= prune_threshold
+    for depth in range(1, trie.max_depth + 1):
+        lo, hi = int(trie.level_bounds[depth]), int(trie.level_bounds[depth + 1])
+        keep[lo:hi] = keep[trie.parents[lo:hi]] & clears[lo:hi]
+    nodes_after = int(keep.sum())
+    stage_seconds["prune"] = time.perf_counter() - stage_started
+
+    metadata, report = _assemble_metadata_report(
+        database=database,
+        params=params,
+        ell=ell,
+        delta_cap=delta_cap,
+        accountant=accountant,
+        candidate_set=candidate_set,
+        nodes_before=trie_size,
+        nodes_after=nodes_after,
+        num_paths=decomposition.num_paths,
+        max_path_length=decomposition.max_path_length(),
+        roots_error=roots_error,
+        sums_error=sums_error,
+        prune_threshold=prune_threshold,
+    )
+    stage_started = time.perf_counter()
+    linked, compiled_view = materialize_structure(
+        trie, counts, noisy, keep, metadata, report
+    )
+    stage_seconds["materialize"] = time.perf_counter() - stage_started
+    structure = PrivateCountingTrie(trie=linked, metadata=metadata, report=report)
+    structure._batch_view = compiled_view
+    return structure
+
+
+def _candidate_matrix(candidate_set: CandidateSet) -> tuple[np.ndarray, np.ndarray]:
+    """The full candidate set as one lexsorted PAD-padded code matrix.
+
+    Reuses the per-length matrices the array candidate stage attached;
+    caller-supplied candidate sets (ablations, tests) fall back to one bulk
+    encode of the string union.  Rows are distinct (per-length matrices are
+    deduplicated and lengths never collide), so the radix trie build sees
+    exactly the object pipeline's ``sorted(all_strings())`` insertions.
+    """
+    if candidate_set.matrices is None:
+        matrix, lengths = pack_strings(sorted(candidate_set.all_strings()))
+        return matrix, lengths
+    per_length = [
+        block for block in candidate_set.matrices.values() if block.shape[0]
+    ]
+    if not per_length:
+        return np.zeros((0, 0), dtype=np.int32), np.zeros(0, dtype=np.int64)
+    width = max(block.shape[1] for block in per_length)
+    total = sum(block.shape[0] for block in per_length)
+    matrix = np.full((total, width), PAD, dtype=np.int32)
+    lengths = np.empty(total, dtype=np.int64)
+    cursor = 0
+    for block in per_length:
+        rows = block.shape[0]
+        matrix[cursor : cursor + rows, : block.shape[1]] = block
+        lengths[cursor : cursor + rows] = block.shape[1]
+        cursor += rows
+    order = lexsort_rows(matrix)
+    return matrix[order], lengths[order]
 
 
 def _prune(trie: Trie, threshold: float) -> None:

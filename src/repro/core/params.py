@@ -14,13 +14,29 @@ from repro.counting import AUTO_BACKEND, BACKENDS
 from repro.dp.composition import PrivacyBudget
 from repro.exceptions import PrivacyParameterError
 
-__all__ = ["ConstructionParams", "DOCUMENT_COUNT", "SUBSTRING_COUNT"]
+__all__ = [
+    "ConstructionParams",
+    "DOCUMENT_COUNT",
+    "SUBSTRING_COUNT",
+    "BUILD_BACKENDS",
+    "AUTO_BUILD_BACKEND",
+]
 
 #: Contribution cap selecting Document Count semantics (``Delta = 1``).
 DOCUMENT_COUNT = 1
 
 #: Sentinel meaning "cap at the maximum document length" (Substring Count).
 SUBSTRING_COUNT = None
+
+#: Concrete construction pipelines: the linked-object reference pipeline and
+#: the array-native (numpy) fast path.  Both produce bit-identical structures
+#: (same noisy counts, same RNG draw order, same digests); the knob is purely
+#: a matter of construction speed — see docs/PERFORMANCE.md.
+BUILD_BACKENDS = ("object", "array")
+
+#: The default selector; resolves to the array pipeline (never slower on
+#: anything beyond toy inputs, identical output everywhere).
+AUTO_BUILD_BACKEND = "auto"
 
 
 @dataclass(frozen=True)
@@ -62,6 +78,15 @@ class ConstructionParams:
         ``"naive"``, ``"suffix-array"`` or ``"aho-corasick"``.  Every
         backend returns identical counts, so this knob affects construction
         speed only — never privacy or accuracy.
+    build_backend:
+        Which construction pipeline runs: ``"object"`` (the linked
+        ``TrieNode`` reference pipeline), ``"array"`` (the numpy-native fast
+        path that keeps candidates, the candidate trie, heavy paths and
+        noise application in flat arrays) or ``"auto"`` (resolves to
+        ``"array"``).  The two pipelines are bit-identical — same noisy
+        counts, same RNG draw order, same prune set, same
+        ``content_digest()`` — so this knob affects construction speed only;
+        see docs/PERFORMANCE.md.
     """
 
     budget: PrivacyBudget
@@ -72,6 +97,7 @@ class ConstructionParams:
     noiseless: bool = False
     candidate_budget_fraction: float = 1.0 / 3.0
     count_backend: str = AUTO_BACKEND
+    build_backend: str = AUTO_BUILD_BACKEND
 
     def __post_init__(self) -> None:
         if not 0 < self.beta < 1:
@@ -88,6 +114,15 @@ class ConstructionParams:
             raise PrivacyParameterError(
                 f"count_backend must be one of {(AUTO_BACKEND,) + BACKENDS}, "
                 f"got {self.count_backend!r}"
+            )
+        if (
+            self.build_backend != AUTO_BUILD_BACKEND
+            and self.build_backend not in BUILD_BACKENDS
+        ):
+            raise PrivacyParameterError(
+                f"build_backend must be one of "
+                f"{(AUTO_BUILD_BACKEND,) + BUILD_BACKENDS}, "
+                f"got {self.build_backend!r}"
             )
 
     # ------------------------------------------------------------------
@@ -124,6 +159,13 @@ class ConstructionParams:
                 )
             return self.max_length
         return max(1, observed_max_length)
+
+    def resolve_build_backend(self) -> str:
+        """The concrete construction pipeline: ``"object"`` or ``"array"``
+        (``"auto"`` resolves to the array fast path)."""
+        if self.build_backend == AUTO_BUILD_BACKEND:
+            return "array"
+        return self.build_backend
 
     def resolve_delta_cap(self, ell: int) -> int:
         """The numeric contribution cap ``Delta`` for documents of length at

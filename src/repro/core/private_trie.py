@@ -122,6 +122,13 @@ class PrivateCountingTrie:
     metadata: StructureMetadata
     #: optional per-construction diagnostics (sizes, stage error bounds, ...).
     report: dict = field(default_factory=dict)
+    #: wall-clock diagnostics of the build (total seconds, per-stage
+    #: breakdown, pipeline backend).  Deliberately *not* part of the
+    #: serialized payload or the content digest: two builds with identical
+    #: released content must have identical digests regardless of how long
+    #: they took or which pipeline produced them (``dpsc mine --profile``
+    #: prints this).
+    timings: dict = field(default_factory=dict, repr=False, compare=False)
     #: lazily compiled array view backing query_many (rebuilt if the trie's
     #: node count changes; structures are immutable after construction).
     _batch_view: "CompiledTrie | None" = field(
@@ -292,9 +299,21 @@ class PrivateCountingTrie:
     def compiled(self, *, cache_size: int = 4096):
         """This structure flattened into a
         :class:`repro.serving.CompiledTrie` for high-throughput serving
-        (pure post-processing, identical query answers)."""
+        (pure post-processing, identical query answers).
+
+        When the structure was built by the array pipeline (or already
+        compiled once for :meth:`query_many`), the cached array view is
+        handed off zero-copy — a fresh cache wrapper around the same frozen
+        arrays — instead of re-flattening the object trie.  Code that
+        mutates stored counts in place must call
+        :meth:`invalidate_cached_views` first, exactly as for
+        :meth:`query_many`.
+        """
         from repro.serving.compiled import CompiledTrie
 
+        view = self._batch_view
+        if view is not None and view.num_nodes == self.trie.num_nodes:
+            return view.with_cache_size(cache_size)
         return CompiledTrie.from_structure(self, cache_size=cache_size)
 
     @classmethod

@@ -27,8 +27,10 @@ import time
 import numpy as np
 
 from repro._deprecation import warn_deprecated
+from repro.core.array_build import SortJoinCounter, pack_strings
 from repro.core.candidate_set import build_candidate_set, candidate_alpha
 from repro.core.database import StringDatabase
+from repro.counting import AUTO_BACKEND
 from repro.core.params import ConstructionParams
 from repro.core.private_trie import PrivateCountingTrie, StructureMetadata
 from repro.dp.composition import PrivacyAccountant
@@ -100,10 +102,12 @@ def theorem3_qgram_structure(
     accountant = PrivacyAccountant()
 
     half_budget = params.budget.split(2)
+    stage_seconds: dict[str, float] = {}
 
     # Phase 1: doubling candidate sets up to 2^{floor(log2 q)}, then complete
     # to candidate q-grams C_q (the completion is post-processing).
     if candidate_qgrams is None:
+        stage_started = time.perf_counter()
         candidates = build_candidate_set(
             database,
             params,
@@ -112,6 +116,7 @@ def theorem3_qgram_structure(
             doubling_limit=q,
             lengths=[q],
         )
+        stage_seconds["candidates"] = time.perf_counter() - stage_started
         for record in candidates.accountant.records:
             accountant.spend(record.label, record.epsilon, record.delta)
         candidate_qgrams = candidates.by_length.get(q, [])
@@ -132,9 +137,11 @@ def theorem3_qgram_structure(
     )
     threshold = params.threshold if params.threshold is not None else 2.0 * alpha
 
-    exact = database.count_many(
-        candidate_qgrams, delta_cap, backend=params.count_backend
-    ).astype(np.float64)
+    stage_started = time.perf_counter()
+    exact = _candidate_qgram_counts(
+        database, params, candidate_qgrams, delta_cap
+    )
+    stage_seconds["counts"] = time.perf_counter() - stage_started
     if len(candidate_qgrams):
         noisy = mechanism.randomize(
             exact,
@@ -158,7 +165,6 @@ def theorem3_qgram_structure(
             f"q-gram set grew to {kept} > n*ell = {n * ell}", level=q
         )
 
-    elapsed = time.perf_counter() - started
     metadata = StructureMetadata(
         epsilon=params.budget.epsilon,
         delta=0.0,
@@ -177,12 +183,47 @@ def theorem3_qgram_structure(
         "candidate_size": len(candidate_qgrams),
         "candidate_alpha": candidate_alpha_value,
         "stored_qgrams": kept,
-        "construction_seconds": elapsed,
         "privacy_spent_epsilon": accountant.total_epsilon,
         "privacy_spent_delta": accountant.total_delta,
         "absent_pattern_bound": max(3.0 * candidate_alpha_value, threshold + alpha),
     }
-    return PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+    structure = PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+    structure.timings.update(
+        {
+            "build_backend": params.resolve_build_backend(),
+            "total_seconds": time.perf_counter() - started,
+            "stages": stage_seconds,
+        }
+    )
+    return structure
+
+
+def _candidate_qgram_counts(
+    database: StringDatabase,
+    params: ConstructionParams,
+    candidate_qgrams: list[str],
+    delta_cap: int,
+) -> np.ndarray:
+    """Exact counts of the candidate q-grams as a float64 vector.
+
+    The array pipeline with an ``"auto"`` counting backend routes the
+    uniform-length batch through the sort-join counter (one window sort
+    instead of a per-batch automaton); every other combination keeps the
+    engine-layer ``count_many``.  Counts are integers either way, so the
+    choice never changes a released value.
+    """
+    if (
+        candidate_qgrams
+        and params.resolve_build_backend() == "array"
+        and params.count_backend == AUTO_BACKEND
+    ):
+        matrix, lengths = pack_strings(candidate_qgrams)
+        if (lengths == lengths[0]).all():
+            counter = SortJoinCounter.shared(database)
+            return counter.counts(matrix, delta_cap).astype(np.float64)
+    return database.count_many(
+        candidate_qgrams, delta_cap, backend=params.count_backend
+    ).astype(np.float64)
 
 
 # ----------------------------------------------------------------------
@@ -304,7 +345,6 @@ def theorem4_qgram_structure(
                 kept += 1
     accountant.spend("q-gram final phase", mechanism.epsilon, mechanism.delta)
 
-    elapsed = time.perf_counter() - started
     metadata = StructureMetadata(
         epsilon=epsilon,
         delta=delta,
@@ -323,13 +363,22 @@ def theorem4_qgram_structure(
     )
     report = {
         "stored_qgrams": kept,
-        "construction_seconds": elapsed,
         "num_phases": num_phases,
         "privacy_spent_epsilon": accountant.total_epsilon,
         "privacy_spent_delta": accountant.total_delta,
         "absent_pattern_bound": threshold + alpha,
     }
-    return PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+    structure = PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
+    # The suffix-tree walk has no array/object split; record the total so
+    # --profile output stays uniform across kinds.
+    structure.timings.update(
+        {
+            "build_backend": "object",
+            "total_seconds": time.perf_counter() - started,
+            "stages": {},
+        }
+    )
+    return structure
 
 
 # ----------------------------------------------------------------------

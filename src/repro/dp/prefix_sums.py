@@ -217,6 +217,161 @@ class PrefixSumMechanism:
         """Release all prefix sums of all ``k`` sequences."""
         return [self.release(sequence, rng) for sequence in sequences]
 
+    def release_many_flat(
+        self,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorized :meth:`release_many` over a flattened sequence batch.
+
+        ``flat`` concatenates all ``k`` sequences; ``offsets`` (length
+        ``k + 1``) marks their boundaries, so sequence ``p`` is
+        ``flat[offsets[p]:offsets[p + 1]]``.  Returns the noisy prefix sums
+        in the same flat layout: position ``offsets[p] + m - 1`` estimates
+        the ``m``-th prefix sum of sequence ``p``.
+
+        Bit-identical to :meth:`release_many` (``tests/dp`` asserts this):
+        the noise for all sequences comes from one RNG call — numpy
+        generators fill element by element, so the concatenated stream
+        equals the per-sequence calls — the exact partial sums replicate
+        ``array[lo:hi].sum()`` by grouping equal-width intervals into one
+        row-wise ``np.sum`` (same pairwise reduction), and the canonical
+        covers are accumulated left to right exactly like the per-interval
+        Python sum.
+        """
+        flat = np.asarray(flat, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        lengths = np.diff(offsets)
+        if lengths.size and int(lengths.max()) > self.max_length:
+            raise ValueError(
+                f"sequence of length {int(lengths.max())} exceeds "
+                f"max_length={self.max_length}"
+            )
+        values = np.zeros(flat.size, dtype=np.float64)
+        if flat.size == 0:
+            return values
+        max_t = int(lengths.max())
+        if max_t == 0:
+            return values
+        num_levels = int(math.floor(math.log2(max_t))) + 1
+
+        # ------------------------------------------------------------------
+        # Enumerate every dyadic interval of every sequence, in the exact
+        # per-sequence order dyadic_intervals() produces (level-major,
+        # ascending start) so the one-call noise vector lines up with the
+        # per-sequence draws of release().
+        # ------------------------------------------------------------------
+        part_path: list[np.ndarray] = []
+        part_level: list[np.ndarray] = []
+        part_pos: list[np.ndarray] = []
+        for level in range(num_levels):
+            width = 1 << level
+            # A sequence of length t has levels 0..floor(log2 t), i.e. the
+            # level exists iff 2^level <= t, with ceil(t / width) intervals.
+            counts = np.where(lengths >> level > 0, -(-lengths // width), 0)
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            paths = np.repeat(np.arange(lengths.size), counts)
+            starts_in_group = np.arange(total) - np.repeat(
+                np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            part_path.append(paths)
+            part_level.append(np.full(total, level, dtype=np.int64))
+            part_pos.append(starts_in_group)
+        interval_path = np.concatenate(part_path)
+        interval_level = np.concatenate(part_level)
+        interval_pos = np.concatenate(part_pos)
+        # Reorder level-major-global -> path-major (level-major within path).
+        order = np.lexsort((interval_pos, interval_level, interval_path))
+        interval_path = interval_path[order]
+        interval_level = interval_level[order]
+        interval_pos = interval_pos[order]
+        t_of_interval = lengths[interval_path]
+        interval_lo = interval_pos << interval_level
+        interval_len = np.minimum(
+            interval_lo + (np.int64(1) << interval_level), t_of_interval
+        ) - interval_lo
+        flat_lo = offsets[interval_path] + interval_lo
+
+        # Exact partial sums, grouped by interval width so each group is one
+        # contiguous row-wise np.sum (bitwise equal to the per-slice sums).
+        exact = np.empty(interval_path.size, dtype=np.float64)
+        for width in np.unique(interval_len):
+            group = np.flatnonzero(interval_len == width)
+            rows = flat[flat_lo[group][:, None] + np.arange(int(width))[None, :]]
+            exact[group] = np.sum(rows, axis=1)
+
+        scale = self.partial_sum_noise_scale()
+        noise = self._sample(scale, interval_path.size, rng)
+        partials = exact + noise
+
+        # ------------------------------------------------------------------
+        # Reconstruct every prefix sum from its canonical cover, accumulating
+        # cover blocks left to right (the same float-addition order as the
+        # per-interval Python sum in release()).
+        # ------------------------------------------------------------------
+        # Index base of each sequence's interval block, and the per-(t,
+        # level) offsets of the level-major interval layout.
+        interval_counts = np.bincount(interval_path, minlength=lengths.size)
+        interval_base = np.concatenate(([0], np.cumsum(interval_counts)[:-1]))
+        level_offset = np.zeros((max_t + 1, num_levels + 1), dtype=np.int64)
+        ts = np.arange(max_t + 1)
+        for level in range(num_levels):
+            per_level = np.where(ts >> level > 0, -(-ts // (1 << level)), 0)
+            level_offset[:, level + 1] = level_offset[:, level] + per_level
+        # Canonical covers by prefix length (independent of t).
+        cover_lists = [canonical_cover(m, max_t) for m in range(max_t + 1)]
+        max_cover = max(len(cover) for cover in cover_lists)
+        cover_len = np.array([len(cover) for cover in cover_lists])
+        cover_level = np.full((max_cover, max_t + 1), -1, dtype=np.int64)
+        cover_pos = np.zeros((max_cover, max_t + 1), dtype=np.int64)
+        for m, cover in enumerate(cover_lists):
+            for slot, (lo, hi) in enumerate(cover):
+                level = (hi - lo).bit_length() - 1
+                cover_level[slot, m] = level
+                cover_pos[slot, m] = lo >> level
+        # release() keys partial sums by (lo, hi), so a clipped interval of a
+        # higher level that also ends at t overwrites any lower-level
+        # interval with the same bounds (e.g. t = 3: the clipped level-1
+        # interval (2, 3) replaces the level-0 one).  Only the final cover
+        # block of the full prefix m = t can hit such a collision; resolve
+        # it to the highest colliding level, exactly like the dict does.
+        final_level = np.zeros(max_t + 1, dtype=np.int64)
+        final_pos = np.zeros(max_t + 1, dtype=np.int64)
+        for t in range(1, max_t + 1):
+            lo, hi = cover_lists[t][-1]
+            level = (hi - lo).bit_length() - 1
+            for candidate in range(t.bit_length() - 1, level - 1, -1):
+                if ((t - 1) >> candidate) << candidate == lo:
+                    level = candidate
+                    break
+            final_level[t] = level
+            final_pos[t] = lo >> level
+        element_path = np.repeat(np.arange(lengths.size), lengths)
+        element_m = np.arange(flat.size) - offsets[element_path] + 1
+        element_t = lengths[element_path]
+        for slot in range(max_cover):
+            active = cover_len[element_m] > slot
+            if not active.any():
+                break
+            m_active = element_m[active]
+            level = cover_level[slot, m_active]
+            pos = cover_pos[slot, m_active]
+            collides = (m_active == element_t[active]) & (
+                cover_len[m_active] - 1 == slot
+            )
+            level = np.where(collides, final_level[m_active], level)
+            pos = np.where(collides, final_pos[m_active], pos)
+            idx = (
+                interval_base[element_path[active]]
+                + level_offset[element_t[active], level]
+                + pos
+            )
+            values[active] += partials[idx]
+        return values
+
     def _sample(
         self, scale: float, size: int, rng: np.random.Generator
     ) -> np.ndarray:

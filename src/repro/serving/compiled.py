@@ -242,6 +242,28 @@ class CompiledTrie:
             cache_size=cache_size,
         )
 
+    def with_cache_size(self, cache_size: int) -> "CompiledTrie":
+        """A zero-copy twin of this compiled trie with a fresh LRU cache.
+
+        Every shared (frozen, read-only) array — counts, CSR edges, the code
+        and transition tables — is reused as-is; only the mutable state (the
+        LRU cache, its counters and locks, the uniform gather-index cache)
+        is created fresh.  This is how the array construction pipeline hands
+        its already-array-shaped build to
+        :meth:`repro.core.private_trie.PrivateCountingTrie.compiled` without
+        re-flattening anything.
+        """
+        twin = object.__new__(CompiledTrie)
+        twin.__dict__.update(self.__dict__)
+        twin._uniform_cache = {}
+        twin._uniform_lock = threading.Lock()
+        twin._cache = OrderedDict()
+        twin._cache_max = max(0, int(cache_size))
+        twin._cache_hits = 0
+        twin._cache_misses = 0
+        twin._cache_lock = threading.Lock()
+        return twin
+
     # ------------------------------------------------------------------
     # Single-pattern queries
     # ------------------------------------------------------------------

@@ -84,5 +84,5 @@ class TestSubpackages:
     def test_cli_registry_covers_design_index(self):
         from repro.cli import EXPERIMENT_REGISTRY
 
-        expected = {f"E{i}" for i in range(1, 24)}
+        expected = {f"E{i}" for i in range(1, 25)}
         assert set(EXPERIMENT_REGISTRY) == expected
