@@ -54,7 +54,7 @@ def main() -> None:
         .build("qgram-t4", rng=rng, q=Q)
     )
     print(f"construction: {structure.metadata.construction}")
-    print(f"construction time: {structure.timings['total_seconds']:.2f}s")
+    print(f"construction time: {structure.profile.total_seconds:.2f}s")
     print(f"stored {Q}-grams: {structure.num_stored_patterns}")
     print(f"error bound alpha = {structure.error_bound:.1f}")
 

@@ -1578,7 +1578,9 @@ def run_construction_benchmark(
         array_structure, array_seconds = timed_build("array")
         object_structure, object_seconds = timed_build("object")
 
-        stages = array_structure.timings.get("stages", {})
+        stages = (
+            array_structure.profile.stages() if array_structure.profile else {}
+        )
         rows.append(
             {
                 "n": n,

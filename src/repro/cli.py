@@ -25,6 +25,7 @@ heuristic in docs/ARCHITECTURE.md.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -255,27 +256,31 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print("  (no pattern exceeded the private threshold)")
     if args.profile:
         _print_profile(structure)
+    if args.trace_out:
+        profile = getattr(structure, "profile", None)
+        if profile is None:
+            print(
+                "error: no construction profile recorded (telemetry disabled?)",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(profile.chrome_trace(), handle)
+        print(f"trace written to {args.trace_out} (open in Perfetto / chrome://tracing)")
     return 0
 
 
 def _print_profile(structure) -> None:
-    """Per-stage construction timing breakdown (``dpsc mine --profile``)."""
-    timings = getattr(structure, "timings", None) or {}
-    total = timings.get("total_seconds")
-    if total is None:
-        print("profile: no construction timings recorded for this structure")
+    """The construction's span tree (``dpsc mine --profile``)."""
+    profile = getattr(structure, "profile", None)
+    if profile is None:
+        print("profile: no construction profile recorded (telemetry disabled?)")
         return
     print(
-        f"profile: build_backend={timings.get('build_backend', '?')} "
-        f"total {total:.3f}s"
+        f"profile: build_backend={profile.build_backend or '?'} "
+        f"total {profile.total_seconds:.3f}s"
     )
-    stages = timings.get("stages", {})
-    for stage, seconds in stages.items():
-        share = 100.0 * seconds / total if total else 0.0
-        print(f"  {stage:14s} {seconds:8.3f}s {share:5.1f}%")
-    accounted = sum(stages.values())
-    if stages and total:
-        print(f"  {'(other)':14s} {max(0.0, total - accounted):8.3f}s")
+    print(profile.render())
 
 
 def _build_workload_database(workload: str, n: int, ell: int, seed: int):
@@ -386,6 +391,7 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
             f"{'lookups/s':>10s} {'identical':>9s} {'counters':>8s}"
         )
         failures = 0
+        rows = []
         for threads in thread_counts:
             result = run_load_test(
                 target,
@@ -398,6 +404,7 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
                 result.counters_consistent or not verify_counters
             )
             failures += 0 if ok else 1
+            rows.append(result.row())
             print(
                 f"{result.threads:7d} {result.operations:7d} "
                 f"{result.seconds:9.3f} {result.ops_per_second:10.0f} "
@@ -405,8 +412,19 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
                 f"{str(result.bit_identical):>9s} "
                 f"{str(result.counters_consistent):>8s}"
             )
+            for kind in sorted(result.percentiles):
+                quantiles = result.percentiles[kind]
+                rendered = "  ".join(
+                    f"{name}={value * 1e3:.3f}ms"
+                    for name, value in quantiles.items()
+                )
+                print(f"          {kind:8s} {rendered}")
             for line in result.errors[:5]:
                 print(f"  error: {line}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump({"results": rows}, handle, indent=2)
+            print(f"results written to {args.json}")
         if failures:
             print(f"error: {failures} replay(s) diverged", file=sys.stderr)
             return 1
@@ -461,6 +479,9 @@ def _cmd_releases(args: argparse.Namespace) -> int:
             print(f"refused: {error}", file=sys.stderr)
             return 2
         record = store.save(name, structure)
+        ledger.record_release(
+            name, version=record.version, digest=record.digest
+        )
         spent = ledger.spent(name)
         print(
             f"saved {record.name} v{record.version} "
@@ -514,7 +535,14 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument(
         "--profile",
         action="store_true",
-        help="print the construction's per-stage timing breakdown",
+        help="print the construction's span tree (per-stage wall+CPU times)",
+    )
+    mine_parser.add_argument(
+        "--trace-out",
+        default="",
+        metavar="PATH",
+        help="write the construction trace as Chrome trace-event JSON "
+        "(loadable in Perfetto)",
     )
     _add_build_arguments(mine_parser)
     mine_parser.set_defaults(func=_cmd_mine)
@@ -587,6 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch",
         action="store_true",
         help="disable micro-batching of concurrent single queries",
+    )
+    bench_parser.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="also write every replay row (throughput + per-endpoint "
+        "latency percentiles) as JSON to PATH",
     )
     _add_build_arguments(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench_load)

@@ -17,11 +17,11 @@
 from __future__ import annotations
 
 import math
-import time
 from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
 from repro.core.private_trie import PrivateCountingTrie, StructureMetadata
@@ -65,7 +65,6 @@ def build_simple_trie_baseline(
     """
     if rng is None:
         rng = np.random.default_rng()
-    started = time.perf_counter()
     ell = params.resolve_max_length(database.max_length)
     delta_cap = params.resolve_delta_cap(ell)
     depth_limit = ell if max_depth is None else min(max_depth, ell)
@@ -98,36 +97,44 @@ def build_simple_trie_baseline(
     trie = Trie()
     trie.root.count = float(index.count("", delta_cap))
     trie.root.noisy_count = trie.root.count
-    # Frontier of (node, SA interval) pairs to expand, breadth-first.
-    frontier: deque = deque([(trie.root, (0, len(index.suffix_array)))])
-    expanded = 0
-    truncated = False
-    while frontier:
-        node, (lo, hi) = frontier.popleft()
-        if node.depth >= depth_limit:
-            continue
-        for symbol in database.alphabet:
-            if expanded >= max_nodes:
-                truncated = True
-                break
-            child_lo, child_hi = index.extend_interval(lo, hi, node.depth, symbol)
-            exact = float(index.count_of_interval(child_lo, child_hi, delta_cap))
-            noisy = float(
-                mechanism.randomize(
-                    np.array([exact]),
-                    l1_sensitivity=l1_sensitivity,
-                    l2_sensitivity=l2_sensitivity,
-                    rng=rng,
-                )[0]
-            )
-            child = trie.insert(node.string() + symbol)
-            child.count = exact
-            child.noisy_count = noisy
-            expanded += 1
-            if noisy >= threshold:
-                frontier.append((child, (child_lo, child_hi)))
-        if truncated:
-            break
+    with obs.trace("construction", build_backend="object") as trace_root:
+        with obs.span("expand") as sp:
+            # Frontier of (node, SA interval) pairs to expand, breadth-first.
+            frontier: deque = deque([(trie.root, (0, len(index.suffix_array)))])
+            expanded = 0
+            truncated = False
+            while frontier:
+                node, (lo, hi) = frontier.popleft()
+                if node.depth >= depth_limit:
+                    continue
+                for symbol in database.alphabet:
+                    if expanded >= max_nodes:
+                        truncated = True
+                        break
+                    child_lo, child_hi = index.extend_interval(
+                        lo, hi, node.depth, symbol
+                    )
+                    exact = float(
+                        index.count_of_interval(child_lo, child_hi, delta_cap)
+                    )
+                    noisy = float(
+                        mechanism.randomize(
+                            np.array([exact]),
+                            l1_sensitivity=l1_sensitivity,
+                            l2_sensitivity=l2_sensitivity,
+                            rng=rng,
+                        )[0]
+                    )
+                    child = trie.insert(node.string() + symbol)
+                    child.count = exact
+                    child.noisy_count = noisy
+                    expanded += 1
+                    if noisy >= threshold:
+                        frontier.append((child, (child_lo, child_hi)))
+                if truncated:
+                    break
+            if sp is not None:
+                sp.attrs["nodes"] = expanded
 
     metadata = StructureMetadata(
         epsilon=params.budget.epsilon,
@@ -147,13 +154,8 @@ def build_simple_trie_baseline(
         "l1_sensitivity": l1_sensitivity,
     }
     structure = PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
-    structure.timings.update(
-        {
-            "build_backend": "object",
-            "total_seconds": time.perf_counter() - started,
-            "stages": {},
-        }
-    )
+    if trace_root is not None:
+        structure.profile = obs.BuildProfile(trace_root)
     return structure
 
 

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.array_build import (
     SortJoinCounter,
     decode_rows,
@@ -262,10 +263,14 @@ def build_candidate_set(
     # noisy count, including letters that never occur.
     # ------------------------------------------------------------------
     letters = list(database.alphabet)
-    exact = database.count_many(letters, delta_cap, backend=params.count_backend)
-    kept, kept_counts = _prune_by_noisy_count(
-        letters, exact, mechanism, ell, delta_cap, threshold, rng
-    )
+    with obs.span("level", length=1):
+        with obs.span("count", patterns=len(letters)):
+            exact = database.count_many(
+                letters, delta_cap, backend=params.count_backend
+            )
+        kept, kept_counts = _prune_by_noisy_count(
+            letters, exact, mechanism, ell, delta_cap, threshold, rng
+        )
     accountant.spend("candidates level 1", mechanism.epsilon, mechanism.delta)
     if len(kept) > capacity:
         raise ConstructionAborted(
@@ -281,15 +286,20 @@ def build_candidate_set(
     while length * 2 <= limit:
         length *= 2
         previous = levels[length // 2]
-        pairs = [left + right for left in previous for right in previous]
-        # Deduplicate while keeping order deterministic.
-        pairs = sorted(set(pairs))
-        # One batched engine call per level: the whole |P|^2 concatenation
-        # batch is counted in one corpus pass under the Aho-Corasick backend.
-        exact = database.count_many(pairs, delta_cap, backend=params.count_backend)
-        kept, kept_counts = _prune_by_noisy_count(
-            pairs, exact, mechanism, ell, delta_cap, threshold, rng
-        )
+        with obs.span("level", length=length):
+            pairs = [left + right for left in previous for right in previous]
+            # Deduplicate while keeping order deterministic.
+            pairs = sorted(set(pairs))
+            # One batched engine call per level: the whole |P|^2 concatenation
+            # batch is counted in one corpus pass under the Aho-Corasick
+            # backend.
+            with obs.span("count", patterns=len(pairs)):
+                exact = database.count_many(
+                    pairs, delta_cap, backend=params.count_backend
+                )
+            kept, kept_counts = _prune_by_noisy_count(
+                pairs, exact, mechanism, ell, delta_cap, threshold, rng
+            )
         accountant.spend(
             f"candidates level {length}", mechanism.epsilon, mechanism.delta
         )
@@ -301,7 +311,8 @@ def build_candidate_set(
         levels[length] = sorted(kept)
         noisy_counts.update(kept_counts)
 
-    by_length, _ = _complete_lengths(levels, None, lengths, ell)
+    with obs.span("completion"):
+        by_length, _ = _complete_lengths(levels, None, lengths, ell)
     return CandidateSet(
         levels=levels,
         by_length=by_length,
@@ -358,14 +369,16 @@ def _build_candidate_set_array(
     # Level 0: one noisy count per alphabet letter (present or not).
     letters = list(database.alphabet)
     letters_matrix = np.array([[ord(letter)] for letter in letters], dtype=np.int32)
-    exact = batch_counts(letters_matrix)
-    noisy = mechanism.randomize(
-        np.asarray(exact, dtype=np.float64),
-        l1_sensitivity=l1,
-        l2_sensitivity=l2,
-        rng=rng,
-    )
-    keep = np.flatnonzero(noisy >= threshold)
+    with obs.span("level", length=1):
+        with obs.span("count", patterns=len(letters)):
+            exact = batch_counts(letters_matrix)
+        noisy = mechanism.randomize(
+            np.asarray(exact, dtype=np.float64),
+            l1_sensitivity=l1,
+            l2_sensitivity=l2,
+            rng=rng,
+        )
+        keep = np.flatnonzero(noisy >= threshold)
     accountant.spend("candidates level 1", mechanism.epsilon, mechanism.delta)
     if keep.size > capacity:
         raise ConstructionAborted(
@@ -384,24 +397,26 @@ def _build_candidate_set_array(
         length *= 2
         previous = matrices[length // 2]
         k = previous.shape[0]
-        if k:
-            left = np.repeat(np.arange(k), k)
-            right = np.tile(np.arange(k), k)
-            pairs_matrix = np.concatenate(
-                [previous[left], previous[right]], axis=1
-            )
-            exact = batch_counts(pairs_matrix)
-            noisy = mechanism.randomize(
-                np.asarray(exact, dtype=np.float64),
-                l1_sensitivity=l1,
-                l2_sensitivity=l2,
-                rng=rng,
-            )
-            keep = noisy >= threshold
-        else:
-            pairs_matrix = np.zeros((0, length), dtype=np.int32)
-            noisy = np.zeros(0, dtype=np.float64)
-            keep = np.zeros(0, dtype=bool)
+        with obs.span("level", length=length):
+            if k:
+                left = np.repeat(np.arange(k), k)
+                right = np.tile(np.arange(k), k)
+                pairs_matrix = np.concatenate(
+                    [previous[left], previous[right]], axis=1
+                )
+                with obs.span("count", patterns=int(pairs_matrix.shape[0])):
+                    exact = batch_counts(pairs_matrix)
+                noisy = mechanism.randomize(
+                    np.asarray(exact, dtype=np.float64),
+                    l1_sensitivity=l1,
+                    l2_sensitivity=l2,
+                    rng=rng,
+                )
+                keep = noisy >= threshold
+            else:
+                pairs_matrix = np.zeros((0, length), dtype=np.int32)
+                noisy = np.zeros(0, dtype=np.float64)
+                keep = np.zeros(0, dtype=bool)
         accountant.spend(
             f"candidates level {length}", mechanism.epsilon, mechanism.delta
         )
@@ -418,7 +433,10 @@ def _build_candidate_set_array(
             zip(levels[length], (float(value) for value in noisy[keep]))
         )
 
-    by_length, completion_matrices = _complete_lengths(levels, matrices, lengths, ell)
+    with obs.span("completion"):
+        by_length, completion_matrices = _complete_lengths(
+            levels, matrices, lengths, ell
+        )
     return CandidateSet(
         levels=levels,
         by_length=by_length,

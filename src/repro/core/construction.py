@@ -39,10 +39,10 @@ same RNG draw order, same noisy values, same prune set, same
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
+from repro import obs
 from repro._deprecation import warn_deprecated
 from repro.core.array_build import (
     PAD,
@@ -167,8 +167,7 @@ def build_private_counting_structure(
     """
     if rng is None:
         rng = np.random.default_rng()
-    started = time.perf_counter()
-    stage_seconds: dict[str, float] = {}
+    backend = params.resolve_build_backend()
 
     ell = params.resolve_max_length(database.max_length)
     delta_cap = params.resolve_delta_cap(ell)
@@ -190,52 +189,44 @@ def build_private_counting_structure(
         remaining_fraction = 0.5
     stage_budget = params.budget.scaled(remaining_fraction)
 
-    # ------------------------------------------------------------------
-    # Step 1: candidate set.
-    # ------------------------------------------------------------------
-    if candidate_set is None:
-        stage_started = time.perf_counter()
-        candidate_set = build_candidate_set(
-            database, params, budget=candidate_budget, rng=rng
-        )
-        stage_seconds["candidates"] = time.perf_counter() - stage_started
-        for record in candidate_set.accountant.records:
-            accountant.spend(record.label, record.epsilon, record.delta)
+    with obs.trace("construction", build_backend=backend) as root:
+        # --------------------------------------------------------------
+        # Step 1: candidate set.
+        # --------------------------------------------------------------
+        if candidate_set is None:
+            with obs.span("candidates"):
+                candidate_set = build_candidate_set(
+                    database, params, budget=candidate_budget, rng=rng
+                )
+            for record in candidate_set.accountant.records:
+                accountant.spend(record.label, record.epsilon, record.delta)
 
-    backend = params.resolve_build_backend()
-    if backend == "array":
-        structure = _finish_structure_array(
-            database,
-            params,
-            rng,
-            candidate_set,
-            stage_budget=stage_budget,
-            accountant=accountant,
-            ell=ell,
-            delta_cap=delta_cap,
-            beta_stage=beta_stage,
-            stage_seconds=stage_seconds,
-        )
-    else:
-        structure = _finish_structure_object(
-            database,
-            params,
-            rng,
-            candidate_set,
-            stage_budget=stage_budget,
-            accountant=accountant,
-            ell=ell,
-            delta_cap=delta_cap,
-            beta_stage=beta_stage,
-            stage_seconds=stage_seconds,
-        )
-    structure.timings.update(
-        {
-            "build_backend": backend,
-            "total_seconds": time.perf_counter() - started,
-            "stages": stage_seconds,
-        }
-    )
+        if backend == "array":
+            structure = _finish_structure_array(
+                database,
+                params,
+                rng,
+                candidate_set,
+                stage_budget=stage_budget,
+                accountant=accountant,
+                ell=ell,
+                delta_cap=delta_cap,
+                beta_stage=beta_stage,
+            )
+        else:
+            structure = _finish_structure_object(
+                database,
+                params,
+                rng,
+                candidate_set,
+                stage_budget=stage_budget,
+                accountant=accountant,
+                ell=ell,
+                delta_cap=delta_cap,
+                beta_stage=beta_stage,
+            )
+    if root is not None:
+        structure.profile = obs.BuildProfile(root)
     return structure
 
 
@@ -305,27 +296,25 @@ def _finish_structure_object(
     ell: int,
     delta_cap: int,
     beta_stage: float,
-    stage_seconds: dict[str, float],
 ) -> PrivateCountingTrie:
     """Steps 2-6 on the linked-object reference pipeline."""
     # ------------------------------------------------------------------
     # Step 2: candidate trie and heavy path decomposition.
     # ------------------------------------------------------------------
-    stage_started = time.perf_counter()
-    trie = Trie()
-    for pattern in sorted(candidate_set.all_strings()):
-        trie.insert(pattern)
-    stage_seconds["trie_build"] = time.perf_counter() - stage_started
-    stage_started = time.perf_counter()
-    annotate_trie_with_exact_counts(
-        trie, database, delta_cap, backend=params.count_backend
-    )
-    stage_seconds["annotate"] = time.perf_counter() - stage_started
-    stage_started = time.perf_counter()
-    decomposition = HeavyPathDecomposition(
-        trie.root, lambda node: list(node.children.values())
-    )
-    stage_seconds["decomposition"] = time.perf_counter() - stage_started
+    with obs.span("trie_build") as sp:
+        trie = Trie()
+        for pattern in sorted(candidate_set.all_strings()):
+            trie.insert(pattern)
+        if sp is not None:
+            sp.attrs["nodes"] = trie.num_nodes
+    with obs.span("annotate"):
+        annotate_trie_with_exact_counts(
+            trie, database, delta_cap, backend=params.count_backend
+        )
+    with obs.span("decomposition"):
+        decomposition = HeavyPathDecomposition(
+            trie.root, lambda node: list(node.children.values())
+        )
     trie_size = trie.num_nodes
     log_trie = math.floor(math.log2(max(2, trie_size))) + 1
 
@@ -336,57 +325,61 @@ def _finish_structure_object(
     # L1 sensitivity is 2 ell (log|T_C| + 1); every coordinate changes by at
     # most Delta, so the L2 sensitivity is sqrt(L1 * Delta) (Lemma 14).
     # ------------------------------------------------------------------
-    stage_started = time.perf_counter()
-    roots_mechanism = _stage_mechanism(stage_budget, params.noiseless)
-    roots = decomposition.path_roots()
-    roots_l1 = 2.0 * ell * log_trie
-    roots_l2 = math.sqrt(roots_l1 * delta_cap)
-    root_values = np.array([node.count for node in roots], dtype=np.float64)
-    noisy_roots = roots_mechanism.randomize(
-        root_values, l1_sensitivity=roots_l1, l2_sensitivity=roots_l2, rng=rng
-    )
-    accountant.spend(
-        "heavy-path roots", roots_mechanism.epsilon if not params.noiseless else 0.0,
-        roots_mechanism.delta if not params.noiseless else 0.0,
-    )
-    roots_error = roots_mechanism.sup_error_bound(
-        max(1, len(roots)),
-        beta_stage,
-        l1_sensitivity=roots_l1,
-        l2_sensitivity=roots_l2,
-    )
+    with obs.span("noise", paths=len(decomposition.paths)):
+        roots_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+        roots = decomposition.path_roots()
+        roots_l1 = 2.0 * ell * log_trie
+        roots_l2 = math.sqrt(roots_l1 * delta_cap)
+        root_values = np.array([node.count for node in roots], dtype=np.float64)
+        noisy_roots = roots_mechanism.randomize(
+            root_values, l1_sensitivity=roots_l1, l2_sensitivity=roots_l2, rng=rng
+        )
+        accountant.spend(
+            "heavy-path roots",
+            roots_mechanism.epsilon if not params.noiseless else 0.0,
+            roots_mechanism.delta if not params.noiseless else 0.0,
+        )
+        roots_error = roots_mechanism.sup_error_bound(
+            max(1, len(roots)),
+            beta_stage,
+            l1_sensitivity=roots_l1,
+            l2_sensitivity=roots_l2,
+        )
 
-    # ------------------------------------------------------------------
-    # Step 4: noisy prefix sums of the difference sequences along every
-    # heavy path (binary-tree mechanism; Lemmas 11/18).
-    # ------------------------------------------------------------------
-    sums_mechanism = _stage_mechanism(stage_budget, params.noiseless)
-    sequences = decomposition.difference_sequences(lambda node: node.count)
-    max_sequence_length = max(1, max((len(seq) for seq in sequences), default=0))
-    prefix_mechanism = PrefixSumMechanism(
-        sums_mechanism,
-        total_l1_sensitivity=2.0 * ell * log_trie,
-        per_sequence_l1_sensitivity=2.0 * delta_cap,
-        max_length=max_sequence_length,
-    )
-    noisy_sums = prefix_mechanism.release_many(sequences, rng)
-    accountant.spend(
-        "difference-sequence prefix sums",
-        sums_mechanism.epsilon if not params.noiseless else 0.0,
-        sums_mechanism.delta if not params.noiseless else 0.0,
-    )
-    sums_error = prefix_mechanism.sup_error_bound(max(1, len(sequences)), beta_stage)
+        # --------------------------------------------------------------
+        # Step 4: noisy prefix sums of the difference sequences along every
+        # heavy path (binary-tree mechanism; Lemmas 11/18).
+        # --------------------------------------------------------------
+        sums_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+        sequences = decomposition.difference_sequences(lambda node: node.count)
+        max_sequence_length = max(1, max((len(seq) for seq in sequences), default=0))
+        prefix_mechanism = PrefixSumMechanism(
+            sums_mechanism,
+            total_l1_sensitivity=2.0 * ell * log_trie,
+            per_sequence_l1_sensitivity=2.0 * delta_cap,
+            max_length=max_sequence_length,
+        )
+        noisy_sums = prefix_mechanism.release_many(sequences, rng)
+        accountant.spend(
+            "difference-sequence prefix sums",
+            sums_mechanism.epsilon if not params.noiseless else 0.0,
+            sums_mechanism.delta if not params.noiseless else 0.0,
+        )
+        sums_error = prefix_mechanism.sup_error_bound(
+            max(1, len(sequences)), beta_stage
+        )
 
-    # ------------------------------------------------------------------
-    # Step 5: combine into per-node noisy counts.
-    # ------------------------------------------------------------------
-    for path, root_estimate, sums in zip(decomposition.paths, noisy_roots, noisy_sums):
-        for offset, node in enumerate(path.nodes):
-            if offset == 0:
-                node.noisy_count = float(root_estimate)
-            else:
-                node.noisy_count = float(root_estimate) + sums.prefix(offset)
-    stage_seconds["noise"] = time.perf_counter() - stage_started
+        # --------------------------------------------------------------
+        # Step 5: combine into per-node noisy counts.
+        # --------------------------------------------------------------
+        for path, root_estimate, sums in zip(
+            decomposition.paths, noisy_roots, noisy_sums
+        ):
+            for offset, node in enumerate(path.nodes):
+                if offset == 0:
+                    node.noisy_count = float(root_estimate)
+                else:
+                    node.noisy_count = float(root_estimate) + sums.prefix(offset)
 
     alpha_counts = roots_error + sums_error
     prune_threshold = (
@@ -396,10 +389,11 @@ def _finish_structure_object(
     # ------------------------------------------------------------------
     # Step 6: prune subtrees with small noisy counts (post-processing).
     # ------------------------------------------------------------------
-    stage_started = time.perf_counter()
     nodes_before_pruning = trie.num_nodes
-    _prune(trie, prune_threshold)
-    stage_seconds["prune"] = time.perf_counter() - stage_started
+    with obs.span("prune") as sp:
+        _prune(trie, prune_threshold)
+        if sp is not None:
+            sp.attrs["removed"] = nodes_before_pruning - trie.num_nodes
 
     metadata, report = _assemble_metadata_report(
         database=database,
@@ -430,7 +424,6 @@ def _finish_structure_array(
     ell: int,
     delta_cap: int,
     beta_stage: float,
-    stage_seconds: dict[str, float],
 ) -> PrivateCountingTrie:
     """Steps 2-6 on the array-native pipeline — bit-identical to the object
     finisher (same candidate trie, same heavy-path order, same RNG draws,
@@ -439,20 +432,19 @@ def _finish_structure_array(
     # Step 2: radix-build the candidate trie over the lexsorted candidate
     # matrix, then decompose it.
     # ------------------------------------------------------------------
-    stage_started = time.perf_counter()
-    matrix, row_lengths = _candidate_matrix(candidate_set)
-    trie = build_array_trie(matrix, row_lengths)
-    stage_seconds["trie_build"] = time.perf_counter() - stage_started
-    stage_started = time.perf_counter()
-    counts = annotate_counts_array(
-        trie, database, delta_cap, count_backend=params.count_backend
-    )
-    stage_seconds["annotate"] = time.perf_counter() - stage_started
-    stage_started = time.perf_counter()
-    decomposition = FlatHeavyPathDecomposition(
-        trie.parents, trie.depths, trie.child_start, trie.child_end, trie.children
-    )
-    stage_seconds["decomposition"] = time.perf_counter() - stage_started
+    with obs.span("trie_build") as sp:
+        matrix, row_lengths = _candidate_matrix(candidate_set)
+        trie = build_array_trie(matrix, row_lengths)
+        if sp is not None:
+            sp.attrs["nodes"] = trie.num_nodes
+    with obs.span("annotate"):
+        counts = annotate_counts_array(
+            trie, database, delta_cap, count_backend=params.count_backend
+        )
+    with obs.span("decomposition"):
+        decomposition = FlatHeavyPathDecomposition(
+            trie.parents, trie.depths, trie.child_start, trie.child_end, trie.children
+        )
     trie_size = trie.num_nodes
     log_trie = math.floor(math.log2(max(2, trie_size))) + 1
 
@@ -461,58 +453,58 @@ def _finish_structure_array(
     # pass each, drawing noise in exactly the object pipeline's order
     # (roots vector first, then the per-path interval draws path-major).
     # ------------------------------------------------------------------
-    stage_started = time.perf_counter()
-    roots_mechanism = _stage_mechanism(stage_budget, params.noiseless)
-    roots_l1 = 2.0 * ell * log_trie
-    roots_l2 = math.sqrt(roots_l1 * delta_cap)
-    root_values = counts[decomposition.path_start]
-    noisy_roots = roots_mechanism.randomize(
-        root_values, l1_sensitivity=roots_l1, l2_sensitivity=roots_l2, rng=rng
-    )
-    accountant.spend(
-        "heavy-path roots", roots_mechanism.epsilon if not params.noiseless else 0.0,
-        roots_mechanism.delta if not params.noiseless else 0.0,
-    )
-    roots_error = roots_mechanism.sup_error_bound(
-        max(1, decomposition.num_paths),
-        beta_stage,
-        l1_sensitivity=roots_l1,
-        l2_sensitivity=roots_l2,
-    )
+    with obs.span("noise", paths=int(decomposition.num_paths)):
+        roots_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+        roots_l1 = 2.0 * ell * log_trie
+        roots_l2 = math.sqrt(roots_l1 * delta_cap)
+        root_values = counts[decomposition.path_start]
+        noisy_roots = roots_mechanism.randomize(
+            root_values, l1_sensitivity=roots_l1, l2_sensitivity=roots_l2, rng=rng
+        )
+        accountant.spend(
+            "heavy-path roots",
+            roots_mechanism.epsilon if not params.noiseless else 0.0,
+            roots_mechanism.delta if not params.noiseless else 0.0,
+        )
+        roots_error = roots_mechanism.sup_error_bound(
+            max(1, decomposition.num_paths),
+            beta_stage,
+            l1_sensitivity=roots_l1,
+            l2_sensitivity=roots_l2,
+        )
 
-    sums_mechanism = _stage_mechanism(stage_budget, params.noiseless)
-    differences = decomposition.difference_sequences_flat(counts)
-    difference_offsets = decomposition.difference_offsets()
-    max_sequence_length = max(
-        1,
-        int(decomposition.path_length.max() - 1) if decomposition.num_paths else 0,
-    )
-    prefix_mechanism = PrefixSumMechanism(
-        sums_mechanism,
-        total_l1_sensitivity=2.0 * ell * log_trie,
-        per_sequence_l1_sensitivity=2.0 * delta_cap,
-        max_length=max_sequence_length,
-    )
-    prefix_values = prefix_mechanism.release_many_flat(
-        differences, difference_offsets, rng
-    )
-    accountant.spend(
-        "difference-sequence prefix sums",
-        sums_mechanism.epsilon if not params.noiseless else 0.0,
-        sums_mechanism.delta if not params.noiseless else 0.0,
-    )
-    sums_error = prefix_mechanism.sup_error_bound(
-        max(1, decomposition.num_paths), beta_stage
-    )
+        sums_mechanism = _stage_mechanism(stage_budget, params.noiseless)
+        differences = decomposition.difference_sequences_flat(counts)
+        difference_offsets = decomposition.difference_offsets()
+        max_sequence_length = max(
+            1,
+            int(decomposition.path_length.max() - 1) if decomposition.num_paths else 0,
+        )
+        prefix_mechanism = PrefixSumMechanism(
+            sums_mechanism,
+            total_l1_sensitivity=2.0 * ell * log_trie,
+            per_sequence_l1_sensitivity=2.0 * delta_cap,
+            max_length=max_sequence_length,
+        )
+        prefix_values = prefix_mechanism.release_many_flat(
+            differences, difference_offsets, rng
+        )
+        accountant.spend(
+            "difference-sequence prefix sums",
+            sums_mechanism.epsilon if not params.noiseless else 0.0,
+            sums_mechanism.delta if not params.noiseless else 0.0,
+        )
+        sums_error = prefix_mechanism.sup_error_bound(
+            max(1, decomposition.num_paths), beta_stage
+        )
 
-    path_of = decomposition.path_id
-    offset = decomposition.offset_on_path
-    noisy = noisy_roots[path_of].astype(np.float64, copy=True)
-    deeper = offset > 0
-    noisy[deeper] = noisy[deeper] + prefix_values[
-        difference_offsets[path_of[deeper]] + offset[deeper] - 1
-    ]
-    stage_seconds["noise"] = time.perf_counter() - stage_started
+        path_of = decomposition.path_id
+        offset = decomposition.offset_on_path
+        noisy = noisy_roots[path_of].astype(np.float64, copy=True)
+        deeper = offset > 0
+        noisy[deeper] = noisy[deeper] + prefix_values[
+            difference_offsets[path_of[deeper]] + offset[deeper] - 1
+        ]
 
     alpha_counts = roots_error + sums_error
     prune_threshold = (
@@ -523,15 +515,16 @@ def _finish_structure_array(
     # Step 6: prune — a node survives iff it and all its ancestors clear
     # the threshold, computed top-down one level slice at a time.
     # ------------------------------------------------------------------
-    stage_started = time.perf_counter()
-    keep = np.zeros(trie.num_nodes, dtype=bool)
-    keep[0] = True
-    clears = noisy >= prune_threshold
-    for depth in range(1, trie.max_depth + 1):
-        lo, hi = int(trie.level_bounds[depth]), int(trie.level_bounds[depth + 1])
-        keep[lo:hi] = keep[trie.parents[lo:hi]] & clears[lo:hi]
-    nodes_after = int(keep.sum())
-    stage_seconds["prune"] = time.perf_counter() - stage_started
+    with obs.span("prune") as sp:
+        keep = np.zeros(trie.num_nodes, dtype=bool)
+        keep[0] = True
+        clears = noisy >= prune_threshold
+        for depth in range(1, trie.max_depth + 1):
+            lo, hi = int(trie.level_bounds[depth]), int(trie.level_bounds[depth + 1])
+            keep[lo:hi] = keep[trie.parents[lo:hi]] & clears[lo:hi]
+        nodes_after = int(keep.sum())
+        if sp is not None:
+            sp.attrs["removed"] = trie_size - nodes_after
 
     metadata, report = _assemble_metadata_report(
         database=database,
@@ -548,11 +541,10 @@ def _finish_structure_array(
         sums_error=sums_error,
         prune_threshold=prune_threshold,
     )
-    stage_started = time.perf_counter()
-    linked, compiled_view = materialize_structure(
-        trie, counts, noisy, keep, metadata, report
-    )
-    stage_seconds["materialize"] = time.perf_counter() - stage_started
+    with obs.span("materialize"):
+        linked, compiled_view = materialize_structure(
+            trie, counts, noisy, keep, metadata, report
+        )
     structure = PrivateCountingTrie(trie=linked, metadata=metadata, report=report)
     structure._batch_view = compiled_view
     return structure

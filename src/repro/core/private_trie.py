@@ -18,10 +18,12 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
+from repro._deprecation import warn_deprecated
 from repro.dp.composition import PrivacyBudget
 from repro.strings.trie import Trie, TrieNode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs import BuildProfile
     from repro.serving.compiled import CompiledTrie
 
 __all__ = ["PrivateCountingTrie", "StructureMetadata", "payload_metadata"]
@@ -122,18 +124,29 @@ class PrivateCountingTrie:
     metadata: StructureMetadata
     #: optional per-construction diagnostics (sizes, stage error bounds, ...).
     report: dict = field(default_factory=dict)
-    #: wall-clock diagnostics of the build (total seconds, per-stage
-    #: breakdown, pipeline backend).  Deliberately *not* part of the
-    #: serialized payload or the content digest: two builds with identical
-    #: released content must have identical digests regardless of how long
-    #: they took or which pipeline produced them (``dpsc mine --profile``
-    #: prints this).
-    timings: dict = field(default_factory=dict, repr=False, compare=False)
+    #: build diagnostics: the construction's tracing-span tree wrapped in a
+    #: :class:`repro.obs.BuildProfile` (total/per-stage wall and CPU
+    #: seconds, pipeline backend; ``None`` when telemetry was disabled).
+    #: Deliberately *not* part of the serialized payload or the content
+    #: digest: two builds with identical released content must have
+    #: identical digests regardless of how long they took or which pipeline
+    #: produced them (``dpsc mine --profile`` prints this).
+    profile: "BuildProfile | None" = field(default=None, repr=False, compare=False)
     #: lazily compiled array view backing query_many (rebuilt if the trie's
     #: node count changes; structures are immutable after construction).
     _batch_view: "CompiledTrie | None" = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    @property
+    def timings(self) -> dict:
+        """Deprecated flat view of :attr:`profile` — the pre-``repro.obs``
+        ``{"build_backend", "total_seconds", "stages"}`` dict (empty when
+        the build ran with telemetry disabled)."""
+        warn_deprecated("PrivateCountingTrie.timings", "PrivateCountingTrie.profile")
+        if self.profile is None:
+            return {}
+        return self.profile.legacy_timings()
 
     # ------------------------------------------------------------------
     # Queries (post-processing; no privacy cost)

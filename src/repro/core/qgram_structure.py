@@ -22,10 +22,10 @@ simplifies considerably:
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
+from repro import obs
 from repro._deprecation import warn_deprecated
 from repro.core.array_build import SortJoinCounter, pack_strings
 from repro.core.candidate_set import build_candidate_set, candidate_alpha
@@ -93,7 +93,6 @@ def theorem3_qgram_structure(
     """
     if rng is None:
         rng = np.random.default_rng()
-    started = time.perf_counter()
     ell = params.resolve_max_length(database.max_length)
     if not 1 <= q <= ell:
         raise PrivacyParameterError("q must lie in [1, ell]")
@@ -102,68 +101,72 @@ def theorem3_qgram_structure(
     accountant = PrivacyAccountant()
 
     half_budget = params.budget.split(2)
-    stage_seconds: dict[str, float] = {}
+    build_backend = params.resolve_build_backend()
 
-    # Phase 1: doubling candidate sets up to 2^{floor(log2 q)}, then complete
-    # to candidate q-grams C_q (the completion is post-processing).
-    if candidate_qgrams is None:
-        stage_started = time.perf_counter()
-        candidates = build_candidate_set(
-            database,
-            params,
-            budget=half_budget,
-            rng=rng,
-            doubling_limit=q,
-            lengths=[q],
+    with obs.trace("construction", build_backend=build_backend, q=q) as trace_root:
+        # Phase 1: doubling candidate sets up to 2^{floor(log2 q)}, then
+        # complete to candidate q-grams C_q (the completion is
+        # post-processing).
+        if candidate_qgrams is None:
+            with obs.span("candidates"):
+                candidates = build_candidate_set(
+                    database,
+                    params,
+                    budget=half_budget,
+                    rng=rng,
+                    doubling_limit=q,
+                    lengths=[q],
+                )
+            for record in candidates.accountant.records:
+                accountant.spend(record.label, record.epsilon, record.delta)
+            candidate_qgrams = candidates.by_length.get(q, [])
+            candidate_alpha_value = candidates.alpha
+        else:
+            candidate_qgrams = list(candidate_qgrams)
+            candidate_alpha_value = 0.0
+
+        # Phase 2: noisy counts of every candidate q-gram with the second half
+        # of the budget, keeping those above 2 alpha.
+        mechanism: CountingMechanism
+        if params.noiseless:
+            mechanism = NoiselessMechanism()
+        else:
+            mechanism = LaplaceMechanism(half_budget.epsilon)
+        alpha = candidate_alpha(
+            n, ell, database.alphabet_size, mechanism, params.beta / 2.0, delta_cap
         )
-        stage_seconds["candidates"] = time.perf_counter() - stage_started
-        for record in candidates.accountant.records:
-            accountant.spend(record.label, record.epsilon, record.delta)
-        candidate_qgrams = candidates.by_length.get(q, [])
-        candidate_alpha_value = candidates.alpha
-    else:
-        candidate_qgrams = list(candidate_qgrams)
-        candidate_alpha_value = 0.0
+        threshold = params.threshold if params.threshold is not None else 2.0 * alpha
 
-    # Phase 2: noisy counts of every candidate q-gram with the second half of
-    # the budget, keeping those above 2 alpha.
-    mechanism: CountingMechanism
-    if params.noiseless:
-        mechanism = NoiselessMechanism()
-    else:
-        mechanism = LaplaceMechanism(half_budget.epsilon)
-    alpha = candidate_alpha(
-        n, ell, database.alphabet_size, mechanism, params.beta / 2.0, delta_cap
-    )
-    threshold = params.threshold if params.threshold is not None else 2.0 * alpha
-
-    stage_started = time.perf_counter()
-    exact = _candidate_qgram_counts(
-        database, params, candidate_qgrams, delta_cap
-    )
-    stage_seconds["counts"] = time.perf_counter() - stage_started
-    if len(candidate_qgrams):
-        noisy = mechanism.randomize(
-            exact,
-            l1_sensitivity=2.0 * ell,
-            l2_sensitivity=math.sqrt(2.0 * ell * delta_cap),
-            rng=rng,
+        with obs.span("counts", patterns=len(candidate_qgrams)):
+            exact = _candidate_qgram_counts(
+                database, params, candidate_qgrams, delta_cap
+            )
+        with obs.span("noise"):
+            if len(candidate_qgrams):
+                noisy = mechanism.randomize(
+                    exact,
+                    l1_sensitivity=2.0 * ell,
+                    l2_sensitivity=math.sqrt(2.0 * ell * delta_cap),
+                    rng=rng,
+                )
+            else:
+                noisy = exact
+        accountant.spend(
+            "q-gram counts", mechanism.epsilon if not params.noiseless else 0.0, 0.0
         )
-    else:
-        noisy = exact
-    accountant.spend("q-gram counts", mechanism.epsilon if not params.noiseless else 0.0, 0.0)
 
-    trie = Trie()
-    kept = 0
-    for pattern, value in zip(candidate_qgrams, noisy):
-        if value >= threshold:
-            node = trie.insert(pattern)
-            node.noisy_count = float(value)
-            kept += 1
-    if kept > n * ell:
-        raise ConstructionAborted(
-            f"q-gram set grew to {kept} > n*ell = {n * ell}", level=q
-        )
+        with obs.span("trie_build"):
+            trie = Trie()
+            kept = 0
+            for pattern, value in zip(candidate_qgrams, noisy):
+                if value >= threshold:
+                    node = trie.insert(pattern)
+                    node.noisy_count = float(value)
+                    kept += 1
+        if kept > n * ell:
+            raise ConstructionAborted(
+                f"q-gram set grew to {kept} > n*ell = {n * ell}", level=q
+            )
 
     metadata = StructureMetadata(
         epsilon=params.budget.epsilon,
@@ -188,13 +191,8 @@ def theorem3_qgram_structure(
         "absent_pattern_bound": max(3.0 * candidate_alpha_value, threshold + alpha),
     }
     structure = PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
-    structure.timings.update(
-        {
-            "build_backend": params.resolve_build_backend(),
-            "total_seconds": time.perf_counter() - started,
-            "stages": stage_seconds,
-        }
-    )
+    if trace_root is not None:
+        structure.profile = obs.BuildProfile(trace_root)
     return structure
 
 
@@ -246,7 +244,6 @@ def theorem4_qgram_structure(
     """
     if rng is None:
         rng = np.random.default_rng()
-    started = time.perf_counter()
     ell = params.resolve_max_length(database.max_length)
     if not 1 <= q <= ell:
         raise PrivacyParameterError("q must lie in [1, ell]")
@@ -292,58 +289,66 @@ def theorem4_qgram_structure(
         )
         return float(value[0])
 
-    # Phase 0: mark the 1-minimal nodes whose noisy count reaches the
-    # threshold.
-    marked: set[int] = set()
-    for node_id in tree.minimal_nodes_at_depth(1, valid_prefix):
-        if noisy_count_of(node_id) >= threshold:
-            marked.add(node_id)
-    accountant.spend("q-gram phase 1", mechanism.epsilon, mechanism.delta)
-    if len(marked) > n * ell:
-        raise ConstructionAborted("phase 1 marking exceeded n*ell", level=1)
-
-    # Doubling phases.
-    j = int(math.floor(math.log2(max(1, q))))
-    length = 1
-    for _ in range(1, j + 1):
-        length *= 2
-        half = length // 2
-        new_marked: set[int] = set()
-        for node_id in tree.minimal_nodes_at_depth(length, valid_prefix):
-            witness = tree.node_prefix_start(node_id)
-            first = tree.weighted_ancestor(tree.leaf_for_position(witness), half)
-            second_leaf = tree.leaf_for_position(witness + half)
-            second = tree.weighted_ancestor(second_leaf, half)
-            if first in marked and second in marked:
+    # The suffix-tree walk has no array/object split; "object" keeps the
+    # profile's backend attribute uniform across structure kinds.
+    with obs.trace("construction", build_backend="object", q=q) as trace_root:
+        # Phase 0: mark the 1-minimal nodes whose noisy count reaches the
+        # threshold.
+        marked: set[int] = set()
+        with obs.span("phase", length=1):
+            for node_id in tree.minimal_nodes_at_depth(1, valid_prefix):
                 if noisy_count_of(node_id) >= threshold:
-                    new_marked.add(node_id)
-        accountant.spend(
-            f"q-gram phase {length}", mechanism.epsilon, mechanism.delta
-        )
-        if len(new_marked) > n * ell:
-            raise ConstructionAborted(
-                f"phase {length} marking exceeded n*ell", level=length
-            )
-        marked = new_marked
+                    marked.add(node_id)
+        accountant.spend("q-gram phase 1", mechanism.epsilon, mechanism.delta)
+        if len(marked) > n * ell:
+            raise ConstructionAborted("phase 1 marking exceeded n*ell", level=1)
 
-    # Final phase: q-minimal nodes whose length-2^j prefix and suffix were
-    # both marked.
-    power = 1 << j
-    trie = Trie()
-    kept = 0
-    for node_id in tree.minimal_nodes_at_depth(q, valid_prefix):
-        witness = tree.node_prefix_start(node_id)
-        first = tree.weighted_ancestor(tree.leaf_for_position(witness), power)
-        second_leaf = tree.leaf_for_position(witness + q - power)
-        second = tree.weighted_ancestor(second_leaf, power)
-        if first in marked and second in marked:
-            value = noisy_count_of(node_id)
-            if value >= threshold:
-                pattern = index.decode_prefix(witness, q)
-                node = trie.insert(pattern)
-                node.noisy_count = value
-                kept += 1
-    accountant.spend("q-gram final phase", mechanism.epsilon, mechanism.delta)
+        # Doubling phases.
+        j = int(math.floor(math.log2(max(1, q))))
+        length = 1
+        for _ in range(1, j + 1):
+            length *= 2
+            half = length // 2
+            new_marked: set[int] = set()
+            with obs.span("phase", length=length):
+                for node_id in tree.minimal_nodes_at_depth(length, valid_prefix):
+                    witness = tree.node_prefix_start(node_id)
+                    first = tree.weighted_ancestor(
+                        tree.leaf_for_position(witness), half
+                    )
+                    second_leaf = tree.leaf_for_position(witness + half)
+                    second = tree.weighted_ancestor(second_leaf, half)
+                    if first in marked and second in marked:
+                        if noisy_count_of(node_id) >= threshold:
+                            new_marked.add(node_id)
+            accountant.spend(
+                f"q-gram phase {length}", mechanism.epsilon, mechanism.delta
+            )
+            if len(new_marked) > n * ell:
+                raise ConstructionAborted(
+                    f"phase {length} marking exceeded n*ell", level=length
+                )
+            marked = new_marked
+
+        # Final phase: q-minimal nodes whose length-2^j prefix and suffix were
+        # both marked.
+        power = 1 << j
+        trie = Trie()
+        kept = 0
+        with obs.span("final_phase", length=q):
+            for node_id in tree.minimal_nodes_at_depth(q, valid_prefix):
+                witness = tree.node_prefix_start(node_id)
+                first = tree.weighted_ancestor(tree.leaf_for_position(witness), power)
+                second_leaf = tree.leaf_for_position(witness + q - power)
+                second = tree.weighted_ancestor(second_leaf, power)
+                if first in marked and second in marked:
+                    value = noisy_count_of(node_id)
+                    if value >= threshold:
+                        pattern = index.decode_prefix(witness, q)
+                        node = trie.insert(pattern)
+                        node.noisy_count = value
+                        kept += 1
+        accountant.spend("q-gram final phase", mechanism.epsilon, mechanism.delta)
 
     metadata = StructureMetadata(
         epsilon=epsilon,
@@ -369,15 +374,8 @@ def theorem4_qgram_structure(
         "absent_pattern_bound": threshold + alpha,
     }
     structure = PrivateCountingTrie(trie=trie, metadata=metadata, report=report)
-    # The suffix-tree walk has no array/object split; record the total so
-    # --profile output stays uniform across kinds.
-    structure.timings.update(
-        {
-            "build_backend": "object",
-            "total_seconds": time.perf_counter() - started,
-            "stages": {},
-        }
-    )
+    if trace_root is not None:
+        structure.profile = obs.BuildProfile(trace_root)
     return structure
 
 

@@ -34,6 +34,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro import obs
 from repro.strings import naive
 from repro.strings.aho_corasick import AhoCorasick
 from repro.strings.alphabet import Alphabet
@@ -97,14 +98,15 @@ class NaiveEngine:
 
     def count_many(self, patterns: Sequence[str], delta_cap: int) -> np.ndarray:
         _check_delta(delta_cap)
-        return np.fromiter(
-            (
-                naive.count_delta(pattern, self.documents, delta_cap)
-                for pattern in patterns
-            ),
-            dtype=np.int64,
-            count=len(patterns),
-        )
+        with obs.span("count_many", backend=self.name, patterns=len(patterns)):
+            return np.fromiter(
+                (
+                    naive.count_delta(pattern, self.documents, delta_cap)
+                    for pattern in patterns
+                ),
+                dtype=np.int64,
+                count=len(patterns),
+            )
 
 
 class SuffixArrayEngine:
@@ -127,7 +129,10 @@ class SuffixArrayEngine:
 
     def count_many(self, patterns: Sequence[str], delta_cap: int) -> np.ndarray:
         _check_delta(delta_cap)
-        return np.asarray(self.index.counts(patterns, delta_cap), dtype=np.int64)
+        with obs.span("count_many", backend=self.name, patterns=len(patterns)):
+            return np.asarray(
+                self.index.counts(patterns, delta_cap), dtype=np.int64
+            )
 
 
 class AhoCorasickEngine:
@@ -150,22 +155,25 @@ class AhoCorasickEngine:
         patterns = list(patterns)
         if not patterns:
             return np.zeros(0, dtype=np.int64)
-        automaton = AhoCorasick()
-        # slots[i] is the automaton index answering patterns[i]; -1 marks the
-        # empty pattern, which the automaton cannot hold.
-        slots = np.empty(len(patterns), dtype=np.int64)
-        for i, pattern in enumerate(patterns):
-            slots[i] = automaton.add_pattern(pattern) if pattern else -1
-        totals = automaton.capped_counts_over_documents(self.documents, delta_cap)
-        result = np.empty(len(patterns), dtype=np.int64)
-        occupied = slots >= 0
-        result[occupied] = totals[slots[occupied]] if len(totals) else 0
-        if not occupied.all():
-            empty_total = sum(
-                min(len(document), delta_cap) for document in self.documents
+        with obs.span("count_many", backend=self.name, patterns=len(patterns)):
+            automaton = AhoCorasick()
+            # slots[i] is the automaton index answering patterns[i]; -1 marks
+            # the empty pattern, which the automaton cannot hold.
+            slots = np.empty(len(patterns), dtype=np.int64)
+            for i, pattern in enumerate(patterns):
+                slots[i] = automaton.add_pattern(pattern) if pattern else -1
+            totals = automaton.capped_counts_over_documents(
+                self.documents, delta_cap
             )
-            result[~occupied] = empty_total
-        return result
+            result = np.empty(len(patterns), dtype=np.int64)
+            occupied = slots >= 0
+            result[occupied] = totals[slots[occupied]] if len(totals) else 0
+            if not occupied.all():
+                empty_total = sum(
+                    min(len(document), delta_cap) for document in self.documents
+                )
+                result[~occupied] = empty_total
+            return result
 
 
 def auto_backend(num_patterns: int, corpus_length: int) -> str:

@@ -1,0 +1,442 @@
+"""Thread-safe metrics: counters, gauges and log-bucketed histograms.
+
+The registry is the single source of truth for every operational number the
+system exposes — request counters, latency distributions, cache statistics —
+replacing the ad-hoc per-object counters that used to live behind the query
+server's stats lock.  Three metric kinds, mirroring the Prometheus data
+model (the ``/metrics`` endpoint renders a registry in text exposition
+format, see :mod:`repro.obs.export`):
+
+:class:`Counter`
+    A monotonically increasing float.  Increments are lock-protected, so
+    eight threads hammering one counter lose no updates (the stress test in
+    ``tests/obs/test_registry.py``).  Counters keep counting even when
+    telemetry is disabled: they carry *semantic* state (``/healthz`` request
+    accounting), not diagnostics.
+:class:`Gauge`
+    A value that goes up and down — either set explicitly or computed at
+    read time from a callback (:meth:`Gauge.set_function`), which is how
+    per-release cache hit/miss statistics are surfaced without double
+    bookkeeping.
+:class:`Histogram`
+    A log-bucketed distribution with exact rank-based percentile
+    extraction: :meth:`Histogram.percentile` returns the upper boundary of
+    the bucket holding the requested rank, so the returned value ``r``
+    brackets the true order statistic ``t`` as ``t <= r < t * growth``
+    (``growth`` is the bucket ratio, 2**0.25 by default — under 19%
+    relative resolution).  Observations are skipped entirely while
+    telemetry is disabled (:func:`set_enabled`), keeping the serving hot
+    path at a single flag check.
+
+Everything is stdlib + the in-process lock discipline: one lock per metric
+instance (updates never contend across metrics), one registry lock for
+get-or-create.  ``repro.obs`` sits below every other layer and imports
+nothing from the rest of the package.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "set_enabled",
+    "enabled",
+]
+
+#: Process-wide telemetry switch.  Disabling turns histogram observations
+#: and span recording into near-free no-ops; counters and gauges keep
+#: working (they back ``/healthz``, which must stay correct either way).
+_ENABLED = True
+_ENABLED_LOCK = threading.Lock()
+
+
+def set_enabled(flag: bool) -> bool:
+    """Turn telemetry (histogram observations, tracing spans) on or off.
+
+    Returns the previous value so callers can restore it.
+    """
+    global _ENABLED
+    with _ENABLED_LOCK:
+        previous = _ENABLED
+        _ENABLED = bool(flag)
+    return previous
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently enabled (the default)."""
+    return _ENABLED
+
+
+def log_buckets(lower: float, upper: float, growth: float) -> tuple[float, ...]:
+    """Geometric bucket boundaries ``lower * growth**i`` up to ``>= upper``.
+
+    Every boundary is an exact float power product, so repeated calls with
+    the same arguments produce identical boundaries (bucket identity is
+    deterministic across runs).
+    """
+    if lower <= 0 or growth <= 1.0 or upper <= lower:
+        raise ValueError("log_buckets needs 0 < lower < upper and growth > 1")
+    count = int(math.ceil(math.log(upper / lower) / math.log(growth))) + 1
+    return tuple(lower * growth**i for i in range(count))
+
+
+#: Default latency boundaries: 1 microsecond to ~16 seconds at ratio
+#: 2**0.25 (under 19% relative percentile resolution, 97 buckets).
+DEFAULT_BUCKET_GROWTH = 2.0**0.25
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-6, 16.0, DEFAULT_BUCKET_GROWTH)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing, lock-protected float counter."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) atomically."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A settable value, or a callback evaluated at read time."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._function: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._function = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Read the gauge from ``function()`` at collection time (used for
+        values that already have an exact owner, e.g. compiled-trie cache
+        counters — a single source of truth instead of double bookkeeping)."""
+        with self._lock:
+            self._function = function
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            function = self._function
+            if function is None:
+                return self._value
+        return float(function())
+
+
+class _NullTimer:
+    """The disabled-telemetry timer: two no-op calls, nothing else."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """Times a ``with`` block and observes the elapsed seconds."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._started, _force=True)
+
+
+class Histogram:
+    """A log-bucketed distribution with exact rank-based percentiles.
+
+    ``boundaries`` are ascending upper bucket bounds (``le`` semantics, as
+    in Prometheus: a value lands in the first bucket whose boundary is
+    ``>= value``); values above the last boundary go to the implicit
+    ``+Inf`` overflow bucket.  ``observe`` additionally tracks the exact
+    sum, count, min and max.
+
+    ``gated=True`` (the default) skips observations while telemetry is
+    disabled; pass ``gated=False`` for histograms that *are* the
+    measurement (the load-test harness), which must record regardless.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        *,
+        gated: bool = True,
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram boundaries must be non-empty and increasing")
+        self.boundaries = bounds
+        self.gated = gated
+        self._lock = threading.Lock()
+        # One slot per boundary plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float, *, _force: bool = False) -> None:
+        """Record one observation (skipped when gated and disabled)."""
+        if self.gated and not _ENABLED and not _force:
+            return
+        value = float(value)
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def time(self):
+        """Context manager observing the wall time of its block."""
+        if self.gated and not _ENABLED:
+            return _NULL_TIMER
+        return _Timer(self)
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _snapshot_locked(self) -> tuple[list[int], int, float, float, float]:
+        with self._lock:
+            return (list(self._counts), self._count, self._sum, self._min, self._max)
+
+    def percentile(self, q: float) -> float:
+        """The upper boundary of the bucket holding the rank-``q`` value.
+
+        ``q`` is in percent (50, 95, 99).  The rank is ``ceil(q/100 * n)``
+        (clamped to at least 1), the same order statistic
+        ``sorted(values)[rank - 1]`` a rank-exact implementation would
+        return; the result is that value's bucket upper bound, so it
+        brackets the true order statistic within one bucket ratio.  Values
+        in the overflow bucket report the exact observed maximum.  NaN when
+        the histogram is empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        counts, total, _, _, maximum = self._snapshot_locked()
+        if total == 0:
+            return math.nan
+        rank = max(1, math.ceil(q / 100.0 * total))
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index == len(self.boundaries):
+                    return maximum
+                return self.boundaries[index]
+        return maximum  # pragma: no cover - cumulative always reaches total
+
+    def percentiles(self, qs: Sequence[float] = (50.0, 95.0, 99.0)) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in one pass."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state: count, sum, min/max, percentiles, buckets
+        (cumulative, Prometheus-style ``le`` keys)."""
+        counts, total, total_sum, minimum, maximum = self._snapshot_locked()
+        cumulative: list[list] = []
+        running = 0
+        for boundary, bucket_count in zip(self.boundaries, counts):
+            running += bucket_count
+            cumulative.append([boundary, running])
+        # "+Inf" as a string keeps the snapshot strict-JSON-parseable.
+        cumulative.append(["+Inf", running + counts[-1]])
+        return {
+            "count": total,
+            "sum": total_sum,
+            "min": minimum if total else None,
+            "max": maximum if total else None,
+            **(self.percentiles() if total else {}),
+            "buckets": cumulative,
+        }
+
+
+class _Family:
+    """All children of one metric name (same kind/help, varying labels)."""
+
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+def _label_key(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name {label!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, optionally labelled metrics.
+
+    The same ``(name, labels)`` always returns the same metric object, so
+    callers can either keep a reference (hot paths) or re-resolve by name
+    (exporters, tests).  Asking for an existing name with a different
+    metric kind raises — one name, one meaning.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create
+    # ------------------------------------------------------------------
+    def _metric(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Mapping[str, str] | None,
+        factory: Callable[[], object],
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family.kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+            if help_text and not family.help:
+                family.help = help_text
+            metric = family.children.get(key)
+            if metric is None:
+                metric = factory()
+                family.children[key] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._metric(name, "counter", help, labels, Counter)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        return self._metric(name, "gauge", help, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        gated: bool = True,
+    ) -> Histogram:
+        return self._metric(
+            name, "histogram", help, labels, lambda: Histogram(buckets, gated=gated)
+        )
+
+    def get(self, name: str, labels: Mapping[str, str] | None = None):
+        """The existing metric, or ``None`` (never creates)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family.children.get(_label_key(labels))
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def families(self) -> list[tuple[str, str, str, list[tuple[dict, object]]]]:
+        """``(name, kind, help, [(labels_dict, metric), ...])`` per family,
+        names sorted, label sets in insertion order."""
+        with self._lock:
+            snapshot = [
+                (
+                    family.name,
+                    family.kind,
+                    family.help,
+                    [(dict(key), metric) for key, metric in family.children.items()],
+                )
+                for family in self._families.values()
+            ]
+        snapshot.sort(key=lambda item: item[0])
+        return snapshot
+
+    def snapshot(self) -> dict:
+        """One JSON-friendly dict of every metric's current state."""
+        result: dict[str, dict] = {}
+        for name, kind, help_text, children in self.families():
+            entries = []
+            for labels, metric in children:
+                if kind == "histogram":
+                    value = metric.snapshot()
+                else:
+                    value = metric.value
+                entries.append({"labels": labels, "value": value})
+            result[name] = {"kind": kind, "help": help_text, "series": entries}
+        return result

@@ -24,6 +24,12 @@ This module provides the shared building blocks both use:
     a cheap ``(mtime_ns, size)`` fingerprint used for stale-state detection:
     a process re-reads its cached JSON state whenever the on-disk signature
     no longer matches the one recorded at the last load/save.
+:func:`append_jsonl` / :func:`read_jsonl`
+    an append-only JSON-lines log (the ledger's budget audit trail):
+    ``O_APPEND`` writes are atomic between processes for these short
+    records, each append is fsynced, a torn final line from a crash is
+    repaired by starting the next record on a fresh line, and the reader
+    skips any malformed line instead of failing the whole log.
 """
 
 from __future__ import annotations
@@ -38,7 +44,14 @@ try:  # POSIX advisory locking; absent on some platforms.
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["atomic_write_text", "file_signature", "FileLock", "atomic_write_json"]
+__all__ = [
+    "atomic_write_text",
+    "file_signature",
+    "FileLock",
+    "atomic_write_json",
+    "append_jsonl",
+    "read_jsonl",
+]
 
 #: distinguishes concurrent in-process writers (pid alone would collide on
 #: platforms where FileLock is a no-op); next() is atomic under the GIL.
@@ -88,6 +101,60 @@ def _fsync_directory(directory: Path) -> None:
         pass
     finally:
         os.close(fd)
+
+
+def append_jsonl(path: str | Path, payload: object) -> None:
+    """Append one JSON record to ``path`` as a line, durably.
+
+    The write goes through a single ``O_APPEND`` ``write`` call (atomic
+    with respect to other appenders for records this small) followed by an
+    ``fsync``.  If the file's last byte is not a newline — a previous
+    appender crashed mid-write — the new record starts on a fresh line, so
+    one torn record never corrupts its successors.
+    """
+    path = Path(path)
+    line = json.dumps(payload, separators=(",", ":"))
+    if "\n" in line:  # pragma: no cover - json.dumps never emits newlines
+        raise ValueError("JSONL records must serialize to a single line")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        prefix = b""
+        size = os.fstat(fd).st_size
+        if size:
+            with open(path, "rb") as handle:
+                handle.seek(size - 1)
+                if handle.read(1) != b"\n":
+                    prefix = b"\n"
+        os.write(fd, prefix + line.encode("utf-8") + b"\n")
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Every well-formed JSON-object line of ``path`` (missing file -> []).
+
+    Malformed lines — a record torn by a crash, a partially flushed tail —
+    are skipped rather than raised: the log is an audit trail, and the
+    records that *did* survive must stay readable.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except FileNotFoundError:
+        return []
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
 
 
 def file_signature(path: str | Path) -> tuple[int, int] | None:

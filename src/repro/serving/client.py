@@ -108,3 +108,23 @@ class ServingClient:
     def healthz(self) -> dict:
         """Liveness and serving statistics."""
         return self._request("/healthz")
+
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServingClientError(
+                f"server returned HTTP {error.code}", error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServingClientError(
+                f"cannot reach {url}: {error.reason}", status=0
+            ) from None
+
+    def metrics_snapshot(self) -> dict:
+        """The server's raw metrics registry snapshot (``/metrics?format=json``)."""
+        return self._request("/metrics?format=json")

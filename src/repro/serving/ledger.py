@@ -17,7 +17,9 @@ restarts.
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from pathlib import Path
 from typing import Callable
 
@@ -28,7 +30,13 @@ from repro.core.params import ConstructionParams
 from repro.core.private_trie import PrivateCountingTrie
 from repro.dp.composition import CompositionRecord, PrivacyAccountant, PrivacyBudget
 from repro.exceptions import BudgetExceededError
-from repro.serving._fsio import FileLock, atomic_write_json, file_signature
+from repro.serving._fsio import (
+    FileLock,
+    append_jsonl,
+    atomic_write_json,
+    file_signature,
+    read_jsonl,
+)
 
 __all__ = ["BudgetLedger", "build_release"]
 
@@ -47,6 +55,15 @@ class BudgetLedger:
     path:
         Optional JSON file the ledger loads on construction and rewrites
         after every charge, so accounting is durable across curator runs.
+    audit_path:
+        Optional JSON-lines file receiving one append-only record per
+        accounting *event* — every successful charge, every refusal, every
+        published release version (:meth:`record_release`) — with
+        timestamp, curator pid and the running totals at that moment.
+        Defaults to ``<path stem>.audit.jsonl`` next to ``path`` when the
+        ledger is persistent, and to no audit log for in-memory ledgers.
+        The audit log is the *who-did-what-when* trail; ``path`` stays the
+        authoritative record of the balances themselves.
 
     Durability and concurrency
     --------------------------
@@ -61,9 +78,21 @@ class BudgetLedger:
     and double-spend the cap.
     """
 
-    def __init__(self, cap: PrivacyBudget, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cap: PrivacyBudget,
+        path: str | Path | None = None,
+        *,
+        audit_path: str | Path | None = None,
+    ) -> None:
         self.cap = cap
         self._path = Path(path) if path is not None else None
+        if audit_path is not None:
+            self._audit_path: Path | None = Path(audit_path)
+        elif self._path is not None:
+            self._audit_path = self._path.with_name(self._path.stem + ".audit.jsonl")
+        else:
+            self._audit_path = None
         self._accountants: dict[str, PrivacyAccountant] = {}
         self._lock = threading.Lock()
         self._file_lock = (
@@ -138,6 +167,7 @@ class BudgetLedger:
     ) -> None:
         if not self._can_afford(database_id, budget):
             accountant = self._accountant(database_id)
+            self._audit("refusal", database_id, label=label, budget=budget)
             raise BudgetExceededError(
                 f"charging ({budget.epsilon:g}, {budget.delta:g}) to "
                 f"{database_id!r} would exceed the global cap "
@@ -148,6 +178,10 @@ class BudgetLedger:
                 cap=(self.cap.epsilon, self.cap.delta),
             )
         self._accountant(database_id).spend(label, budget.epsilon, budget.delta)
+        # Audit before the balance save: if the curator dies between the
+        # two, the trail shows a charge the ledger never booked (a visible,
+        # privacy-safe over-report), never a booked charge with no trail.
+        self._audit("charge", database_id, label=label, budget=budget)
         self._save()
 
     def entries(self, database_id: str | None = None) -> list[tuple[str, CompositionRecord]]:
@@ -165,6 +199,73 @@ class BudgetLedger:
             for name in names
             for record in self._accountant(name).records
         ]
+
+    # ------------------------------------------------------------------
+    # Audit trail
+    # ------------------------------------------------------------------
+    @property
+    def audit_path(self) -> Path | None:
+        """Where the JSONL audit trail is written (``None`` = no trail)."""
+        return self._audit_path
+
+    def _audit(
+        self,
+        event: str,
+        database_id: str,
+        *,
+        label: str | None = None,
+        budget: PrivacyBudget | None = None,
+        extra: dict | None = None,
+    ) -> None:
+        """Append one audit record; called with the ledger lock held."""
+        if self._audit_path is None:
+            return
+        accountant = self._accountant(database_id)
+        record: dict = {
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "event": event,
+            "database_id": database_id,
+            "spent_epsilon": accountant.total_epsilon,
+            "spent_delta": accountant.total_delta,
+            "cap_epsilon": self.cap.epsilon,
+            "cap_delta": self.cap.delta,
+        }
+        if label is not None:
+            record["label"] = label
+        if budget is not None:
+            record["epsilon"] = budget.epsilon
+            record["delta"] = budget.delta
+        if extra:
+            record.update(extra)
+        append_jsonl(self._audit_path, record)
+
+    def record_release(
+        self, database_id: str, *, version: int, digest: str, label: str = "release"
+    ) -> None:
+        """Audit that a built structure was actually *published*.
+
+        A ``charge`` records budget leaving the cap; this records the
+        artifact it paid for — the store version and content digest — so
+        the trail links every expenditure to a verifiable release.
+        """
+        with self._lock:
+            self._audit(
+                "release",
+                database_id,
+                label=label,
+                extra={"version": version, "digest": digest},
+            )
+
+    def audit_entries(self, database_id: str | None = None) -> list[dict]:
+        """The surviving audit records, oldest first (malformed lines are
+        skipped — see :func:`repro.serving._fsio.read_jsonl`)."""
+        if self._audit_path is None:
+            return []
+        records = read_jsonl(self._audit_path)
+        if database_id is not None:
+            records = [r for r in records if r.get("database_id") == database_id]
+        return records
 
     def database_ids(self) -> list[str]:
         with self._lock:

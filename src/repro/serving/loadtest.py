@@ -32,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.obs import Histogram
 
 __all__ = [
     "Operation",
@@ -78,6 +79,10 @@ class LoadTestResult:
     mismatches: list[int] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
     counters_consistent: bool = True
+    #: per-operation-kind latency percentiles observed *during the
+    #: concurrent replay*, e.g. ``{"query": {"p50": ..., "p95": ...,
+    #: "p99": ...}}`` (seconds; kinds with no operations are absent).
+    percentiles: dict = field(default_factory=dict)
 
     @property
     def ops_per_second(self) -> float:
@@ -95,7 +100,7 @@ class LoadTestResult:
 
     def row(self) -> dict:
         """A flat JSON-friendly summary (experiment/benchmark rows)."""
-        return {
+        row = {
             "threads": self.threads,
             "operations": self.operations,
             "seconds": self.seconds,
@@ -105,6 +110,10 @@ class LoadTestResult:
             "counters_consistent": self.counters_consistent,
             "errors": len(self.errors),
         }
+        for kind in sorted(self.percentiles):
+            for quantile, value in self.percentiles[kind].items():
+                row[f"{kind}_{quantile}_seconds"] = value
+        return row
 
 
 # ----------------------------------------------------------------------
@@ -267,15 +276,23 @@ def run_load_test(
     errors: list[str] = []
     errors_lock = threading.Lock()
     barrier = threading.Barrier(threads + 1)
+    # Per-thread latency samples (merged after the join — no shared-state
+    # contention while the clock is running).
+    samples: list[list[tuple[str, float]]] = [[] for _ in range(threads)]
 
     def worker(offset: int) -> None:
+        mine = samples[offset]
         barrier.wait()
         for index in range(offset, len(workload), threads):
+            operation = workload[index]
+            began = time.perf_counter()
             try:
-                results[index] = execute_operation(target, workload[index])
+                results[index] = execute_operation(target, operation)
             except Exception as error:  # noqa: BLE001 - recorded, re-raised below
                 with errors_lock:
-                    errors.append(f"op {index} ({workload[index].kind}): {error!r}")
+                    errors.append(f"op {index} ({operation.kind}): {error!r}")
+            else:
+                mine.append((operation.kind, time.perf_counter() - began))
 
     pool = [
         threading.Thread(target=worker, args=(offset,), name=f"loadtest-{offset}")
@@ -302,6 +319,18 @@ def run_load_test(
         counters_consistent = all(
             after[key] - before[key] == deltas[key] for key in deltas
         )
+    # ungated histograms: the load test *is* the measurement, so it records
+    # regardless of the global telemetry switch.
+    histograms: dict[str, Histogram] = {}
+    for thread_samples in samples:
+        for kind, latency in thread_samples:
+            histogram = histograms.get(kind)
+            if histogram is None:
+                histogram = histograms[kind] = Histogram(gated=False)
+            histogram.observe(latency)
+    percentiles = {
+        kind: histogram.percentiles() for kind, histogram in histograms.items()
+    }
     result = LoadTestResult(
         threads=threads,
         operations=len(workload),
@@ -314,6 +343,7 @@ def run_load_test(
         mismatches=mismatches,
         errors=errors,
         counters_consistent=counters_consistent,
+        percentiles=percentiles,
     )
     if check and not (result.bit_identical and result.counters_consistent):
         detail = "; ".join(errors[:3]) or (

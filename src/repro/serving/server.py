@@ -6,10 +6,17 @@ any mining thresholds — with zero privacy accounting.  The implementation is
 stdlib-only (:mod:`http.server` with :class:`ThreadingHTTPServer`):
 
 * ``GET  /healthz``          liveness, uptime, request counters, cache stats
+* ``GET  /metrics``          Prometheus text exposition (``?format=json`` for
+  the raw registry snapshot) — see docs/OBSERVABILITY.md
 * ``GET  /releases``         the served releases and their public metadata
 * ``POST /query``            ``{"pattern": ..., "release": ...}`` -> count
 * ``POST /batch``            ``{"patterns": [...]}`` -> vectorized counts
 * ``POST /mine``             ``{"threshold": ..., ...}`` -> frequent patterns
+
+Every operational number lives in the service's
+:class:`repro.obs.MetricsRegistry` (request counters, per-endpoint latency
+histograms, micro-batch flush sizes, per-release cache statistics);
+``/healthz`` and ``/metrics`` are two views of that one registry.
 
 Two serving tricks carry the throughput story (benchmarked in
 ``benchmarks/bench_serving.py``):
@@ -34,10 +41,18 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.core.private_trie import PrivateCountingTrie
 from repro.exceptions import ReleaseNotFoundError, ReproError
+from repro.obs import MetricsRegistry, log_buckets, render_prometheus
 from repro.serving.compiled import CompiledTrie
 from repro.serving.store import ReleaseStore
 
 __all__ = ["QueryService", "MicroBatcher", "create_server", "serve_forever"]
+
+#: endpoints that carry request counters and latency histograms.
+_ENDPOINTS = ("query", "batch", "mine", "healthz")
+
+#: micro-batch flush sizes are small integers; powers of two up to the
+#: default ``max_batch`` resolve them exactly enough.
+_FLUSH_SIZE_BUCKETS = log_buckets(1.0, 512.0, 2.0)
 
 
 class _PendingQuery:
@@ -79,12 +94,31 @@ class MicroBatcher:
         self._queue: list[_PendingQuery] = []
         self._condition = threading.Condition()
         self._closed = False
-        self.batches_flushed = 0
-        self.requests_batched = 0
+        metrics = service.metrics
+        self._flushes = metrics.counter(
+            "dpsc_microbatch_flushes_total", "Micro-batch flushes executed."
+        )
+        self._flushed_requests = metrics.counter(
+            "dpsc_microbatch_requests_total",
+            "Single queries answered through micro-batch flushes.",
+        )
+        self._flush_size = metrics.histogram(
+            "dpsc_microbatch_flush_size",
+            "Requests coalesced per micro-batch flush.",
+            buckets=_FLUSH_SIZE_BUCKETS,
+        )
         self._worker = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
         )
         self._worker.start()
+
+    @property
+    def batches_flushed(self) -> int:
+        return int(self._flushes.value)
+
+    @property
+    def requests_batched(self) -> int:
+        return int(self._flushed_requests.value)
 
     def submit(self, pattern: str, release: str) -> float:
         """Enqueue one query and block until its batch is answered."""
@@ -118,8 +152,9 @@ class MicroBatcher:
                 self._flush(batch)
 
     def _flush(self, batch: list[_PendingQuery]) -> None:
-        self.batches_flushed += 1
-        self.requests_batched += len(batch)
+        self._flushes.inc()
+        self._flushed_requests.inc(len(batch))
+        self._flush_size.observe(float(len(batch)))
         by_release: dict[str, list[_PendingQuery]] = {}
         for pending in batch:
             by_release.setdefault(pending.release, []).append(pending)
@@ -180,11 +215,43 @@ class QueryService:
             )
         self.default_release = default_release
         self.started_at = time.time()
-        self._stats_lock = threading.Lock()
-        self.num_queries = 0
-        self.num_batches = 0
-        self.num_batch_patterns = 0
-        self.num_mines = 0
+        #: single source of truth for every operational number; ``/healthz``
+        #: and ``/metrics`` both read from here.  Counters and gauges update
+        #: even when telemetry is globally disabled, so the health payload
+        #: keeps its semantics either way.
+        self.metrics = MetricsRegistry()
+        self._requests = {
+            endpoint: self.metrics.counter(
+                "dpsc_requests_total",
+                "Requests served, by endpoint.",
+                {"endpoint": endpoint},
+            )
+            for endpoint in _ENDPOINTS
+        }
+        self._latency = {
+            endpoint: self.metrics.histogram(
+                "dpsc_request_seconds",
+                "Request latency in seconds, by endpoint.",
+                {"endpoint": endpoint},
+            )
+            for endpoint in _ENDPOINTS
+        }
+        self._batch_patterns = self.metrics.counter(
+            "dpsc_batch_patterns_total",
+            "Patterns answered across all /batch requests.",
+        )
+        self.metrics.gauge(
+            "dpsc_uptime_seconds", "Seconds since the service started."
+        ).set_function(lambda: time.time() - self.started_at)
+        for name, compiled in sorted(self._releases.items()):
+            for field_name in ("hits", "misses", "size"):
+                self.metrics.gauge(
+                    "dpsc_compiled_cache_" + field_name,
+                    f"CompiledTrie single-query LRU cache {field_name}.",
+                    {"release": name},
+                ).set_function(
+                    lambda c=compiled, f=field_name: getattr(c.cache_info(), f)
+                )
         self._batcher = (
             MicroBatcher(self, max_batch=max_batch, max_wait=max_wait)
             if micro_batch
@@ -206,18 +273,20 @@ class QueryService:
 
     def query(self, pattern: str, release: str | None = None) -> float:
         """One pattern's noisy count, via the micro-batcher when enabled."""
-        with self._stats_lock:
-            self.num_queries += 1
-        if self._batcher is not None:
-            return self._batcher.submit(pattern, release or self.default_release)
-        return self.release(release).query(pattern)
+        self._requests["query"].inc()
+        with self._latency["query"].time():
+            if self._batcher is not None:
+                return self._batcher.submit(
+                    pattern, release or self.default_release
+                )
+            return self.release(release).query(pattern)
 
     def batch(self, patterns: Sequence[str], release: str | None = None) -> list[float]:
         """Vectorized noisy counts for many patterns at once."""
-        with self._stats_lock:
-            self.num_batches += 1
-            self.num_batch_patterns += len(patterns)
-        return [float(c) for c in self.release(release).batch_query(patterns)]
+        self._requests["batch"].inc()
+        self._batch_patterns.inc(len(patterns))
+        with self._latency["batch"].time():
+            return [float(c) for c in self.release(release).batch_query(patterns)]
 
     def mine(
         self,
@@ -228,14 +297,14 @@ class QueryService:
         max_length: int | None = None,
         exact_length: int | None = None,
     ) -> list[tuple[str, float]]:
-        with self._stats_lock:
-            self.num_mines += 1
-        return self.release(release).mine(
-            threshold,
-            min_length=min_length,
-            max_length=max_length,
-            exact_length=exact_length,
-        )
+        self._requests["mine"].inc()
+        with self._latency["mine"].time():
+            return self.release(release).mine(
+                threshold,
+                min_length=min_length,
+                max_length=max_length,
+                exact_length=exact_length,
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -260,32 +329,52 @@ class QueryService:
             )
         return infos
 
+    # ------------------------------------------------------------------
+    # Counter views (kept as attributes-in-spirit for tests and loadtest)
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        return int(self._requests["query"].value)
+
+    @property
+    def num_batches(self) -> int:
+        return int(self._requests["batch"].value)
+
+    @property
+    def num_batch_patterns(self) -> int:
+        return int(self._batch_patterns.value)
+
+    @property
+    def num_mines(self) -> int:
+        return int(self._requests["mine"].value)
+
     def health(self) -> dict:
-        cache = {
-            name: compiled.cache_info().__dict__
-            for name, compiled in self._releases.items()
-        }
-        with self._stats_lock:
-            # One consistent snapshot: a reader must never observe e.g. a
-            # batch counted whose patterns are not.
-            counters = {
+        self._requests["healthz"].inc()
+        with self._latency["healthz"].time():
+            cache = {
+                name: compiled.cache_info().__dict__
+                for name, compiled in self._releases.items()
+            }
+            # Each counter is individually exact (per-metric locks); the
+            # payload is no longer one atomic cross-counter snapshot, which
+            # is fine for the consumers we have — the load test checks the
+            # deltas at quiescence, and monitoring tolerates a batch
+            # observed a beat before its patterns.
+            payload = {
+                "status": "ok",
+                "uptime_seconds": time.time() - self.started_at,
+                "releases": sorted(self._releases),
+                "default_release": self.default_release,
                 "queries": self.num_queries,
                 "batches": self.num_batches,
                 "batch_patterns": self.num_batch_patterns,
                 "mines": self.num_mines,
+                "cache": cache,
             }
-        payload = {
-            "status": "ok",
-            "uptime_seconds": time.time() - self.started_at,
-            "releases": sorted(self._releases),
-            "default_release": self.default_release,
-            **counters,
-            "cache": cache,
-        }
-        if self._batcher is not None:
-            payload["micro_batches_flushed"] = self._batcher.batches_flushed
-            payload["micro_batched_requests"] = self._batcher.requests_batched
-        return payload
+            if self._batcher is not None:
+                payload["micro_batches_flushed"] = self._batcher.batches_flushed
+                payload["micro_batched_requests"] = self._batcher.requests_batched
+            return payload
 
     def close(self) -> None:
         if self._batcher is not None:
@@ -357,6 +446,21 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if parsed.path == "/healthz":
                 self._respond(self.service.health())
+            elif parsed.path == "/metrics":
+                # Scrape traffic is not request traffic: /metrics reads the
+                # registry without touching the request counters.
+                query = parse_qs(parsed.query)
+                if query.get("format", [""])[0] == "json":
+                    self._respond(self.service.metrics.snapshot())
+                else:
+                    body = render_prometheus(self.service.metrics).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
             elif parsed.path == "/releases":
                 self._respond({"releases": self.service.releases_info()})
             elif parsed.path == "/query":

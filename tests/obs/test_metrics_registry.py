@@ -1,0 +1,264 @@
+"""Metrics registry tests: concurrency, bucket math, percentile exactness,
+gating, and the get-or-create contract."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_BUCKET_GROWTH,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    log_buckets,
+    set_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def telemetry_enabled():
+    """Every test starts (and leaves) with telemetry on, the default."""
+    previous = set_enabled(True)
+    yield
+    set_enabled(previous)
+
+
+def _hammer(threads: int, iterations: int, work) -> None:
+    barrier = threading.Barrier(threads)
+
+    def run() -> None:
+        barrier.wait()
+        for _ in range(iterations):
+            work()
+
+    pool = [threading.Thread(target=run) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+
+class TestCounter:
+    def test_eight_thread_increment_stress_loses_nothing(self):
+        counter = Counter()
+        _hammer(8, 5000, counter.inc)
+        assert counter.value == 8 * 5000
+
+    def test_weighted_increments(self):
+        counter = Counter()
+        counter.inc(2.5)
+        counter.inc(0.5)
+        assert counter.value == 3.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_counts_even_when_disabled(self):
+        counter = Counter()
+        set_enabled(False)
+        counter.inc()
+        assert counter.value == 1.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(-3.0)
+        assert gauge.value == 7.0
+
+    def test_function_backed_gauge_reads_at_collection_time(self):
+        state = {"value": 1.0}
+        gauge = Gauge()
+        gauge.set_function(lambda: state["value"])
+        assert gauge.value == 1.0
+        state["value"] = 42.0
+        assert gauge.value == 42.0
+
+    def test_set_clears_the_function(self):
+        gauge = Gauge()
+        gauge.set_function(lambda: 99.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+
+class TestLogBuckets:
+    def test_deterministic_and_increasing(self):
+        first = log_buckets(1e-6, 16.0, DEFAULT_BUCKET_GROWTH)
+        second = log_buckets(1e-6, 16.0, DEFAULT_BUCKET_GROWTH)
+        assert first == second
+        assert all(b2 > b1 for b1, b2 in zip(first, first[1:]))
+        assert first[0] == 1e-6
+        assert first[-1] >= 16.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(2.0, 1.0, 2.0)
+
+
+class TestHistogram:
+    def test_boundary_observation_lands_in_its_own_bucket(self):
+        # Prometheus le semantics: value == boundary belongs to that bucket.
+        histogram = Histogram(boundaries=(1.0, 2.0, 4.0))
+        histogram.observe(2.0)
+        snapshot = histogram.snapshot()
+        buckets = dict((str(le), c) for le, c in snapshot["buckets"])
+        assert buckets["1.0"] == 0
+        assert buckets["2.0"] == 1
+        assert buckets["4.0"] == 1
+        assert buckets["+Inf"] == 1
+
+    def test_overflow_goes_to_inf_and_reports_exact_max(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.percentile(99.0) == 100.0
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"][-1] == ["+Inf", 1]
+        assert snapshot["max"] == 100.0
+
+    def test_empty_histogram_percentile_is_nan(self):
+        assert math.isnan(Histogram().percentile(50.0))
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101.0)
+
+    def test_concurrent_observations_all_counted(self):
+        histogram = Histogram()
+        _hammer(8, 2000, lambda: histogram.observe(0.001))
+        assert histogram.count == 8 * 2000
+        assert histogram.sum == pytest.approx(8 * 2000 * 0.001)
+
+    def test_timer_records_one_observation(self):
+        histogram = Histogram()
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_gated_histogram_skips_while_disabled(self):
+        histogram = Histogram()
+        set_enabled(False)
+        histogram.observe(1.0)
+        with histogram.time():
+            pass
+        assert histogram.count == 0
+        set_enabled(True)
+        histogram.observe(1.0)
+        assert histogram.count == 1
+
+    def test_ungated_histogram_records_while_disabled(self):
+        histogram = Histogram(gated=False)
+        set_enabled(False)
+        histogram.observe(1.0)
+        assert histogram.count == 1
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.sampled_from([50.0, 90.0, 95.0, 99.0, 100.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_percentile_brackets_the_exact_order_statistic(self, values, q):
+        # The documented resolution contract: for any data within bucket
+        # range, percentile(q) is the upper boundary of the bucket holding
+        # the rank-q order statistic t, so t <= result < t * growth.
+        growth = DEFAULT_BUCKET_GROWTH
+        histogram = Histogram(boundaries=log_buckets(1e-3, 1e3, growth))
+        for value in values:
+            histogram.observe(value)
+        rank = max(1, math.ceil(q / 100.0 * len(values)))
+        exact = sorted(values)[rank - 1]
+        result = histogram.percentile(q)
+        assert exact <= result
+        assert result <= exact * growth * (1 + 1e-12)
+
+    def test_rank_exactness_on_a_known_dataset(self):
+        # 100 observations, one per bucket midpoint: p50 must be the 50th
+        # value's bucket bound, not an interpolation.
+        boundaries = tuple(float(i) for i in range(1, 101))
+        histogram = Histogram(boundaries=boundaries)
+        for i in range(1, 101):
+            histogram.observe(i - 0.5)
+        assert histogram.percentile(50.0) == 50.0
+        assert histogram.percentile(95.0) == 95.0
+        assert histogram.percentile(99.0) == 99.0
+        assert histogram.percentile(100.0) == 100.0
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "help", {"endpoint": "q"})
+        second = registry.counter("requests_total", labels={"endpoint": "q"})
+        assert first is second
+        other = registry.counter("requests_total", labels={"endpoint": "b"})
+        assert other is not first
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_name", labels={"bad-label": "x"})
+
+    def test_get_never_creates(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        registry.counter("yes_total")
+        assert registry.get("yes_total") is not None
+        assert registry.get("yes_total", {"other": "labels"}) is None
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter").inc(3)
+        registry.gauge("g", "a gauge").set(1.5)
+        registry.histogram("h_seconds", "a histogram").observe(0.01)
+        snapshot = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["c_total"]["series"][0]["value"] == 3
+        assert round_tripped["g"]["kind"] == "gauge"
+        assert round_tripped["h_seconds"]["series"][0]["value"]["count"] == 1
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz_total")
+        registry.counter("aa_total")
+        names = [name for name, _, _, _ in registry.families()]
+        assert names == sorted(names)
+
+
+def test_set_enabled_returns_previous_value():
+    assert enabled()
+    assert set_enabled(False) is True
+    assert set_enabled(True) is False
+    assert enabled()
