@@ -1,0 +1,116 @@
+"""E26 — Release payload formats: cold-start latency and per-process RSS.
+
+The acceptance contract of the binary columnar release format
+(``vNNNN.dpsb``, :mod:`repro.serving.binfmt`): at the 86k-node size, cold
+start via binary+mmap — measured as *time to first batch*, load plus one
+``batch_query`` — must be at least **5x** faster than parsing the JSON
+payload; the canonical content digest must be equal across formats and
+directions; ``query_many`` answers must be bit-identical across all three
+load paths; and ``migrate()`` must convert a JSON version in place with the
+digest proven equal before the old payload is removed.  The rows also
+record the resident-set breakdown of concurrent mmap processes: the second
+process's *private* pages over the mapped blob are the page-cache-sharing
+headline (near zero).
+
+Also runnable as a script (the CI ``release-format-smoke`` job does)::
+
+    python benchmarks/bench_release_format.py --smoke --output smoke.json
+
+Script mode persists the rows as JSON (the repo-root
+``BENCH_release_format.json`` records the perf trajectory) and exits
+non-zero when any correctness assertion or the speedup floor fails;
+``--smoke`` runs only the 86k-node size (the full run adds 810k nodes).
+"""
+
+from repro.analysis import experiments
+
+TITLE = "Release formats: cold start and RSS, JSON vs binary vs binary+mmap"
+
+SPEEDUP_FLOOR = 5.0
+SMOKE_SIZES = (86_000,)
+FULL_SIZES = (86_000, 810_000)
+
+
+def _check_rows(rows):
+    failures = []
+    for row in rows:
+        nodes = row["num_nodes"]
+        if not row["digests_equal"]:
+            failures.append(f"{nodes} nodes: content digests differ across formats")
+        if not row["parity_ok"]:
+            failures.append(f"{nodes} nodes: query_many answers differ")
+        if not row["migrate_ok"]:
+            failures.append(f"{nodes} nodes: migrate failed its digest proof")
+        if row["cold_start_speedup_mmap_vs_json"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"{nodes} nodes: mmap cold start only "
+                f"{row['cold_start_speedup_mmap_vs_json']:.2f}x over JSON "
+                f"(floor {SPEEDUP_FLOOR}x)"
+            )
+    return failures
+
+
+def test_e26_release_formats(benchmark, experiment_report):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_release_format_benchmark(SMOKE_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    experiment_report.record("E26", TITLE, rows)
+    failures = _check_rows(rows)
+    assert not failures, "; ".join(failures)
+
+
+def _main() -> int:
+    import argparse
+    import json
+    import pathlib
+    import sys
+
+    parser = argparse.ArgumentParser(description=TITLE)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: the 86k-node size only (full mode adds 810k nodes)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_release_format.json",
+        help="where to write the JSON rows (default: BENCH_release_format.json)",
+    )
+    args = parser.parse_args()
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    rows = experiments.run_release_format_benchmark(sizes)
+    failures = _check_rows(rows)
+
+    payload = {
+        "experiment": "E26",
+        "title": TITLE,
+        "mode": "smoke" if args.smoke else "full",
+        "speedup_floor": SPEEDUP_FLOOR,
+        "rows": rows,
+        "ok": not failures,
+    }
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    for row in rows:
+        unique = row.get("second_process_unique_kb")
+        print(
+            f"{row['num_nodes']} nodes: json first-batch "
+            f"{row['json_first_batch_seconds'] * 1e3:.1f}ms, binary "
+            f"{row['binary_first_batch_seconds'] * 1e3:.1f}ms, binary+mmap "
+            f"{row['mmap_first_batch_seconds'] * 1e3:.1f}ms "
+            f"({row['cold_start_speedup_mmap_vs_json']:.0f}x vs json); "
+            f"digests_equal={row['digests_equal']} "
+            f"migrate_ok={row['migrate_ok']} "
+            f"second_process_unique_kb={unique}"
+        )
+    if failures:
+        print("\n".join(f"FAIL: {line}" for line in failures), file=sys.stderr)
+        return 1
+    print(f"ok — rows written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

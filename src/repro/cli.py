@@ -3,14 +3,15 @@
 ``dpsc`` exposes the library's experiments, a tiny demo, and the query
 serving layer from the shell::
 
-    dpsc list                      # list every experiment (E1-E24)
+    dpsc list                      # list every experiment (E1-E26)
     dpsc run E1                    # regenerate one experiment's table
     dpsc run all --save results    # regenerate every table (laptop-sized)
     dpsc quickstart                # run the quickstart demo
     dpsc mine --workload genome    # private mining demo (--kind qgram-t3,
                                    #   --profile for per-stage build timings)
     dpsc releases --store ./rel    # inspect (or --build --kind ...) a store
-    dpsc serve --store ./rel       # serve compiled releases over HTTP
+    dpsc releases migrate          # convert JSON releases to binary in place
+    dpsc serve --store ./rel       # serve compiled releases over HTTP (mmap)
     dpsc query GATTACA ACGT        # query a running server
     dpsc bench-load --threads 1,8  # hammer a service, assert bit-identical
 
@@ -151,6 +152,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
         "E24": (
             "Construction pipeline: array backend vs object backend (bit-identical)",
             lambda: experiments.run_construction_benchmark(),
+        ),
+        "E26": (
+            "Release formats: cold-start latency and RSS, JSON vs binary vs binary+mmap",
+            lambda: experiments.run_release_format_benchmark(),
         ),
     }
 
@@ -294,7 +299,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store = ReleaseStore(args.store)
     try:
         service = QueryService.from_store(
-            store, args.release or None, micro_batch=not args.no_batch
+            store,
+            args.release or None,
+            micro_batch=not args.no_batch,
+            mmap=not args.no_mmap,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -362,7 +370,7 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
         store = ReleaseStore(args.store)
         try:
             service = QueryService.from_store(
-                store, micro_batch=not args.no_batch
+                store, micro_batch=not args.no_batch, mmap=not args.no_mmap
             )
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -454,7 +462,21 @@ def _cmd_releases(args: argparse.Namespace) -> int:
             )
         return 0
 
-    store = ReleaseStore(args.store)
+    store = ReleaseStore(args.store, format=args.format)
+    if args.action == "migrate":
+        try:
+            migrated = store.migrate(args.name or None)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if migrated:
+            for record in migrated:
+                print(
+                    f"migrated {record.name} v{record.version} -> "
+                    f"{record.format} (digest {record.digest[:12]}... verified)"
+                )
+        else:
+            print("(nothing to migrate: every release is already binary)")
     if args.build:
         database, rng = _build_workload_database(
             args.build, args.n, args.ell, args.seed
@@ -478,13 +500,16 @@ def _cmd_releases(args: argparse.Namespace) -> int:
         except ReproError as error:
             print(f"refused: {error}", file=sys.stderr)
             return 2
-        record = store.save(name, structure)
+        record = store.save(name, structure, format=args.format)
         ledger.record_release(
-            name, version=record.version, digest=record.digest
+            name,
+            version=record.version,
+            digest=record.digest,
+            format=record.format,
         )
         spent = ledger.spent(name)
         print(
-            f"saved {record.name} v{record.version} "
+            f"saved {record.name} v{record.version} [{record.format}] "
             f"({record.num_patterns} patterns, digest {record.digest[:12]}...)"
         )
         print(
@@ -498,7 +523,8 @@ def _cmd_releases(args: argparse.Namespace) -> int:
         marker = "*" if record.pinned else " "
         print(
             f"{marker} {record.name:16s} v{record.version:<4d} "
-            f"eps={record.epsilon:<8g} delta={record.delta:<10g} "
+            f"[{record.format:6s}] eps={record.epsilon:<8g} "
+            f"delta={record.delta:<10g} "
             f"patterns={record.num_patterns:<8d} {record.construction}"
         )
     return 0
@@ -564,6 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable micro-batching of concurrent single queries",
     )
+    serve_parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load binary releases into private memory instead of "
+        "page-cache-shared read-only maps",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     query_parser = subparsers.add_parser(
@@ -617,6 +649,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable micro-batching of concurrent single queries",
     )
     bench_parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load binary releases into private memory instead of "
+        "page-cache-shared read-only maps",
+    )
+    bench_parser.add_argument(
         "--json",
         default="",
         metavar="PATH",
@@ -627,10 +665,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.set_defaults(func=_cmd_bench_load)
 
     releases_parser = subparsers.add_parser(
-        "releases", help="list (and optionally build) stored releases"
+        "releases", help="list, build or migrate stored releases"
+    )
+    releases_parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("list", "migrate"),
+        default="list",
+        help="'list' (default) or 'migrate': convert JSON payloads to the "
+        "binary format in place, digest-verified before anything is removed",
     )
     releases_parser.add_argument(
         "--store", default="releases", help="release store directory"
+    )
+    releases_parser.add_argument(
+        "--format",
+        choices=("auto", "json", "binary"),
+        default="auto",
+        help="payload format for new saves ('auto' = binary, the serving "
+        "format; 'json' keeps the human-readable compatibility format)",
     )
     releases_parser.add_argument(
         "--url", default="", help="list a running server instead of a store"

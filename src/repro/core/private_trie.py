@@ -344,15 +344,19 @@ class PrivateCountingTrie:
         :class:`repro.api.PrivateCounter` counterpart of :meth:`from_dict`)."""
         return cls.from_dict(payload)
 
-    def release(self, store, name: str = "release"):
+    def release(self, store, name: str = "release", *, format: str | None = None):
         """Persist this structure as the next version of release ``name`` in
         ``store`` (any object with a ``save(name, structure)`` method, e.g.
         :class:`repro.serving.ReleaseStore`) and return the store's record.
 
-        This is the tail of the fluent workflow
+        ``format`` picks the payload format (``"json"`` / ``"binary"``)
+        when the store supports the choice; ``None`` keeps the store's
+        default.  This is the tail of the fluent workflow
         ``Dataset.from_documents(...).with_budget(...).build(kind).release(store)``;
         like every operation on a built structure it is post-processing.
         """
+        if format is not None:
+            return store.save(name, self, format=format)
         return store.save(name, self)
 
     @classmethod

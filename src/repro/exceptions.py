@@ -70,6 +70,17 @@ class ReleaseNotFoundError(ReproError):
     :class:`repro.serving.ReleaseStore` or a running query server."""
 
 
+class ReleaseFormatError(ReproError):
+    """A binary release payload (``vNNNN.dpsb``) failed validation.
+
+    Raised by :mod:`repro.serving.binfmt` when a blob is truncated, carries
+    the wrong magic or an unsupported format version, or fails its buffer /
+    trailer checksum (a bit flip after write).  The message names the file
+    and the exact check that failed so a corrupted store is diagnosable
+    from the error alone.
+    """
+
+
 class ConstructionAborted(ReproError):
     """The differentially private construction algorithm returned its
     explicit *fail* outcome.

@@ -10,7 +10,12 @@ PrivateCountingTrie` to serving millions of pattern queries:
     arrays with vectorized batch queries and an LRU result cache.
 ``store``
     :class:`ReleaseStore` — versioned, digest-checked on-disk persistence of
-    releases (save / load / list / pin).
+    releases (save / load / list / pin / migrate) in either payload format.
+``binfmt``
+    the ``vNNNN.dpsb`` binary columnar release format: the compiled trie's
+    flat arrays as raw aligned buffers behind a self-describing header, so
+    :meth:`ReleaseStore.load_compiled` can map a release read-only —
+    O(header) cold start, one shared page-cache copy across N processes.
 ``ledger``
     :class:`BudgetLedger` and :func:`build_release` — cumulative privacy
     accounting across releases of the same database, refusing builds that
@@ -32,6 +37,7 @@ see the "Concurrency & durability" section of ``docs/SERVING.md`` and
 for the command-line entry points.
 """
 
+from repro.serving.binfmt import read_binary, write_binary
 from repro.serving.compiled import CacheInfo, CompiledTrie
 from repro.serving.client import ServingClient, ServingClientError
 from repro.serving.ledger import BudgetLedger, build_release
@@ -65,4 +71,6 @@ __all__ = [
     "serve_forever",
     "ReleaseRecord",
     "ReleaseStore",
+    "read_binary",
+    "write_binary",
 ]

@@ -46,6 +46,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 __all__ = [
     "atomic_write_text",
+    "atomic_write_bytes",
     "file_signature",
     "FileLock",
     "atomic_write_json",
@@ -72,6 +73,34 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def atomic_write_bytes(path: str | Path, chunks: "bytes | list[bytes]") -> None:
+    """Write raw bytes to ``path`` atomically and durably.
+
+    The binary-payload counterpart of :func:`atomic_write_text` (same tmp
+    file + fsync + ``os.replace`` discipline, same crash guarantee).
+    ``chunks`` may be one ``bytes`` object or a list written in order, so a
+    large columnar payload never has to be concatenated in memory first.
+    """
+    path = Path(path)
+    if isinstance(chunks, (bytes, bytearray, memoryview)):
+        chunks = [bytes(chunks)]
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}.{next(_tmp_counter)}")
+    try:
+        with open(tmp, "wb") as handle:
+            for chunk in chunks:
+                handle.write(chunk)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)

@@ -24,12 +24,24 @@ Thread safety
 A compiled trie is served concurrently by ``ThreadingHTTPServer`` handler
 threads, so it guarantees an *immutable snapshot*: every shared numpy array
 is marked read-only after construction (:meth:`CompiledTrie.assert_immutable`
-verifies this), query paths only allocate thread-local scratch, and the two
-mutable members — the LRU result cache and the uniform-batch gather-index
-cache — are each guarded by their own lock.  Any number of threads may call
-``query`` / ``batch_query`` / ``mine`` concurrently and observe exactly the
-serial results, with exact hit/miss counters
-(``tests/serving/test_concurrency.py`` is the stress suite).
+verifies this), query paths only allocate thread-local scratch, and the
+mutable members — the LRU result cache, the uniform-batch gather-index
+cache and the lazily built query-acceleration views — are each guarded by
+their own lock.  Any number of threads may call ``query`` / ``batch_query``
+/ ``mine`` concurrently and observe exactly the serial results, with exact
+hit/miss counters (``tests/serving/test_concurrency.py`` is the stress
+suite).
+
+Lazy views and mmap zero-copy loads
+-----------------------------------
+Construction keeps only the nine canonical arrays plus O(alphabet) tables:
+the dense transition table and the NaN-folded count gathers are built on
+the *first batch query*, and the plain-list mirrors the single-query walk
+prefers are built on the *first single query* (both under a lock, published
+read-only).  That makes ``__init__`` O(header) over the node count — which
+is what lets :mod:`repro.serving.binfmt` construct a compiled trie straight
+over ``mmap``-ed, page-cache-shared buffers of a binary release without
+faulting in a single node page at load time.
 """
 
 from __future__ import annotations
@@ -52,6 +64,33 @@ from repro.core.private_trie import (
 )
 
 __all__ = ["CompiledTrie", "CacheInfo"]
+
+
+#: "not built yet" marker for lazily constructed views (``None`` is a valid
+#: built value: the dense transition table of an over-limit alphabet).
+_UNSET = object()
+
+
+class _LazyViews:
+    """Query-acceleration structures derived from the canonical arrays.
+
+    Built on first use so that loading an mmap'd release stays O(header):
+    ``tables`` (the dense transition table + NaN-folded count gathers) on
+    the first batch query, ``lists`` (the plain-list mirrors the stdlib
+    ``bisect`` walk prefers) on the first single query.  Shared between
+    :meth:`CompiledTrie.with_cache_size` twins — the views are pure
+    functions of the shared frozen arrays, so building them once serves
+    every twin.
+    """
+
+    __slots__ = ("lock", "transitions", "counts_ext", "counts_zero", "lists")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.transitions: object = _UNSET
+        self.counts_ext: np.ndarray | None = None
+        self.counts_zero: np.ndarray | None = None
+        self.lists: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -124,40 +163,19 @@ class CompiledTrie:
         for char, code in vocab.items():
             table[ord(char)] = code
         self._code_table = table
-        # Dense transition table for batch queries: one gather replaces a
-        # binary search per (pattern, character) step.  Row `num_nodes` is a
-        # dead state; code 0 is reserved, so its column stays dead too.  For
-        # very large (nodes x alphabet) products the table is skipped and
-        # batches fall back to searchsorted on edge_keys.
-        num_nodes = counts.size
-        self._dead = num_nodes
-        entries = (num_nodes + 1) * self._vocab_size
-        if entries <= self.DENSE_TRANSITION_LIMIT:
-            transitions = np.full(entries, num_nodes, dtype=np.int32)
-            transitions[edge_keys] = edge_targets
-            # Pre-scaled by vocab_size: table values are *row offsets*, so a
-            # batch round is one add and one gather (state + code -> state).
-            self._transitions = transitions * self._vocab_size
-        else:
-            self._transitions = None
-        # counts with a trailing NaN sentinel so the dead state gathers to 0.
-        self._counts_ext = np.append(counts, np.nan)
-        # ... and the same array with NaN already folded to 0, so the
-        # uniform batch path finishes in one gather.
-        self._counts_zero = np.where(np.isnan(self._counts_ext), 0.0, self._counts_ext)
+        self._dead = int(counts.size)
+        # Everything derived from the node/edge arrays — the dense
+        # transition table, the NaN-folded count gathers, the plain-list
+        # mirrors — is built lazily on first use (see _LazyViews), so
+        # construction never touches a node page: an mmap'd release loads
+        # in O(header) and N processes share one page-cache copy.
+        self._lazy = _LazyViews()
         # (batch size, pattern length) -> code gather index; serving traffic
         # repeats batch shapes, so the uniform path's index arithmetic is
         # computed once per shape.  Guarded by _uniform_lock: concurrent
         # /batch handler threads share this dict.
         self._uniform_cache: dict[tuple[int, int], np.ndarray] = {}
         self._uniform_lock = threading.Lock()
-        # Plain-list mirrors for the single-query walk: stdlib bisect on a
-        # list beats per-call numpy overhead by an order of magnitude.
-        self._edge_keys_list = edge_keys.tolist()
-        self._edge_targets_list = edge_targets.tolist()
-        self._child_start_list = child_start.tolist()
-        self._child_end_list = child_end.tolist()
-        self._counts_list = counts.tolist()
         self.metadata = metadata
         self.report = dict(report or {})
         # The LRU cache (an OrderedDict whose move_to_end/popitem are not
@@ -265,6 +283,77 @@ class CompiledTrie:
         return twin
 
     # ------------------------------------------------------------------
+    # Lazily built query-acceleration views
+    # ------------------------------------------------------------------
+    def _batch_tables(
+        self,
+    ) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+        """``(transitions, counts_ext, counts_zero)``, built on first use.
+
+        ``transitions`` is the dense, pre-scaled transition table (``None``
+        when ``(nodes + 1) * vocab`` exceeds :attr:`DENSE_TRANSITION_LIMIT`
+        — read at build time, so tests may monkeypatch it before the first
+        batch); ``counts_ext`` appends a NaN sentinel so the dead state
+        gathers to "no count"; ``counts_zero`` is the same array with NaN
+        already folded to 0 for the uniform fast path.  Double-checked under
+        the views lock; every view is frozen before publication.
+        """
+        lazy = self._lazy
+        if lazy.transitions is not _UNSET:
+            return lazy.transitions, lazy.counts_ext, lazy.counts_zero
+        with lazy.lock:
+            if lazy.transitions is not _UNSET:
+                return lazy.transitions, lazy.counts_ext, lazy.counts_zero
+            counts_ext = np.append(self._counts, np.nan)
+            counts_zero = np.where(np.isnan(counts_ext), 0.0, counts_ext)
+            counts_ext.setflags(write=False)
+            counts_zero.setflags(write=False)
+            num_nodes = self._dead
+            entries = (num_nodes + 1) * self._vocab_size
+            transitions: np.ndarray | None = None
+            if entries <= self.DENSE_TRANSITION_LIMIT:
+                transitions = np.full(entries, num_nodes, dtype=np.int32)
+                transitions[self._edge_keys] = self._edge_targets
+                # Pre-scaled by vocab_size: table values are *row offsets*,
+                # so a batch round is one add and one gather.
+                transitions *= self._vocab_size
+                transitions.setflags(write=False)
+            lazy.counts_ext = counts_ext
+            lazy.counts_zero = counts_zero
+            # Published last: the sentinel flipping is what tells lock-free
+            # readers the other two views are already in place.
+            lazy.transitions = transitions
+            return transitions, counts_ext, counts_zero
+
+    def _single_lists(self) -> tuple[list, list, list, list, list]:
+        """Plain-list mirrors ``(edge_keys, edge_targets, child_start,
+        child_end, counts)`` for the stdlib-``bisect`` single-query walk,
+        built on the first single query (list indexing beats per-call numpy
+        overhead by an order of magnitude)."""
+        lazy = self._lazy
+        lists = lazy.lists
+        if lists is None:
+            with lazy.lock:
+                lists = lazy.lists
+                if lists is None:
+                    lists = (
+                        self._edge_keys.tolist(),
+                        self._edge_targets.tolist(),
+                        self._child_start.tolist(),
+                        self._child_end.tolist(),
+                        self._counts.tolist(),
+                    )
+                    lazy.lists = lists
+        return lists
+
+    @property
+    def _transitions(self) -> np.ndarray | None:
+        """The dense transition table (building it if necessary) — kept as
+        a property so existing callers and tests observe the same
+        ``None``-when-sparse contract as the old eager attribute."""
+        return self._batch_tables()[0]
+
+    # ------------------------------------------------------------------
     # Single-pattern queries
     # ------------------------------------------------------------------
     def lookup_node(self, pattern: str) -> int:
@@ -272,10 +361,7 @@ class CompiledTrie:
         node = 0
         vocab = self._vocab
         vocab_size = self._vocab_size
-        keys = self._edge_keys_list
-        targets = self._edge_targets_list
-        child_start = self._child_start_list
-        child_end = self._child_end_list
+        keys, targets, child_start, child_end, _ = self._single_lists()
         for char in pattern:
             code = vocab.get(char)
             if code is None:
@@ -316,12 +402,12 @@ class CompiledTrie:
         node = self.lookup_node(pattern)
         if node < 0:
             return 0.0
-        count = self._counts_list[node]
+        count = self._single_lists()[4][node]
         return 0.0 if math.isnan(count) else count
 
     def __contains__(self, pattern: str) -> bool:
         node = self.lookup_node(pattern)
-        return node >= 0 and not math.isnan(self._counts_list[node])
+        return node >= 0 and not math.isnan(self._single_lists()[4][node])
 
     # ------------------------------------------------------------------
     # Batch queries (vectorized)
@@ -355,7 +441,8 @@ class CompiledTrie:
         points = np.frombuffer(joined.encode("utf-32-le"), dtype=np.uint32)
         flat_codes = self._code_table.take(points, mode="clip")
         is_separator = points == 0
-        if self._transitions is not None and m > 1:
+        transitions, counts_ext, counts_zero = self._batch_tables()
+        if transitions is not None and m > 1:
             # Uniform-length fast path: q-gram releases serve fixed-length
             # traffic, where the length sort, per-step activity cuts and the
             # final unscramble are pure overhead.  Uniform lengths mean the
@@ -386,7 +473,7 @@ class CompiledTrie:
                                 self._uniform_cache.clear()
                             self._uniform_cache[(m, length)] = gather_index
                     return self._batch_query_uniform(
-                        flat_codes, gather_index, length, m
+                        flat_codes, gather_index, length, m, transitions, counts_zero
                     )
         separators = np.flatnonzero(is_separator)
         if separators.size == m - 1:
@@ -410,7 +497,6 @@ class CompiledTrie:
             sorted_lengths, np.arange(max_len + 1), side="right"
         ).tolist()
         nodes = np.zeros(m, dtype=np.int32)
-        transitions = self._transitions
         vocab_size = self._vocab_size
         for step in range(max_len):
             lo = cuts[step]
@@ -426,7 +512,7 @@ class CompiledTrie:
             active_positions += 1  # in place: ready for the next round
         if transitions is not None:
             nodes //= vocab_size  # row offsets back to node indices
-        counts = self._counts_ext.take(nodes)
+        counts = counts_ext.take(nodes)
         results_sorted = np.where(np.isnan(counts), 0.0, counts)
         results = np.empty(m, dtype=np.float64)
         results[order] = results_sorted
@@ -438,6 +524,8 @@ class CompiledTrie:
         gather_index: np.ndarray,
         length: int,
         m: int,
+        transitions: np.ndarray,
+        counts_zero: np.ndarray,
     ) -> np.ndarray:
         """Dense-table batch walk for a batch whose patterns all have the
         same ``length`` — bit-for-bit the counts of the general path, minus
@@ -449,7 +537,6 @@ class CompiledTrie:
         contiguous row.  The two round kernels reuse preallocated buffers.
         """
         codes = flat_codes.take(gather_index)
-        transitions = self._transitions
         nodes = np.zeros(m, dtype=np.int32)
         scratch = np.empty(m, dtype=np.int32)
         for step in range(length):
@@ -459,7 +546,7 @@ class CompiledTrie:
             transitions.take(scratch, out=nodes)
         if length:
             nodes //= self._vocab_size
-        return self._counts_zero.take(nodes)
+        return counts_zero.take(nodes)
 
     def query_many(self, patterns: Sequence[str]) -> np.ndarray:
         """Alias of :meth:`batch_query` — the :class:`repro.api.PrivateCounter`
@@ -530,7 +617,7 @@ class CompiledTrie:
         lossless for everything a release carries (stored counts, metadata,
         report), so a compiled trie can be persisted and shipped through the
         same stores."""
-        root_count = self._counts_list[0]
+        root_count = float(self._counts[0])
         return release_payload(
             {pattern: count for pattern, count in self.items()},
             None if math.isnan(root_count) else root_count,
@@ -549,10 +636,13 @@ class CompiledTrie:
         """SHA-256 of :meth:`to_json` (equal to the source structure's)."""
         return payload_digest(self.to_json())
 
-    def release(self, store, name: str = "release"):
+    def release(self, store, name: str = "release", *, format: str | None = None):
         """Persist this compiled trie as the next version of release
         ``name`` in ``store`` (same contract as
-        :meth:`PrivateCountingTrie.release`)."""
+        :meth:`PrivateCountingTrie.release`; binary saves serialize the
+        arrays directly, with no object-trie detour)."""
+        if format is not None:
+            return store.save(name, self, format=format)
         return store.save(name, self)
 
     @classmethod
@@ -580,24 +670,38 @@ class CompiledTrie:
     def error_bound(self) -> float:
         return self.metadata.error_bound
 
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The nine canonical flat arrays by name, in the fixed column order
+        the binary release format (:mod:`repro.serving.binfmt`) serializes
+        them in.  These — plus vocab, metadata and report — fully determine
+        the compiled trie; every other array is a derived view."""
+        return {
+            "counts": self._counts,
+            "depths": self._depths,
+            "parents": self._parents,
+            "parent_codes": self._parent_codes,
+            "child_start": self._child_start,
+            "child_end": self._child_end,
+            "edge_keys": self._edge_keys,
+            "edge_labels": self._edge_labels,
+            "edge_targets": self._edge_targets,
+        }
+
     def _shared_arrays(self) -> tuple[np.ndarray, ...]:
-        """Every numpy array reachable by more than one serving thread."""
-        arrays = [
-            self._counts,
-            self._depths,
-            self._parents,
-            self._parent_codes,
-            self._child_start,
-            self._child_end,
-            self._edge_keys,
-            self._edge_labels,
-            self._edge_targets,
-            self._code_table,
-            self._counts_ext,
-            self._counts_zero,
-        ]
-        if self._transitions is not None:
-            arrays.append(self._transitions)
+        """Every numpy array reachable by more than one serving thread.
+
+        Lazily built views are included only once built — checking a fresh
+        (e.g. just-mmap'd) instance must not force their construction.
+        """
+        arrays = list(self.arrays().values())
+        arrays.append(self._code_table)
+        lazy = self._lazy
+        if lazy.counts_ext is not None:
+            arrays.append(lazy.counts_ext)
+        if lazy.counts_zero is not None:
+            arrays.append(lazy.counts_zero)
+        if lazy.transitions is not _UNSET and lazy.transitions is not None:
+            arrays.append(lazy.transitions)
         return tuple(arrays)
 
     def assert_immutable(self) -> None:

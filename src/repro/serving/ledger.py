@@ -241,20 +241,30 @@ class BudgetLedger:
         append_jsonl(self._audit_path, record)
 
     def record_release(
-        self, database_id: str, *, version: int, digest: str, label: str = "release"
+        self,
+        database_id: str,
+        *,
+        version: int,
+        digest: str,
+        label: str = "release",
+        format: str | None = None,
     ) -> None:
         """Audit that a built structure was actually *published*.
 
         A ``charge`` records budget leaving the cap; this records the
-        artifact it paid for — the store version and content digest — so
-        the trail links every expenditure to a verifiable release.
+        artifact it paid for — the store version, content digest and (when
+        known) payload format — so the trail links every expenditure to a
+        verifiable release artifact.
         """
+        extra: dict = {"version": version, "digest": digest}
+        if format is not None:
+            extra["format"] = format
         with self._lock:
             self._audit(
                 "release",
                 database_id,
                 label=label,
-                extra={"version": version, "digest": digest},
+                extra=extra,
             )
 
     def audit_entries(self, database_id: str | None = None) -> list[dict]:
@@ -365,6 +375,9 @@ def build_release(
     kind: str = "heavy-path",
     registry=None,
     builder: Callable[..., PrivateCountingTrie] | None = None,
+    store=None,
+    release_name: str | None = None,
+    release_format: str | None = None,
     **build_kwargs,
 ) -> PrivateCountingTrie:
     """Build a private structure only if the ledger authorizes its budget.
@@ -382,6 +395,14 @@ def build_release(
     after the construction succeeds (an aborted construction that released
     nothing costs nothing under the paper's fail semantics, whose abort
     decision is itself privately computed).
+
+    When ``store`` (a :class:`repro.serving.ReleaseStore`) is given, the
+    built structure is additionally saved as the next version of
+    ``release_name`` (default: ``database_id``) in ``release_format``
+    (``"json"`` / ``"binary"`` / ``None`` for the store default) and the
+    publication — version, digest *and* payload format — is audited via
+    :meth:`BudgetLedger.record_release`, so build + persist + audit is one
+    atomic-enough step for CLI and api callers.
     """
     budget = params.budget
     if not ledger.can_afford(database_id, budget):
@@ -400,4 +421,15 @@ def build_release(
             kind, database, params, rng=rng, **build_kwargs
         )
     ledger.charge(database_id, budget, label)
+    if store is not None:
+        record = store.save(
+            release_name or database_id, structure, format=release_format
+        )
+        ledger.record_release(
+            database_id,
+            version=record.version,
+            digest=record.digest,
+            label=label,
+            format=record.format,
+        )
     return structure

@@ -389,15 +389,24 @@ class QueryService:
         cls,
         store: ReleaseStore,
         names: Sequence[str] | None = None,
+        *,
+        mmap: bool = True,
         **kwargs,
     ) -> "QueryService":
         """Serve the pinned-or-latest version of each named release (all
-        releases in the store when ``names`` is omitted)."""
+        releases in the store when ``names`` is omitted).
+
+        Loads go through :meth:`ReleaseStore.load_compiled`: binary
+        (``.dpsb``) versions are mapped zero-copy — cold start is O(header)
+        and concurrent server processes share one page-cache copy — while
+        JSON versions are parsed and compiled as before.  ``mmap=False``
+        forces private in-memory copies of binary payloads.
+        """
         selected = list(names) if names else store.names()
         if not selected:
             raise ReleaseNotFoundError(f"store {store.root} holds no releases")
         releases = {
-            name: CompiledTrie.from_structure(store.load(name)) for name in selected
+            name: store.load_compiled(name, mmap=mmap) for name in selected
         }
         return cls(releases, **kwargs)
 

@@ -28,6 +28,7 @@ import json
 import os
 import sys
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -278,7 +279,7 @@ class TestCrashSafety:
         reopened = ReleaseStore(tmp_path / "store")
         assert reopened.versions("demo") == [1]
         assert dict(reopened.load("demo").items()) == dict(structure.items())
-        # The next save skips past the crash's orphan v0002.json (payload
+        # The next save skips past the crash's orphan v0002 payload (payload
         # files are immutable, never overwritten) and lands on v3.
         record = reopened.save("demo", structure)
         assert record.version == 3
@@ -307,18 +308,19 @@ class TestCrashSafety:
         # surviving (immutable) payload files.
         root = tmp_path / "store"
         store = ReleaseStore(root)
+        v1_path = Path(store.save("demo", structure).path)
         store.save("demo", structure)
-        store.save("demo", structure)
-        v1_payload = (root / "demo" / "v0001.json").read_text()
+        v1_payload = v1_path.read_bytes()
         (root / "index.json").unlink()
         # The live handle keeps its in-memory index: next version is 3.
         assert store.save("demo", structure).version == 3
         # A fresh handle starts from an empty index but still must not
-        # clobber the existing payload files on disk.
+        # clobber the existing payload files on disk (in either payload
+        # format — the collision scan checks both extensions).
         fresh = ReleaseStore(root)
         record = fresh.save("demo", structure)
         assert record.version == 4
-        assert (root / "demo" / "v0001.json").read_text() == v1_payload
+        assert v1_path.read_bytes() == v1_payload
 
     def test_crash_before_replace_never_pollutes_the_target(
         self, tmp_path, monkeypatch

@@ -122,14 +122,20 @@ class TestDurability:
         assert reopened.resolve_version("demo") == 1
         assert reopened.load("demo").query("a") == 1.0
 
-    def test_tampered_file_fails_digest_check(self, store):
+    @pytest.mark.parametrize("payload_format", ["json", "binary"])
+    def test_tampered_file_fails_digest_check(self, store, payload_format):
         structure = make_structure({"ab": 4.0})
-        record = store.save("demo", structure)
+        record = store.save("demo", structure, format=payload_format)
         from pathlib import Path
 
         path = Path(record.path)
-        path.write_text(path.read_text().replace("4.0", "9.0"))
-        with pytest.raises(ReproError, match="digest"):
+        if payload_format == "json":
+            path.write_text(path.read_text().replace("4.0", "9.0"))
+        else:
+            raw = bytearray(path.read_bytes())
+            raw[-20] ^= 0x01  # single bit flip near the end of the blob
+            path.write_bytes(bytes(raw))
+        with pytest.raises(ReproError, match="digest|checksum"):
             store.load("demo")
 
     def test_describe_is_json_friendly(self, store):
