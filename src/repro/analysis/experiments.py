@@ -110,6 +110,7 @@ __all__ = [
     "run_serving_throughput",
     "run_concurrent_serving",
     "run_construction_benchmark",
+    "run_serving_scale",
 ]
 
 
@@ -1986,5 +1987,353 @@ def run_release_format_benchmark(
                 )
             else:
                 row["second_process_unique_kb"] = None
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E27 — sharded serving tier: throughput scaling over worker processes
+# ----------------------------------------------------------------------
+def _scale_client_main(url, body, expected, rounds, go, conn) -> None:
+    """One spawned batch-hammer client of the E27 measurement.
+
+    Sends the same uniform-q-gram ``/batch`` request ``rounds`` times over
+    one keep-alive connection, comparing every response float-for-float
+    against ``expected`` (the serial in-process answers).  Reports
+    ``(rounds_done, identical, error)`` back over ``conn``; the parent owns
+    the clock.
+    """
+    import http.client
+    import json as _json
+    import socket
+    from urllib.parse import urlparse
+
+    parsed = urlparse(url)
+    try:
+        connection = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=300
+        )
+        connection.connect()
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError as error:
+        conn.send(("error", 0, False, repr(error)))
+        return
+    conn.send("ready")
+    go.wait()
+    identical = True
+    done = 0
+    try:
+        for _ in range(rounds):
+            connection.request(
+                "POST", "/batch", body, {"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status != 200:
+                raise RuntimeError(f"HTTP {response.status}: {payload[:200]!r}")
+            counts = _json.loads(payload.decode("utf-8"))["counts"]
+            if counts != expected:
+                identical = False
+            done += 1
+        conn.send(("done", done, identical, None))
+    except Exception as error:  # noqa: BLE001 - reported to the parent
+        conn.send(("error", done, identical, repr(error)))
+    finally:
+        connection.close()
+        conn.close()
+
+
+def _mapping_private_kb(pid: int, needle: str = ".dpsb") -> "int | None":
+    """Private (unique) resident kilobytes of a process's ``needle``
+    mappings, from ``/proc/<pid>/smaps`` (``None`` off-Linux)."""
+    import re
+
+    heading = re.compile(r"^[0-9a-f]+-[0-9a-f]+\s")
+    private = 0
+    in_mapping = False
+    found = False
+    try:
+        with open(f"/proc/{pid}/smaps") as handle:
+            for line in handle:
+                if heading.match(line):
+                    in_mapping = needle in line
+                    found = found or in_mapping
+                elif in_mapping and line.startswith(
+                    ("Private_Clean:", "Private_Dirty:")
+                ):
+                    private += int(line.split()[1])
+    except OSError:
+        return None
+    return private if found else None
+
+
+def _drive_scale_clients(
+    url: str,
+    body: bytes,
+    expected: "list[float]",
+    *,
+    clients: int,
+    rounds: int,
+    mid_run=None,
+) -> dict:
+    """Hammer ``url`` from ``clients`` spawned processes; return totals.
+
+    ``mid_run`` (optional) is called in the parent roughly mid-measurement
+    — the hook the crash drill uses to ``kill -9`` a worker while batches
+    are in flight.
+    """
+    import multiprocessing
+
+    spawn = multiprocessing.get_context("spawn")
+    go = spawn.Event()
+    members = []
+    try:
+        for index in range(clients):
+            parent_conn, child_conn = spawn.Pipe(duplex=False)
+            process = spawn.Process(
+                target=_scale_client_main,
+                args=(url, body, expected, rounds, go, child_conn),
+                name=f"e27-client-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            members.append((process, parent_conn))
+        for index, (_, parent_conn) in enumerate(members):
+            if not parent_conn.poll(120):
+                raise RuntimeError(f"E27 client {index} never became ready")
+            message = parent_conn.recv()
+            if message != "ready":
+                raise RuntimeError(f"E27 client {index} failed: {message[3]}")
+        go.set()
+        started = time.perf_counter()
+        if mid_run is not None:
+            mid_run()
+        reports = []
+        for index, (_, parent_conn) in enumerate(members):
+            if not parent_conn.poll(600):
+                raise RuntimeError(f"E27 client {index} never finished")
+            reports.append(parent_conn.recv())
+        seconds = time.perf_counter() - started
+    finally:
+        for process, parent_conn in members:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung client
+                process.terminate()
+                process.join(2)
+            try:
+                parent_conn.close()
+            except OSError:  # pragma: no cover
+                pass
+    errors = [report[3] for report in reports if report[0] == "error"]
+    return {
+        "seconds": seconds,
+        "rounds_done": sum(report[1] for report in reports),
+        "bit_identical": all(report[2] for report in reports) and not errors,
+        "errors": errors,
+    }
+
+
+def run_serving_scale(
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    target_nodes: int = 86_000,
+    seed: int = 37,
+    batch_size: int = 1024,
+    clients: int = 4,
+    rounds: int = 16,
+    crash_drill: bool = True,
+    measure_rss: bool = True,
+) -> list[dict]:
+    """E27 — the sharded serving tier against the single-process server.
+
+    A synthetic release is published once into a scratch store; uniform
+    q-gram ``/batch`` traffic (every pattern the same length, the tier's
+    split-eligible case) is then driven over HTTP by spawned client
+    processes — first at the single-process server (the baseline row), then
+    at clusters of 1/2/4/... workers.  Each row records aggregate pattern
+    throughput, the speedup over the baseline, and two correctness gates
+    measured, not assumed:
+
+    * **bit identity** — every client compares every response
+      float-for-float against the serial in-process answers, and one raw
+      response body from the router is compared byte-for-byte against the
+      single-process server's for the identical request;
+    * **memory sharing** — each worker's *private* resident kilobytes of
+      the mapped ``.dpsb`` payload, read from ``/proc/<pid>/smaps`` after
+      the run: second-and-later workers should add ~0 private pages over
+      the one page-cache copy.
+
+    The largest multi-worker cluster additionally runs a **crash drill**:
+    a worker is ``kill -9``'d while batches are in flight, and the run
+    still must return complete, bit-identical results (router retry) with
+    the worker respawned by the supervisor afterwards.
+
+    Speedup *numbers* are environment-honest: the row records
+    ``available_cpus``, and the benchmark gates its speedup floors on it —
+    a single-core container cannot show multi-core scaling, but it can
+    still prove bit identity, crash recovery and page sharing.
+    """
+    import http.client
+    import json
+    import os
+    import tempfile
+    import threading
+    from pathlib import Path
+    from urllib.parse import urlparse
+
+    from repro.serving import Cluster, QueryService, ReleaseStore, create_server
+
+    compiled = _synthetic_release(target_nodes, seed=seed)
+    pattern_rng = np.random.default_rng(seed + 1)
+    chars = sorted(compiled._vocab)
+    patterns = [
+        "".join(chars[pattern_rng.integers(len(chars))] for _ in range(4))
+        for _ in range(batch_size)
+    ]
+    expected = [float(count) for count in compiled.batch_query(patterns)]
+    body = json.dumps({"patterns": patterns}).encode("utf-8")
+    try:
+        available_cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        available_cpus = os.cpu_count() or 1
+
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="e27-") as scratch:
+        store = ReleaseStore(Path(scratch) / "store")
+        store.save("e27", compiled, format="binary")
+
+        # ---------------- single-process baseline --------------------
+        service = QueryService.from_store(store, micro_batch=False)
+        server = create_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        single_url = f"http://127.0.0.1:{server.server_address[1]}"
+
+        def raw_batch(url: str) -> bytes:
+            parsed = urlparse(url)
+            connection = http.client.HTTPConnection(
+                parsed.hostname, parsed.port, timeout=300
+            )
+            try:
+                connection.request(
+                    "POST", "/batch", body, {"Content-Type": "application/json"}
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                if response.status != 200:
+                    raise AssertionError(f"raw batch failed: HTTP {response.status}")
+                return payload
+            finally:
+                connection.close()
+
+        single_reference = raw_batch(single_url)
+        outcome = _drive_scale_clients(
+            single_url, body, expected, clients=clients, rounds=rounds
+        )
+        server.shutdown()
+        server.server_close()
+        service.close()
+        patterns_total = outcome["rounds_done"] * batch_size
+        single_throughput = (
+            patterns_total / outcome["seconds"] if outcome["seconds"] else 0.0
+        )
+        rows.append(
+            {
+                "mode": "single-process",
+                "workers": 0,
+                "clients": clients,
+                "batch_size": batch_size,
+                "rounds": outcome["rounds_done"],
+                "patterns_served": patterns_total,
+                "seconds": outcome["seconds"],
+                "patterns_per_second": single_throughput,
+                "speedup_vs_single": 1.0,
+                "bit_identical": outcome["bit_identical"],
+                "response_bytes_identical": True,
+                "errors": len(outcome["errors"]),
+                "available_cpus": available_cpus,
+            }
+        )
+
+        # ---------------- cluster rows -------------------------------
+        largest = max(
+            (count for count in worker_counts if count >= 2), default=None
+        )
+        for workers in worker_counts:
+            with Cluster(
+                store, workers=workers, split_min_patterns=min(512, batch_size)
+            ) as cluster:
+                bytes_identical = raw_batch(cluster.url) == single_reference
+                outcome = _drive_scale_clients(
+                    cluster.url, body, expected, clients=clients, rounds=rounds
+                )
+                worker_private_kb = None
+                if measure_rss:
+                    measured = [
+                        _mapping_private_kb(worker.pid)
+                        for worker in cluster.workers()
+                    ]
+                    if all(value is not None for value in measured):
+                        worker_private_kb = measured
+                drill_ok = None
+                drill_respawns = None
+                if crash_drill and workers == largest:
+                    victim = cluster.workers()[0]
+
+                    def kill_victim(handle=victim):
+                        time.sleep(0.1)  # let batches get in flight
+                        handle.kill()
+
+                    drill = _drive_scale_clients(
+                        cluster.url,
+                        body,
+                        expected,
+                        clients=clients,
+                        rounds=max(4, rounds // 2),
+                        mid_run=kill_victim,
+                    )
+                    deadline = time.monotonic() + 30
+                    while (
+                        len(cluster.table.live()) < workers
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.05)
+                    drill_ok = (
+                        drill["bit_identical"]
+                        and not drill["errors"]
+                        and cluster.respawns >= 1
+                        and len(cluster.table.live()) == workers
+                    )
+                    drill_respawns = cluster.respawns
+            patterns_total = outcome["rounds_done"] * batch_size
+            throughput = (
+                patterns_total / outcome["seconds"] if outcome["seconds"] else 0.0
+            )
+            row = {
+                "mode": "cluster",
+                "workers": workers,
+                "clients": clients,
+                "batch_size": batch_size,
+                "rounds": outcome["rounds_done"],
+                "patterns_served": patterns_total,
+                "seconds": outcome["seconds"],
+                "patterns_per_second": throughput,
+                "speedup_vs_single": (
+                    throughput / single_throughput if single_throughput else 0.0
+                ),
+                "bit_identical": outcome["bit_identical"],
+                "response_bytes_identical": bool(bytes_identical),
+                "errors": len(outcome["errors"]),
+                "available_cpus": available_cpus,
+            }
+            if worker_private_kb is not None:
+                row["worker_private_kb"] = worker_private_kb
+                row["max_extra_worker_private_kb"] = (
+                    max(worker_private_kb[1:]) if len(worker_private_kb) > 1 else 0
+                )
+            if drill_ok is not None:
+                row["crash_drill_ok"] = bool(drill_ok)
+                row["crash_drill_respawns"] = int(drill_respawns)
+                row["crash_drill_errors"] = len(drill["errors"])
             rows.append(row)
     return rows

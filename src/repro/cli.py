@@ -157,6 +157,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
             "Release formats: cold-start latency and RSS, JSON vs binary vs binary+mmap",
             lambda: experiments.run_release_format_benchmark(),
         ),
+        "E27": (
+            "Sharded serving tier: worker-count throughput scaling, bit identity, crash drill",
+            lambda: experiments.run_serving_scale(),
+        ),
     }
 
 
@@ -297,6 +301,38 @@ def _build_workload_database(workload: str, n: int, ell: int, seed: int):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     store = ReleaseStore(args.store)
+    if args.workers > 1:
+        from repro.serving import Cluster
+
+        cluster = Cluster(
+            store,
+            args.release or None,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            micro_batch=not args.no_batch,
+            mmap=not args.no_mmap,
+        )
+        try:
+            cluster.start()
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(
+                "hint: populate the store first, e.g. "
+                f"'dpsc releases --store {args.store} --build genome'",
+                file=sys.stderr,
+            )
+            return 2
+        members = ", ".join(
+            f"{worker.worker_id}:{worker.port}" for worker in cluster.workers()
+        )
+        print(
+            f"dpsc cluster serving {sorted(cluster.table.versions)} "
+            f"with {args.workers} workers ({members})"
+        )
+        print(f"router listening on http://{args.host}:{cluster.port}")
+        cluster.serve_forever()
+        return 0
     try:
         service = QueryService.from_store(
             store,
@@ -349,6 +385,7 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
         execute_operation,
         generate_workload,
         run_load_test,
+        run_load_test_processes,
     )
 
     try:
@@ -362,10 +399,43 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        process_counts = [int(p) for p in args.processes.split(",") if p]
+    except ValueError:
+        process_counts = [0]
+    if any(p < 1 for p in process_counts):
+        print(
+            "error: --processes must be a comma list of positive integers, "
+            f"got {args.processes!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers and not args.store:
+        print("error: --workers needs --store (a cluster serves a store)", file=sys.stderr)
+        return 2
     service = None
+    cluster = None
     if args.url:
         target = ServingClient(args.url)
         verify_counters = False  # other clients may share the live server
+    elif args.store and args.workers:
+        from repro.serving import Cluster
+
+        store = ReleaseStore(args.store)
+        try:
+            cluster = Cluster(
+                store,
+                workers=args.workers,
+                micro_batch=not args.no_batch,
+                mmap=not args.no_mmap,
+            ).start()
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        # exclusive loopback tier: the counter-delta checks stay exact
+        target = ServingClient(cluster.url)
+        verify_counters = True
+        print(f"started a {args.workers}-worker cluster on {cluster.url}")
     elif args.store:
         store = ReleaseStore(args.store)
         try:
@@ -391,30 +461,34 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
         )
         target = service
         verify_counters = True
+    if process_counts and not isinstance(target, ServingClient):
+        print(
+            "error: --processes drives HTTP traffic; give it --url, or "
+            "--store with --workers N",
+            file=sys.stderr,
+        )
+        if service is not None:
+            service.close()
+        return 2
     try:
         workload = generate_workload(target, args.ops, seed=args.seed)
         expected = [execute_operation(target, operation) for operation in workload]
         print(
-            f"{'threads':>7s} {'ops':>7s} {'seconds':>9s} {'ops/s':>10s} "
+            f"{'lanes':>9s} {'ops':>7s} {'seconds':>9s} {'ops/s':>10s} "
             f"{'lookups/s':>10s} {'identical':>9s} {'counters':>8s}"
         )
         failures = 0
         rows = []
-        for threads in thread_counts:
-            result = run_load_test(
-                target,
-                workload,
-                threads=threads,
-                expected=expected,
-                verify_counters=verify_counters,
-            )
+
+        def report(result, label):
+            nonlocal failures
             ok = result.bit_identical and (
                 result.counters_consistent or not verify_counters
             )
             failures += 0 if ok else 1
             rows.append(result.row())
             print(
-                f"{result.threads:7d} {result.operations:7d} "
+                f"{label:>9s} {result.operations:7d} "
                 f"{result.seconds:9.3f} {result.ops_per_second:10.0f} "
                 f"{result.queries_per_second:10.0f} "
                 f"{str(result.bit_identical):>9s} "
@@ -429,6 +503,25 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
                 print(f"          {kind:8s} {rendered}")
             for line in result.errors[:5]:
                 print(f"  error: {line}", file=sys.stderr)
+
+        for threads in thread_counts:
+            result = run_load_test(
+                target,
+                workload,
+                threads=threads,
+                expected=expected,
+                verify_counters=verify_counters,
+            )
+            report(result, f"{threads}t")
+        for processes in process_counts:
+            result = run_load_test_processes(
+                target.base_url,
+                workload,
+                processes=processes,
+                expected=expected,
+                verify_counters=verify_counters,
+            )
+            report(result, f"{processes}p")
         if args.json:
             with open(args.json, "w", encoding="utf-8") as handle:
                 json.dump({"results": rows}, handle, indent=2)
@@ -442,6 +535,8 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
     finally:
         if service is not None:
             service.close()
+        if cluster is not None:
+            cluster.stop()
     return 0
 
 
@@ -586,6 +681,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8080)
     serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve through the sharded cluster tier: N pre-forked worker "
+        "processes mmap-sharing one release copy behind a hash-sharding "
+        "router on --port (1 = the single-process server)",
+    )
+    serve_parser.add_argument(
         "--no-batch",
         action="store_true",
         help="disable micro-batching of concurrent single queries",
@@ -626,10 +730,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list of thread counts to replay the workload with",
     )
     bench_parser.add_argument(
+        "--processes",
+        default="",
+        metavar="P[,P...]",
+        help="also replay from this many spawned client *processes* (a "
+        "single client is GIL-bound and cannot saturate the cluster tier); "
+        "needs an HTTP target: --url, or --store with --workers",
+    )
+    bench_parser.add_argument(
         "--ops", type=int, default=2000, help="operations per replay"
     )
     bench_parser.add_argument(
         "--store", default="", help="serve the releases of this store"
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --store: serve it through an exclusive loopback cluster "
+        "of N workers and hammer that over HTTP (counter checks stay exact)",
     )
     bench_parser.add_argument(
         "--url", default="", help="hammer a running server instead (skips "

@@ -11,13 +11,18 @@ The observability layer for the whole package.  It sits *below* every other
   pipelines — see :mod:`repro.obs.spans`;
 * Prometheus text exposition rendering and validation
   (:func:`render_prometheus` / :func:`validate_exposition`) — see
-  :mod:`repro.obs.export`.
+  :mod:`repro.obs.export`;
+* cross-process snapshot aggregation for the sharded serving tier
+  (:func:`merge_snapshots` / :func:`render_snapshot`: counters sum,
+  histograms bucket-merge, gauges stay per-worker) — see
+  :mod:`repro.obs.aggregate`.
 
 Telemetry is on by default; :func:`set_enabled` (False) reduces histogram
 observations and span recording to single flag checks, which the
 observability micro-benchmark asserts costs <5% on the serving hot path.
 """
 
+from repro.obs.aggregate import merge_snapshots, render_snapshot, snapshot_percentile
 from repro.obs.export import render_prometheus, validate_exposition
 from repro.obs.registry import (
     DEFAULT_BUCKET_GROWTH,
@@ -49,4 +54,7 @@ __all__ = [
     "current_span",
     "render_prometheus",
     "validate_exposition",
+    "merge_snapshots",
+    "render_snapshot",
+    "snapshot_percentile",
 ]

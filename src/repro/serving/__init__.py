@@ -26,8 +26,14 @@ PrivateCountingTrie` to serving millions of pattern queries:
     per-release routing, plus a ``urllib``-based client.
 ``loadtest``
     A deterministic concurrency harness: seeded mixed workloads replayed
-    from barrier-started threads, checked bit-identical against a serial
+    from barrier-started threads — or spawned client *processes*
+    (``run_load_test_processes``) — checked bit-identical against a serial
     replay (``dpsc bench-load``, E23).
+``cluster``
+    The sharded multi-process serving tier: a hash-sharding router on the
+    public port over N pre-forked workers mmap-sharing one release copy,
+    with crash respawn, atomic hot reload and tier-wide metrics
+    aggregation (``dpsc serve --workers N``, E27).
 
 Everything above is safe under the concurrency it advertises: compiled
 tries are immutable snapshots with lock-protected caches, and the ledger
@@ -38,6 +44,7 @@ for the command-line entry points.
 """
 
 from repro.serving.binfmt import read_binary, write_binary
+from repro.serving.cluster import Cluster
 from repro.serving.compiled import CacheInfo, CompiledTrie
 from repro.serving.client import ServingClient, ServingClientError
 from repro.serving.ledger import BudgetLedger, build_release
@@ -48,11 +55,19 @@ from repro.serving.loadtest import (
     execute_operation,
     generate_workload,
     run_load_test,
+    run_load_test_processes,
 )
-from repro.serving.server import MicroBatcher, QueryService, create_server, serve_forever
+from repro.serving.server import (
+    MicroBatcher,
+    QueryService,
+    create_server,
+    install_graceful_shutdown,
+    serve_forever,
+)
 from repro.serving.store import ReleaseRecord, ReleaseStore
 
 __all__ = [
+    "Cluster",
     "CacheInfo",
     "CompiledTrie",
     "ServingClient",
@@ -65,9 +80,11 @@ __all__ = [
     "execute_operation",
     "generate_workload",
     "run_load_test",
+    "run_load_test_processes",
     "MicroBatcher",
     "QueryService",
     "create_server",
+    "install_graceful_shutdown",
     "serve_forever",
     "ReleaseRecord",
     "ReleaseStore",

@@ -1,0 +1,735 @@
+"""The public-port router of the sharded serving tier.
+
+One ``ThreadingHTTPServer`` that owns no release data at all: every count
+comes from a worker.  Three request paths, ordered by how much the router
+has to understand the bytes flowing through it:
+
+* **passthrough** — ``/mine``, ``/releases`` and non-split ``/batch``
+  requests are forwarded as the original raw bytes to one worker and the
+  worker's response bytes are relayed verbatim.  Workers run the exact
+  single-process handler code, so passthrough replies are bit-identical to
+  the single-process server by construction.
+* **split** — a uniform-length ``/batch`` of at least ``split_min_patterns``
+  patterns is sharded across the live workers by a *stable hash of the
+  pattern index* (:func:`shard_of` — deterministic across runs and
+  processes, unlike ``hash()`` under ``PYTHONHASHSEED``), the sub-batches
+  run concurrently, and the counts are scattered back into request order.
+  Counts are deterministic post-processing of the released structure and
+  JSON floats round-trip exactly through ``repr``, so the reassembled body
+  is byte-identical to the single-process answer for the same request.
+* **micro-batch** — concurrent single ``/query`` requests coalesce in a
+  router-side batcher (same eager-flush design as the in-process
+  :class:`~repro.serving.server.MicroBatcher`) and ride one worker
+  ``/batch`` call instead of N worker round-trips.
+
+Failure policy: every endpoint is an idempotent read (queries are
+post-processing; the only server-side state is counters), so a connection
+failure mid-request is retried on another live worker until
+``retry_timeout`` — a ``kill -9`` mid-batch costs latency, never a lost or
+wrong answer.  Failures also wake the supervisor immediately
+(:meth:`WorkerTable.note_failure`) so the respawn races the retry deadline.
+
+Observability: the router keeps its own registry under ``dpsc_router_*``
+names (so tier-wide merges never double-count worker ``dpsc_*`` series) and
+``/metrics`` scrapes every live worker's JSON snapshot, merging via
+:func:`repro.obs.merge_snapshots` — counters sum, histograms bucket-merge,
+gauges stay per-worker.  ``/healthz`` reports router-edge traffic counters
+under the same keys as the single-process server, which keeps the load
+test's exact counter-delta checks meaningful for the whole tier.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import MetricsRegistry, log_buckets, merge_snapshots, render_snapshot
+from repro.serving.cluster.workers import WorkerHandle, WorkerTable
+
+__all__ = ["Router", "RouterHTTPError", "create_router_server", "shard_of"]
+
+_ENDPOINTS = ("query", "batch", "mine", "healthz")
+_FLUSH_SIZE_BUCKETS = log_buckets(1.0, 512.0, 2.0)
+#: connection-level failures worth retrying on another worker; an HTTP
+#: *error response* is not among them — that is the worker answering.
+_RETRYABLE = (OSError, http.client.HTTPException)
+
+#: Knuth's multiplicative constant (2^32 / phi); see :func:`shard_of`.
+_HASH_MULTIPLIER = 2654435761
+
+
+def shard_of(index: int, shards: int) -> int:
+    """Stable shard for a pattern index.
+
+    A multiplicative hash rather than ``index % shards`` so shard loads stay
+    balanced under any access pattern, and rather than ``hash()`` so the
+    assignment is identical across processes and runs (``PYTHONHASHSEED``
+    randomizes ``str`` hashes, and determinism here is part of the replay
+    story).
+    """
+    return ((index * _HASH_MULTIPLIER) & 0xFFFFFFFF) % shards
+
+
+def _error_message(body: bytes, status: int) -> str:
+    """The worker's JSON error text, or a fallback for unparseable bodies."""
+    try:
+        message = json.loads(body.decode("utf-8")).get("error")
+    except (ValueError, UnicodeDecodeError, AttributeError):
+        message = None
+    return message if isinstance(message, str) else f"upstream error (HTTP {status})"
+
+
+class RouterHTTPError(Exception):
+    """An error to relay to the client as a JSON ``{"error": ...}`` body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _PendingRouted:
+    """One single-pattern query waiting for a router micro-batch flush."""
+
+    __slots__ = ("pattern", "release", "event", "result", "error")
+
+    def __init__(self, pattern: str, release: str | None) -> None:
+        self.pattern = pattern
+        self.release = release
+        self.event = threading.Event()
+        self.result: float = 0.0
+        self.error: Exception | None = None
+
+
+class RouterBatcher:
+    """Micro-batches straggler ``/query`` traffic into worker ``/batch`` calls.
+
+    The in-process :class:`~repro.serving.server.MicroBatcher` design with
+    the flush retargeted at the tier: eager flushing (a lone request pays no
+    artificial wait), coalescing under concurrency, grouped by release.  One
+    flush is one worker round-trip regardless of how many clients piled up.
+    """
+
+    def __init__(
+        self,
+        router: "Router",
+        *,
+        max_batch: int = 256,
+        max_wait: float = 0.002,
+    ) -> None:
+        self._router = router
+        self._max_batch = max_batch
+        self._max_wait = max_wait
+        self._queue: list[_PendingRouted] = []
+        self._condition = threading.Condition()
+        self._closed = False
+        metrics = router.metrics
+        self._flushes = metrics.counter(
+            "dpsc_router_microbatch_flushes_total",
+            "Router micro-batch flushes executed.",
+        )
+        self._flushed_requests = metrics.counter(
+            "dpsc_router_microbatch_requests_total",
+            "Single queries answered through router micro-batch flushes.",
+        )
+        self._flush_size = metrics.histogram(
+            "dpsc_router_microbatch_flush_size",
+            "Requests coalesced per router micro-batch flush.",
+            buckets=_FLUSH_SIZE_BUCKETS,
+        )
+        self._worker = threading.Thread(
+            target=self._run, name="repro-router-microbatcher", daemon=True
+        )
+        self._worker.start()
+
+    @property
+    def batches_flushed(self) -> int:
+        return int(self._flushes.value)
+
+    @property
+    def requests_batched(self) -> int:
+        return int(self._flushed_requests.value)
+
+    def submit(self, pattern: str, release: str | None) -> float:
+        pending = _PendingRouted(pattern, release)
+        with self._condition:
+            if self._closed:
+                raise RouterHTTPError(503, "router is shutting down")
+            self._queue.append(pending)
+            self._condition.notify()
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        self._worker.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._closed:
+                    self._condition.wait(timeout=self._max_wait)
+                if self._closed and not self._queue:
+                    return
+                batch = self._queue[: self._max_batch]
+                del self._queue[: len(batch)]
+            if batch:
+                self._flush(batch)
+
+    def _flush(self, batch: list[_PendingRouted]) -> None:
+        self._flushes.inc()
+        self._flushed_requests.inc(len(batch))
+        self._flush_size.observe(float(len(batch)))
+        by_release: dict[str | None, list[_PendingRouted]] = {}
+        for pending in batch:
+            by_release.setdefault(pending.release, []).append(pending)
+        for release, group in by_release.items():
+            payload: dict = {"patterns": [pending.pattern for pending in group]}
+            if release is not None:
+                payload["release"] = release
+            try:
+                status, body = self._router.forward_any(
+                    "POST", "/batch", json.dumps(payload).encode("utf-8")
+                )
+                if status != 200:
+                    raise RouterHTTPError(status, _error_message(body, status))
+                counts = json.loads(body.decode("utf-8"))["counts"]
+                for pending, count in zip(group, counts):
+                    pending.result = float(count)
+            except Exception as error:  # propagate to every waiter
+                for pending in group:
+                    pending.error = error
+            finally:
+                for pending in group:
+                    pending.event.set()
+
+
+class Router:
+    """Shards tier traffic over a :class:`WorkerTable`; owns no releases."""
+
+    def __init__(
+        self,
+        table: WorkerTable,
+        *,
+        micro_batch: bool = True,
+        max_batch: int = 256,
+        max_wait: float = 0.002,
+        split_min_patterns: int = 512,
+        worker_timeout: float = 60.0,
+        retry_timeout: float = 15.0,
+        retry_wait: float = 0.05,
+        scrape_timeout: float = 5.0,
+        split_threads: int = 16,
+    ) -> None:
+        self.table = table
+        self.split_min_patterns = split_min_patterns
+        self.worker_timeout = worker_timeout
+        self.retry_timeout = retry_timeout
+        self.retry_wait = retry_wait
+        self.scrape_timeout = scrape_timeout
+        self.started_at = time.time()
+        #: set by the supervisor once it exists; ``/admin/reload`` is a 503
+        #: until then (a bare router has nothing to reload).
+        self.reload_fn = None
+        self.respawns_fn = lambda: 0
+        self.metrics = MetricsRegistry()
+        self._requests = {
+            endpoint: self.metrics.counter(
+                "dpsc_router_requests_total",
+                "Requests accepted at the router, by endpoint.",
+                {"endpoint": endpoint},
+            )
+            for endpoint in _ENDPOINTS
+        }
+        self._latency = {
+            endpoint: self.metrics.histogram(
+                "dpsc_router_request_seconds",
+                "Router end-to-end request latency in seconds, by endpoint.",
+                {"endpoint": endpoint},
+            )
+            for endpoint in _ENDPOINTS
+        }
+        self._batch_patterns = self.metrics.counter(
+            "dpsc_router_batch_patterns_total",
+            "Patterns accepted across all router /batch requests.",
+        )
+        self._split_batches = self.metrics.counter(
+            "dpsc_router_split_batches_total",
+            "Batches sharded across workers by pattern-index hash.",
+        )
+        self._split_subrequests = self.metrics.counter(
+            "dpsc_router_split_subrequests_total",
+            "Worker sub-requests issued by the batch splitter.",
+        )
+        self._retries = self.metrics.counter(
+            "dpsc_router_retries_total",
+            "Forward attempts that failed at the connection level and were retried.",
+        )
+        self._scrape_failures = self.metrics.counter(
+            "dpsc_router_scrape_failures_total",
+            "Worker /metrics scrapes that failed during aggregation.",
+        )
+        self.metrics.gauge(
+            "dpsc_router_uptime_seconds", "Seconds since the router started."
+        ).set_function(lambda: time.time() - self.started_at)
+        self.metrics.gauge(
+            "dpsc_router_workers_alive", "Live workers in the active generation."
+        ).set_function(lambda: float(len(self.table.live())))
+        self.metrics.gauge(
+            "dpsc_router_generation", "Active worker generation number."
+        ).set_function(lambda: float(self.table.generation))
+        self.metrics.gauge(
+            "dpsc_router_worker_respawns", "Workers respawned after crashes."
+        ).set_function(lambda: float(self.respawns_fn()))
+        self._rr = itertools.count()
+        self._local = threading.local()
+        self._executor = ThreadPoolExecutor(
+            max_workers=split_threads, thread_name_prefix="repro-router-shard"
+        )
+        self._batcher = (
+            RouterBatcher(self, max_batch=max_batch, max_wait=max_wait)
+            if micro_batch
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    @property
+    def default_release(self) -> str | None:
+        versions = self.table.versions
+        return sorted(versions)[0] if versions else None
+
+    @staticmethod
+    def _new_connection(port: int, timeout: float) -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+        conn.connect()
+        # Nagle + the peer's delayed ACK costs ~40ms per request on a
+        # reused keep-alive connection; queries are sub-millisecond.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def _connection(self, port: int) -> http.client.HTTPConnection:
+        pool = self._local.__dict__.setdefault("connections", {})
+        conn = pool.get(port)
+        if conn is None:
+            conn = self._new_connection(port, self.worker_timeout)
+            pool[port] = conn
+        return conn
+
+    def _drop_connection(self, port: int) -> None:
+        pool = self._local.__dict__.setdefault("connections", {})
+        conn = pool.pop(port, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def forward(
+        self,
+        worker: WorkerHandle,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        pooled: bool = True,
+        timeout: float | None = None,
+    ) -> tuple[int, bytes]:
+        """One HTTP round-trip to one worker; raises on connection failure.
+
+        Pooled connections are keep-alive (workers speak HTTP/1.1) and
+        thread-local, so handler threads and shard-executor threads never
+        contend on a socket.  Unpooled mode is for scrapes, which want a
+        short timeout instead of the batch-sized one.
+        """
+        if pooled:
+            conn = self._connection(worker.port)
+        else:
+            conn = self._new_connection(
+                worker.port, timeout or self.scrape_timeout
+            )
+        try:
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+        except BaseException:
+            if pooled:
+                self._drop_connection(worker.port)
+            else:
+                conn.close()
+            raise
+        if not pooled:
+            conn.close()
+        return status, data
+
+    def forward_any(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        preferred: WorkerHandle | None = None,
+    ) -> tuple[int, bytes]:
+        """Forward to some live worker, retrying others on connection failure.
+
+        Safe because every endpoint is an idempotent read: re-executing a
+        query on a second worker after the first died mid-response returns
+        the same deterministic counts.  Blocks (bounded by
+        ``retry_timeout``) while no worker is live, which is exactly the
+        crash-respawn window — the supervisor races this deadline.
+        """
+        deadline = time.monotonic() + self.retry_timeout
+        tried: set[int] = set()
+        use_preferred = preferred is not None
+        while True:
+            if use_preferred and preferred.is_alive():
+                worker = preferred
+            else:
+                workers = self.table.live()
+                pool = [w for w in workers if w.port not in tried] or workers
+                if not pool:
+                    if time.monotonic() >= deadline:
+                        raise RouterHTTPError(
+                            503, "no live workers to forward to"
+                        )
+                    time.sleep(self.retry_wait)
+                    continue
+                worker = pool[next(self._rr) % len(pool)]
+            use_preferred = False
+            try:
+                return self.forward(worker, method, path, body)
+            except _RETRYABLE:
+                tried.add(worker.port)
+                self._retries.inc()
+                self.table.note_failure(worker)
+                if time.monotonic() >= deadline:
+                    raise RouterHTTPError(
+                        503,
+                        f"workers unavailable after retries on {method} {path}",
+                    ) from None
+                time.sleep(self.retry_wait)
+
+    # ------------------------------------------------------------------
+    # Endpoint logic (the handler below is a thin shim over these)
+    # ------------------------------------------------------------------
+    def route_query(self, pattern: str, release: str | None) -> float:
+        self._requests["query"].inc()
+        with self._latency["query"].time():
+            if self._batcher is not None:
+                return self._batcher.submit(pattern, release)
+            payload: dict = {"pattern": pattern}
+            if release is not None:
+                payload["release"] = release
+            status, body = self.forward_any(
+                "POST", "/query", json.dumps(payload).encode("utf-8")
+            )
+            if status != 200:
+                raise RouterHTTPError(status, _error_message(body, status))
+            return float(json.loads(body.decode("utf-8"))["count"])
+
+    def route_batch(
+        self, raw: bytes, payload: dict, patterns: list[str], release: str | None
+    ) -> tuple[int, bytes]:
+        """Dispatch one validated ``/batch``: split when profitable, else
+        forward the original bytes untouched."""
+        self._requests["batch"].inc()
+        self._batch_patterns.inc(len(patterns))
+        with self._latency["batch"].time():
+            live = self.table.live()
+            splittable = (
+                len(live) > 1
+                and len(patterns) >= self.split_min_patterns
+                # uniform q-gram traffic: one pattern length across the batch
+                and len({len(p) for p in patterns}) == 1
+                # unknown extra keys must survive verbatim -> passthrough
+                and set(payload) <= {"patterns", "release"}
+            )
+            if not splittable:
+                return self.forward_any("POST", "/batch", raw)
+            return self._split_batch(live, patterns, release)
+
+    def _split_batch(
+        self, live: list[WorkerHandle], patterns: list[str], release: str | None
+    ) -> tuple[int, bytes]:
+        shards = len(live)
+        assignment: list[list[tuple[int, str]]] = [[] for _ in range(shards)]
+        for index, pattern in enumerate(patterns):
+            assignment[shard_of(index, shards)].append((index, pattern))
+        futures = []
+        for shard_index, members in enumerate(assignment):
+            if not members:
+                continue
+            sub: dict = {"patterns": [pattern for _, pattern in members]}
+            if release is not None:
+                sub["release"] = release
+            futures.append(
+                (
+                    members,
+                    self._executor.submit(
+                        self.forward_any,
+                        "POST",
+                        "/batch",
+                        json.dumps(sub).encode("utf-8"),
+                        preferred=live[shard_index],
+                    ),
+                )
+            )
+        self._split_batches.inc()
+        self._split_subrequests.inc(len(futures))
+        counts = [0.0] * len(patterns)
+        relay: tuple[int, bytes] | None = None
+        for members, future in futures:
+            status, body = future.result()
+            if status != 200:
+                # relay the first upstream error verbatim (still joining the
+                # remaining futures so no shard outlives the request)
+                relay = relay or (status, body)
+                continue
+            sub_counts = json.loads(body.decode("utf-8"))["counts"]
+            for (index, _), count in zip(members, sub_counts):
+                counts[index] = float(count)
+        if relay is not None:
+            return relay
+        body = json.dumps(
+            {"release": release or self.default_release, "counts": counts}
+        ).encode("utf-8")
+        return 200, body
+
+    def route_mine(self, raw: bytes) -> tuple[int, bytes]:
+        self._requests["mine"].inc()
+        with self._latency["mine"].time():
+            return self.forward_any("POST", "/mine", raw)
+
+    def route_releases(self) -> tuple[int, bytes]:
+        return self.forward_any("GET", "/releases")
+
+    def health(self) -> dict:
+        self._requests["healthz"].inc()
+        with self._latency["healthz"].time():
+            workers = self.table.workers()
+            live = [worker for worker in workers if worker.is_alive()]
+            payload = {
+                "status": "ok" if workers and len(live) == len(workers) else "degraded",
+                "role": "router",
+                "uptime_seconds": time.time() - self.started_at,
+                "releases": sorted(self.table.versions),
+                "default_release": self.default_release,
+                # Router-edge traffic counters under the single-process
+                # keys: the load test's exact delta checks stay valid for
+                # the tier even across worker crashes and reloads (worker
+                # counters die with the worker; these do not).
+                "queries": int(self._requests["query"].value),
+                "batches": int(self._requests["batch"].value),
+                "batch_patterns": int(self._batch_patterns.value),
+                "mines": int(self._requests["mine"].value),
+                "split_batches": int(self._split_batches.value),
+                "retries": int(self._retries.value),
+                "workers": {
+                    "total": len(workers),
+                    "alive": len(live),
+                    "generation": self.table.generation,
+                    "respawns": int(self.respawns_fn()),
+                    "versions": dict(self.table.versions),
+                    "members": [
+                        {
+                            "id": worker.worker_id,
+                            "generation": worker.generation,
+                            "port": worker.port,
+                            "pid": worker.pid,
+                            "alive": worker.is_alive(),
+                        }
+                        for worker in workers
+                    ],
+                },
+            }
+            if self._batcher is not None:
+                payload["micro_batches_flushed"] = self._batcher.batches_flushed
+                payload["micro_batched_requests"] = self._batcher.requests_batched
+            return payload
+
+    def merged_snapshot(self) -> dict:
+        """Router registry + every live worker's, merged tier-wide."""
+        sources = [("router", self.metrics.snapshot())]
+        for worker in self.table.live():
+            try:
+                status, body = self.forward(
+                    worker, "GET", "/metrics?format=json", pooled=False
+                )
+                if status != 200:
+                    raise ValueError(f"scrape returned HTTP {status}")
+                sources.append((worker.worker_id, json.loads(body.decode("utf-8"))))
+            except (*_RETRYABLE, ValueError, UnicodeDecodeError):
+                self._scrape_failures.inc()
+        return merge_snapshots(sources, label="worker")
+
+    def render_metrics(self) -> str:
+        return render_snapshot(self.merged_snapshot())
+
+    def close(self) -> None:
+        if self._batcher is not None:
+            self._batcher.close()
+            self._batcher = None
+        self._executor.shutdown(wait=False)
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Thin JSON shim over :class:`Router` — endpoint surface and error
+    texts mirror the single-process handler so clients cannot tell the
+    tiers apart (the parity tests assert this)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-dpsc-router"
+    #: same rationale as the worker handler: keep-alive + Nagle + delayed
+    #: ACK turns two-write responses into ~40ms stalls.
+    disable_nagle_algorithm = True
+
+    @property
+    def router(self) -> Router:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _respond(self, payload: dict, status: int = 200) -> None:
+        self._respond_raw(status, json.dumps(payload).encode("utf-8"))
+
+    def _respond_raw(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int) -> None:
+        self._respond({"error": message}, status=status)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", "0"))
+        return self.rfile.read(length) if length else b""
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/healthz":
+                self._respond(self.router.health())
+            elif parsed.path == "/metrics":
+                query = parse_qs(parsed.query)
+                if query.get("format", [""])[0] == "json":
+                    self._respond(self.router.merged_snapshot())
+                else:
+                    body = self.router.render_metrics().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+            elif parsed.path == "/releases":
+                status, body = self.router.route_releases()
+                self._respond_raw(status, body)
+            elif parsed.path == "/query":
+                query = parse_qs(parsed.query)
+                pattern = query.get("pattern", [""])[0]
+                release = query.get("release", [None])[0]
+                self._respond(
+                    {
+                        "pattern": pattern,
+                        "release": release or self.router.default_release,
+                        "count": self.router.route_query(pattern, release),
+                    }
+                )
+            else:
+                self._error(f"unknown path {parsed.path!r}", 404)
+        except RouterHTTPError as error:
+            self._error(error.message, error.status)
+        except Exception as error:  # noqa: BLE001 - JSON 500, not a raw traceback
+            self._error(f"internal error: {error}", 500)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        raw = self._read_body()
+        try:
+            if self.path == "/mine":
+                # Validation happens at the worker (identical handler code),
+                # so error bodies relay verbatim without a router-side parse.
+                status, body = self.router.route_mine(raw)
+                self._respond_raw(status, body)
+                return
+            if self.path == "/admin/reload":
+                reload_fn = self.router.reload_fn
+                if reload_fn is None:
+                    self._error("reload is not available", 503)
+                else:
+                    self._respond(reload_fn())
+                return
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError):
+                self._error("request body is not valid JSON", 400)
+                return
+            if not isinstance(payload, dict):
+                self._error("request body must be a JSON object", 400)
+                return
+            release = payload.get("release")
+            if self.path == "/query":
+                pattern = payload.get("pattern")
+                if not isinstance(pattern, str):
+                    self._error("'pattern' must be a string", 400)
+                    return
+                self._respond(
+                    {
+                        "pattern": pattern,
+                        "release": release or self.router.default_release,
+                        "count": self.router.route_query(pattern, release),
+                    }
+                )
+            elif self.path == "/batch":
+                patterns = payload.get("patterns")
+                if not isinstance(patterns, list) or not all(
+                    isinstance(p, str) for p in patterns
+                ):
+                    self._error("'patterns' must be a list of strings", 400)
+                    return
+                status, body = self.router.route_batch(
+                    raw, payload, patterns, release
+                )
+                self._respond_raw(status, body)
+            else:
+                self._error(f"unknown path {self.path!r}", 404)
+        except RouterHTTPError as error:
+            self._error(error.message, error.status)
+        except Exception as error:  # noqa: BLE001 - JSON 500, not a raw traceback
+            self._error(f"internal error: {error}", 500)
+
+
+def create_router_server(
+    router: Router,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run public-port server bound to ``host:port`` (port 0
+    picks a free port; read it back from ``server.server_address``)."""
+    server = ThreadingHTTPServer((host, port), _RouterHandler)
+    server.router = router  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server

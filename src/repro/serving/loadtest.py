@@ -24,6 +24,7 @@ HTTP server (``dpsc bench-load --url``).
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 from dataclasses import dataclass, field
@@ -42,7 +43,12 @@ __all__ = [
     "expected_counter_deltas",
     "execute_operation",
     "run_load_test",
+    "run_load_test_processes",
 ]
+
+#: client processes are spawned (same rationale as the serving workers: no
+#: inherited locks, and identical behaviour across platforms).
+_SPAWN = multiprocessing.get_context("spawn")
 
 #: default traffic mix: (query, batch, mine, healthz) probabilities.
 DEFAULT_MIX = (0.62, 0.25, 0.03, 0.10)
@@ -79,6 +85,8 @@ class LoadTestResult:
     mismatches: list[int] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
     counters_consistent: bool = True
+    #: client *processes* driving the replay (0 for the threaded harness).
+    processes: int = 0
     #: per-operation-kind latency percentiles observed *during the
     #: concurrent replay*, e.g. ``{"query": {"p50": ..., "p95": ...,
     #: "p99": ...}}`` (seconds; kinds with no operations are absent).
@@ -102,6 +110,7 @@ class LoadTestResult:
         """A flat JSON-friendly summary (experiment/benchmark rows)."""
         row = {
             "threads": self.threads,
+            "processes": self.processes,
             "operations": self.operations,
             "seconds": self.seconds,
             "ops_per_second": self.ops_per_second,
@@ -354,6 +363,179 @@ def run_load_test(
         raise LoadTestError(
             f"concurrent replay with {threads} threads diverged from the "
             f"serial replay ({len(mismatches)} mismatches, "
+            f"{len(errors)} errors): {detail}"
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Multi-process clients
+# ----------------------------------------------------------------------
+def _client_process_main(base_url: str, tasks, go, conn) -> None:
+    """One spawned client process: replay its slice against ``base_url``.
+
+    ``tasks`` is a list of ``(index, Operation)`` pairs; results travel back
+    over ``conn`` as ``(indices, results, samples, errors)``.  The process
+    signals readiness, then blocks on the shared ``go`` event so every
+    client starts hammering at once (the cross-process analogue of the
+    thread barrier above).
+    """
+    from repro.serving.client import ServingClient
+
+    client = ServingClient(base_url)
+    conn.send("ready")
+    go.wait()
+    indices: list[int] = []
+    results: list[object] = []
+    samples: list[tuple[str, float]] = []
+    errors: list[str] = []
+    for index, operation in tasks:
+        began = time.perf_counter()
+        try:
+            outcome = execute_operation(client, operation)
+        except Exception as error:  # noqa: BLE001 - recorded and compared
+            errors.append(f"op {index} ({operation.kind}): {error!r}")
+        else:
+            indices.append(index)
+            results.append(outcome)
+            samples.append((operation.kind, time.perf_counter() - began))
+    conn.send((indices, results, samples, errors))
+    conn.close()
+
+
+def run_load_test_processes(
+    base_url: str,
+    workload: Sequence[Operation],
+    *,
+    processes: int = 2,
+    expected: Sequence[object] | None = None,
+    check: bool = False,
+    verify_counters: bool = True,
+    spawn_timeout: float = 120.0,
+    run_timeout: float = 600.0,
+) -> LoadTestResult:
+    """Replay ``workload`` from ``processes`` spawned *client processes*.
+
+    The multi-process twin of :func:`run_load_test` for HTTP targets: a
+    single client process is itself GIL-bound, so it cannot saturate the
+    sharded serving tier — here each client is a real OS process with its
+    own interpreter, released simultaneously by a shared event.  Process
+    ``p`` executes operations ``p, p + P, p + 2*P, ...`` (the same
+    deterministic round-robin rule as the threaded harness), every answer
+    is compared against a serial replay, and the target's ``/healthz``
+    counters must advance by exactly the workload totals — seeded
+    determinism and the exactness checks survive the extra process layer.
+    """
+    from repro.serving.client import ServingClient
+
+    if processes < 1:
+        raise ReproError("run_load_test_processes needs at least one process")
+    workload = list(workload)
+    client = ServingClient(base_url)
+    if expected is None:
+        expected = [execute_operation(client, operation) for operation in workload]
+    expected = list(expected)
+    if len(expected) != len(workload):
+        raise ReproError("expected results and workload differ in length")
+
+    go = _SPAWN.Event()
+    members = []
+    try:
+        for offset in range(processes):
+            tasks = [
+                (index, workload[index])
+                for index in range(offset, len(workload), processes)
+            ]
+            parent_conn, child_conn = _SPAWN.Pipe(duplex=False)
+            process = _SPAWN.Process(
+                target=_client_process_main,
+                args=(base_url, tasks, go, child_conn),
+                name=f"loadtest-client-{offset}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            members.append((process, parent_conn))
+        for offset, (process, parent_conn) in enumerate(members):
+            if not parent_conn.poll(spawn_timeout):
+                raise LoadTestError(
+                    f"client process {offset} not ready within {spawn_timeout:.0f}s"
+                )
+            parent_conn.recv()  # "ready"
+
+        before = _health(client) if verify_counters else None
+        go.set()
+        started = time.perf_counter()
+        results: list[object] = [None] * len(workload)
+        errors: list[str] = []
+        samples: list[tuple[str, float]] = []
+        for offset, (process, parent_conn) in enumerate(members):
+            if not parent_conn.poll(run_timeout):
+                raise LoadTestError(
+                    f"client process {offset} produced no results within "
+                    f"{run_timeout:.0f}s"
+                )
+            indices, outcomes, member_samples, member_errors = parent_conn.recv()
+            for index, outcome in zip(indices, outcomes):
+                results[index] = outcome
+            samples.extend(member_samples)
+            errors.extend(member_errors)
+        seconds = time.perf_counter() - started
+        after = _health(client) if verify_counters else None
+    finally:
+        for process, parent_conn in members:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - hung client
+                process.terminate()
+                process.join(2.0)
+            try:
+                parent_conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    mismatches = [
+        index
+        for index in range(len(workload))
+        if workload[index].kind != "healthz" and results[index] != expected[index]
+    ]
+    deltas = expected_counter_deltas(workload)
+    counters_consistent = True
+    if verify_counters:
+        counters_consistent = all(
+            after[key] - before[key] == deltas[key] for key in deltas
+        )
+    histograms: dict[str, Histogram] = {}
+    for kind, latency in samples:
+        histogram = histograms.get(kind)
+        if histogram is None:
+            histogram = histograms[kind] = Histogram(gated=False)
+        histogram.observe(latency)
+    result = LoadTestResult(
+        threads=0,
+        operations=len(workload),
+        seconds=seconds,
+        num_queries=deltas["queries"],
+        num_batches=deltas["batches"],
+        num_batch_patterns=deltas["batch_patterns"],
+        num_mines=deltas["mines"],
+        num_healthz=sum(1 for op in workload if op.kind == "healthz"),
+        mismatches=mismatches,
+        errors=errors,
+        counters_consistent=counters_consistent,
+        percentiles={
+            kind: histogram.percentiles() for kind, histogram in histograms.items()
+        },
+        processes=processes,
+    )
+    if check and not (result.bit_identical and result.counters_consistent):
+        detail = "; ".join(errors[:3]) or (
+            f"ops {mismatches[:10]} diverged"
+            if mismatches
+            else "health counters drifted from the workload totals"
+        )
+        raise LoadTestError(
+            f"multi-process replay with {processes} clients diverged from "
+            f"the serial replay ({len(mismatches)} mismatches, "
             f"{len(errors)} errors): {detail}"
         )
     return result

@@ -33,10 +33,11 @@ Two serving tricks carry the throughput story (benchmarked in
 from __future__ import annotations
 
 import json
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.private_trie import PrivateCountingTrie
@@ -45,7 +46,13 @@ from repro.obs import MetricsRegistry, log_buckets, render_prometheus
 from repro.serving.compiled import CompiledTrie
 from repro.serving.store import ReleaseStore
 
-__all__ = ["QueryService", "MicroBatcher", "create_server", "serve_forever"]
+__all__ = [
+    "QueryService",
+    "MicroBatcher",
+    "create_server",
+    "serve_forever",
+    "install_graceful_shutdown",
+]
 
 #: endpoints that carry request counters and latency histograms.
 _ENDPOINTS = ("query", "batch", "mine", "healthz")
@@ -391,6 +398,7 @@ class QueryService:
         names: Sequence[str] | None = None,
         *,
         mmap: bool = True,
+        versions: Mapping[str, int] | None = None,
         **kwargs,
     ) -> "QueryService":
         """Serve the pinned-or-latest version of each named release (all
@@ -400,13 +408,19 @@ class QueryService:
         (``.dpsb``) versions are mapped zero-copy — cold start is O(header)
         and concurrent server processes share one page-cache copy — while
         JSON versions are parsed and compiled as before.  ``mmap=False``
-        forces private in-memory copies of binary payloads.
+        forces private in-memory copies of binary payloads.  ``versions``
+        pins an explicit version per name — how the cluster tier makes
+        every worker of one generation serve the *same* snapshot even
+        while a curator publishes new versions underneath.
         """
-        selected = list(names) if names else store.names()
+        selected = list(names) if names else sorted(versions) if versions else store.names()
         if not selected:
             raise ReleaseNotFoundError(f"store {store.root} holds no releases")
         releases = {
-            name: store.load_compiled(name, mmap=mmap) for name in selected
+            name: store.load_compiled(
+                name, versions.get(name) if versions else None, mmap=mmap
+            )
+            for name in selected
         }
         return cls(releases, **kwargs)
 
@@ -422,6 +436,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-dpsc"
+    #: headers and body go out as separate writes; on a keep-alive
+    #: connection Nagle holds the second until the peer's delayed ACK
+    #: (~40ms), which would dwarf every sub-ms query.
+    disable_nagle_algorithm = True
 
     @property
     def service(self) -> QueryService:
@@ -589,6 +607,41 @@ def create_server(
     return server
 
 
+def install_graceful_shutdown(
+    drain: Callable[[], None],
+    signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT),
+) -> Callable[[], None]:
+    """Install SIGTERM/SIGINT handlers that call ``drain`` exactly once.
+
+    ``drain`` must be fast and signal-safe — the convention here is to hand
+    the actual draining to a daemon thread (``server.shutdown()`` blocks
+    until ``serve_forever`` exits, which must not happen inside the signal
+    handler running on the serving thread).  Returns a restore function
+    that reinstates the previous handlers; a no-op pair outside the main
+    thread, where CPython refuses ``signal.signal`` (tests, embedded use).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    fired = threading.Event()
+
+    def handler(signum, frame):  # noqa: ARG001 - signal API
+        if not fired.is_set():  # repeated signals must not re-drain
+            fired.set()
+            threading.Thread(
+                target=drain, name="repro-graceful-drain", daemon=True
+            ).start()
+
+    previous = [(number, signal.getsignal(number)) for number in signals]
+    for number in signals:
+        signal.signal(number, handler)
+
+    def restore() -> None:
+        for number, old in previous:
+            signal.signal(number, old)
+
+    return restore
+
+
 def serve_forever(
     service: QueryService,
     host: str = "127.0.0.1",
@@ -596,15 +649,26 @@ def serve_forever(
     *,
     verbose: bool = True,
 ) -> None:  # pragma: no cover - blocking entry point exercised via the CLI
+    """Serve until SIGTERM/SIGINT (or KeyboardInterrupt), then drain.
+
+    The drain order is the graceful-shutdown contract the cluster tier
+    reuses: stop accepting (``shutdown``), join the in-flight handler
+    threads (``server_close`` — ``block_on_close`` holds them), then flush
+    the micro-batcher (``service.close`` drains its queue before joining
+    the worker).  In-flight requests complete; only new connections are
+    refused.
+    """
     server = create_server(service, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"dpsc serving {sorted(service.releases_info(), key=lambda r: r['name'])}")
     print(f"listening on http://{bound_host}:{bound_port}")
+    restore = install_graceful_shutdown(server.shutdown)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        restore()
         server.shutdown()
         server.server_close()
         service.close()

@@ -1,0 +1,153 @@
+"""Cross-process snapshot merge semantics (repro.obs.aggregate).
+
+The tier-wide ``/metrics`` is only trustworthy if the merge respects the
+Prometheus data model: counters add, histograms bucket-merge only when the
+boundaries agree, and gauges are *never* summed — a function-backed gauge
+like ``dpsc_uptime_seconds`` summed across workers is wrong for every
+consumer.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    merge_snapshots,
+    render_snapshot,
+    snapshot_percentile,
+    validate_exposition,
+)
+
+
+def _worker_snapshot(uptime, queries, *, buckets=(0.001, 0.01, 0.1), observe=()):
+    registry = MetricsRegistry()
+    registry.counter("dpsc_queries_total", "queries").inc(queries)
+    registry.gauge("dpsc_uptime_seconds", "uptime").set_function(lambda: uptime)
+    histogram = registry.histogram(
+        "dpsc_request_seconds", "latency", buckets=buckets, gated=False
+    )
+    for value in observe:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+def _series(snapshot, name):
+    return snapshot[name]["series"]
+
+
+class TestCounters:
+    def test_summed_per_label_set(self):
+        merged = merge_snapshots(
+            [("w0", _worker_snapshot(1.0, 10)), ("w1", _worker_snapshot(2.0, 32))]
+        )
+        series = _series(merged, "dpsc_queries_total")
+        assert len(series) == 1
+        assert series[0]["value"] == 42
+        assert series[0]["labels"] == {}
+
+    def test_distinct_label_sets_stay_distinct(self):
+        a = MetricsRegistry()
+        a.counter("dpsc_requests_total", labels={"endpoint": "query"}).inc(3)
+        b = MetricsRegistry()
+        b.counter("dpsc_requests_total", labels={"endpoint": "batch"}).inc(5)
+        merged = merge_snapshots([("w0", a.snapshot()), ("w1", b.snapshot())])
+        by_endpoint = {
+            entry["labels"]["endpoint"]: entry["value"]
+            for entry in _series(merged, "dpsc_requests_total")
+        }
+        assert by_endpoint == {"query": 3, "batch": 5}
+
+
+class TestGauges:
+    def test_never_summed_reported_per_source(self):
+        merged = merge_snapshots(
+            [("w0", _worker_snapshot(100.0, 1)), ("w1", _worker_snapshot(7.0, 1))]
+        )
+        series = _series(merged, "dpsc_uptime_seconds")
+        by_worker = {entry["labels"]["worker"]: entry["value"] for entry in series}
+        assert by_worker == {"w0": 100.0, "w1": 7.0}
+        assert not any(entry["value"] == 107.0 for entry in series)
+
+    def test_source_label_name_configurable(self):
+        merged = merge_snapshots(
+            [("a", _worker_snapshot(1.0, 0)), ("b", _worker_snapshot(2.0, 0))],
+            label="source",
+        )
+        series = _series(merged, "dpsc_uptime_seconds")
+        assert {entry["labels"]["source"] for entry in series} == {"a", "b"}
+
+
+class TestHistograms:
+    def test_equal_buckets_merge(self):
+        merged = merge_snapshots(
+            [
+                ("w0", _worker_snapshot(1.0, 0, observe=(0.0005, 0.05))),
+                ("w1", _worker_snapshot(1.0, 0, observe=(0.005,))),
+            ]
+        )
+        series = _series(merged, "dpsc_request_seconds")
+        assert len(series) == 1
+        value = series[0]["value"]
+        assert value["count"] == 3
+        assert value["sum"] == pytest.approx(0.0555)
+        cumulative = dict(
+            (str(boundary), count) for boundary, count in value["buckets"]
+        )
+        assert cumulative["0.001"] == 1
+        assert cumulative["0.01"] == 2
+        assert cumulative["0.1"] == 3
+        assert cumulative["+Inf"] == 3
+
+    def test_mismatched_buckets_fall_back_to_per_source(self):
+        merged = merge_snapshots(
+            [
+                ("w0", _worker_snapshot(1.0, 0, observe=(0.05,))),
+                (
+                    "w1",
+                    _worker_snapshot(
+                        1.0, 0, buckets=(0.5, 5.0), observe=(0.05,)
+                    ),
+                ),
+            ]
+        )
+        series = _series(merged, "dpsc_request_seconds")
+        assert len(series) == 2
+        assert {entry["labels"]["worker"] for entry in series} == {"w0", "w1"}
+
+    def test_percentile_rederived_from_merged_buckets(self):
+        value = {
+            "buckets": [[0.001, 0], [0.01, 9], [0.1, 10], ["+Inf", 10]],
+            "count": 10,
+            "max": 0.05,
+        }
+        assert snapshot_percentile(value["buckets"], 10, 50.0, 0.05) == 0.01
+        assert snapshot_percentile(value["buckets"], 10, 99.0, 0.05) == 0.1
+        assert math.isnan(snapshot_percentile(value["buckets"], 0, 50.0, 0.0))
+
+
+class TestConflictsAndRendering:
+    def test_kind_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("dpsc_thing").inc()
+        b = MetricsRegistry()
+        b.gauge("dpsc_thing").set(1.0)
+        with pytest.raises(ValueError):
+            merge_snapshots([("w0", a.snapshot()), ("w1", b.snapshot())])
+
+    def test_rendered_merge_passes_exposition_validation(self):
+        merged = merge_snapshots(
+            [
+                ("w0", _worker_snapshot(3.0, 5, observe=(0.002, 0.2))),
+                ("w1", _worker_snapshot(9.0, 7, observe=(0.02,))),
+            ]
+        )
+        text = render_snapshot(merged)
+        assert validate_exposition(text) > 0
+        assert 'dpsc_uptime_seconds{worker="w0"} 3' in text
+
+    def test_single_source_round_trips(self):
+        snapshot = _worker_snapshot(5.0, 2, observe=(0.005,))
+        merged = merge_snapshots([("only", snapshot)])
+        assert _series(merged, "dpsc_queries_total")[0]["value"] == 2
+        assert validate_exposition(render_snapshot(merged)) > 0
