@@ -61,6 +61,7 @@ Subpackages
 """
 
 from repro.api import (
+    CorpusStream,
     Dataset,
     PrivateCounter,
     StructureKind,
@@ -94,10 +95,11 @@ from repro.counting import (
     make_engine,
     resolve_backend,
 )
-from repro.dp import GaussianMechanism, LaplaceMechanism, PrivacyBudget
+from repro.dp import ContinualAccountant, GaussianMechanism, LaplaceMechanism, PrivacyBudget
 from repro.serving import (
     BudgetLedger,
     CompiledTrie,
+    EpochScheduler,
     QueryService,
     ReleaseStore,
     ServingClient,
@@ -108,6 +110,7 @@ from repro.trees import private_colored_counts, private_hierarchical_counts, pri
 __version__ = "1.0.0"
 
 __all__ = [
+    "CorpusStream",
     "Dataset",
     "PrivateCounter",
     "StructureKind",
@@ -136,11 +139,13 @@ __all__ = [
     "SuffixArrayEngine",
     "make_engine",
     "resolve_backend",
+    "ContinualAccountant",
     "GaussianMechanism",
     "LaplaceMechanism",
     "PrivacyBudget",
     "BudgetLedger",
     "CompiledTrie",
+    "EpochScheduler",
     "QueryService",
     "ReleaseStore",
     "ServingClient",

@@ -8,7 +8,8 @@ The package's canonical surface (see ``docs/API.md``) has three parts:
     ``from_payload`` release round-trip.
 :class:`StructureRegistry`
     Kind names (``"heavy-path"``, ``"qgram-t3"``, ``"qgram-t4"``,
-    ``"baseline"``) mapped to builders; :func:`register_structure_kind` adds
+    ``"baseline"``, ``"heavy-path-continual"``) mapped to builders;
+    :func:`register_structure_kind` adds
     new scenarios without touching core, after which the fluent builder, the
     serving layer and the ``dpsc --kind`` flags all accept them.
 :class:`Dataset`
@@ -20,6 +21,7 @@ The pre-existing ``build_theorem*`` / ``build_qgram*`` functions remain as
 thin deprecation shims over exactly this machinery.
 """
 
+from repro.api.continual import build_continual_structure
 from repro.api.dataset import Dataset
 from repro.api.protocol import PrivateCounter
 from repro.api.registry import (
@@ -28,12 +30,15 @@ from repro.api.registry import (
     default_registry,
     register_structure_kind,
 )
+from repro.api.stream import CorpusStream
 
 __all__ = [
+    "CorpusStream",
     "Dataset",
     "PrivateCounter",
     "StructureKind",
     "StructureRegistry",
+    "build_continual_structure",
     "default_registry",
     "register_structure_kind",
 ]

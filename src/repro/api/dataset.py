@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.api.protocol import PrivateCounter
 from repro.api.registry import StructureRegistry, default_registry
+from repro.api.stream import CorpusStream
 from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
 from repro.dp.composition import PrivacyBudget
@@ -60,6 +61,9 @@ class Dataset:
     ledger: "BudgetLedger | None" = None
     ledger_database_id: str | None = None
     ledger_label: str = "release"
+    #: the append-only stream behind a continual dataset (None for the
+    #: single-shot case); build() forwards it to kinds that require one.
+    stream: CorpusStream | None = None
     #: privacy budgets are never implicit: set by with_budget/with_params,
     #: checked by build().
     budget_configured: bool = False
@@ -83,6 +87,17 @@ class Dataset:
     def from_database(cls, database: StringDatabase) -> "Dataset":
         """Wrap an existing :class:`~repro.core.database.StringDatabase`."""
         return cls(database)
+
+    @classmethod
+    def from_stream(cls, stream: CorpusStream) -> "Dataset":
+        """Wrap an append-only :class:`~repro.api.CorpusStream`.
+
+        ``build("heavy-path-continual")`` then releases the stream's latest
+        epoch under the tree schedule without the ``stream=`` keyword; the
+        stream must already hold at least one epoch (the single-shot kinds
+        see a snapshot of every document appended so far).
+        """
+        return cls(stream.full_database(), stream=stream)
 
     # ------------------------------------------------------------------
     # Fluent configuration (each returns a new Dataset)
@@ -182,6 +197,12 @@ class Dataset:
                 ".with_budget(epsilon, delta) (or .with_params(...)) before "
                 ".build() — budgets are never spent implicitly"
             )
+        if (
+            self.stream is not None
+            and "stream" not in kwargs
+            and "stream" in self.registry.get(kind).requires
+        ):
+            kwargs["stream"] = self.stream
         if self.ledger is not None:
             from repro.serving.ledger import build_release
 

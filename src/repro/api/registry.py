@@ -15,6 +15,10 @@ kind             construction
                  (needs ``q`` and ``delta > 0``)
 ``baseline``     the simple top-down noisy trie of the technical
                  overview (the ``Omega(ell^2)``-error comparison point)
+``heavy-path-``  continual release over an append-only
+``continual``    :class:`~repro.api.CorpusStream`: one ``heavy-path``
+                 build per dyadic interval of the epoch's canonical
+                 cover, combined by summation (needs ``stream``)
 ===============  =====================================================
 
 A builder is any callable ``(database, params, *, rng=None, **kwargs) ->
@@ -265,6 +269,32 @@ _DEFAULT_REGISTRY.register(
         "simple top-down noisy trie (technical overview; Omega(ell^2) error "
         "comparison point)"
     ),
+)
+
+
+def _build_continual(
+    database: StringDatabase,
+    params: ConstructionParams,
+    *,
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> PrivateCounter:
+    # Imported lazily: the continual module pulls in the dp schedule and the
+    # stream abstraction, which plain single-shot builds never need.
+    from repro.api.continual import _build_heavy_path_continual
+
+    return _build_heavy_path_continual(database, params, rng=rng, **kwargs)
+
+
+_DEFAULT_REGISTRY.register(
+    "heavy-path-continual",
+    _build_continual,
+    description=(
+        "continual release over an append-only CorpusStream: one heavy-path "
+        "build per dyadic interval of the epoch's canonical cover, combined "
+        "by summation under the O(log T) tree schedule"
+    ),
+    requires=("stream",),
 )
 
 

@@ -1,0 +1,178 @@
+"""Append-only corpora: documents arriving in epochs.
+
+:class:`CorpusStream` is the streaming counterpart of
+:class:`~repro.core.database.StringDatabase`: documents arrive in numbered
+*epochs* (1, 2, 3, ...) and, once appended, are immutable — the continual
+release pipeline (``heavy-path-continual``,
+:class:`~repro.serving.schedule.EpochScheduler`) re-releases the growing
+corpus after every epoch while the dyadic-tree schedule of
+:class:`~repro.dp.ContinualAccountant` keeps the cumulative privacy cost at
+``O(log T)``.
+
+The alphabet and the maximum document length are *public* parameters (the
+same contract as :class:`StringDatabase`); they are fixed when the stream is
+created — or frozen from the first epoch when omitted — so every per-interval
+build over any slice of the stream sees identical public metadata, which is
+what keeps release digests stable under replay.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from repro.core.database import StringDatabase
+from repro.exceptions import InvalidDocumentError, ReproError
+from repro.strings.alphabet import Alphabet, infer_alphabet
+
+__all__ = ["CorpusStream"]
+
+
+class CorpusStream:
+    """An append-only stream of document epochs.
+
+    Parameters
+    ----------
+    alphabet:
+        Public alphabet of the data universe.  Inferred from (and frozen
+        at) the first appended epoch when omitted; later epochs must stay
+        inside it.
+    max_length:
+        Public bound ``ell`` on the document length.  Defaults to the
+        longest document of the first epoch, then stays fixed.
+    name:
+        A label for error messages and scheduler status output.
+
+    Dyadic slicing
+    --------------
+    Epoch ``t`` occupies the half-open slot ``[t - 1, t)`` on the schedule's
+    time axis, so the dyadic interval ``[lo, hi)`` of
+    :func:`~repro.dp.prefix_sums.canonical_cover` holds the documents of
+    epochs ``lo + 1 .. hi`` — exactly what :meth:`database_for` returns.
+    """
+
+    def __init__(
+        self,
+        *,
+        alphabet: Alphabet | None = None,
+        max_length: int | None = None,
+        name: str = "stream",
+    ) -> None:
+        self.name = name
+        self._alphabet = alphabet
+        self._max_length = max_length
+        self._epochs: list[tuple[str, ...]] = []
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_epochs(
+        cls,
+        epochs: Iterable[Sequence[str]],
+        *,
+        alphabet: Alphabet | None = None,
+        max_length: int | None = None,
+        name: str = "stream",
+    ) -> "CorpusStream":
+        """A stream pre-populated with the given document batches."""
+        stream = cls(alphabet=alphabet, max_length=max_length, name=name)
+        for documents in epochs:
+            stream.append_epoch(documents)
+        return stream
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append_epoch(self, documents: Sequence[str]) -> int:
+        """Append one epoch of documents and return its 1-based number.
+
+        Epochs must be non-empty (an empty dyadic interval has no database
+        to build over); documents are validated against the stream's public
+        alphabet and length bound, which freeze at the first epoch.
+        """
+        documents = tuple(documents)
+        if not documents:
+            raise InvalidDocumentError(
+                f"stream {self.name!r}: an epoch must contain at least one document"
+            )
+        with self._lock:
+            if self._alphabet is None:
+                self._alphabet = infer_alphabet(documents)
+            if self._max_length is None:
+                self._max_length = max(len(document) for document in documents)
+            for document in documents:
+                self._alphabet.validate_document(document, self._max_length)
+            self._epochs.append(documents)
+            return len(self._epochs)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        with self._lock:
+            return len(self._epochs)
+
+    @property
+    def alphabet(self) -> Alphabet | None:
+        """The public alphabet (``None`` until the first epoch fixes it)."""
+        return self._alphabet
+
+    @property
+    def max_length(self) -> int | None:
+        """The public length bound (``None`` until the first epoch fixes it)."""
+        return self._max_length
+
+    @property
+    def num_documents(self) -> int:
+        with self._lock:
+            return sum(len(epoch) for epoch in self._epochs)
+
+    def epoch_documents(self, epoch: int) -> tuple[str, ...]:
+        """The documents that arrived in 1-based ``epoch``."""
+        with self._lock:
+            if not 1 <= epoch <= len(self._epochs):
+                raise ReproError(
+                    f"stream {self.name!r} has {len(self._epochs)} epoch(s); "
+                    f"no epoch {epoch}"
+                )
+            return self._epochs[epoch - 1]
+
+    def documents_in(self, lo: int, hi: int) -> list[str]:
+        """Documents of the dyadic interval ``[lo, hi)`` — epochs
+        ``lo + 1 .. hi`` — in arrival order."""
+        with self._lock:
+            if not 0 <= lo < hi <= len(self._epochs):
+                raise ReproError(
+                    f"interval [{lo}, {hi}) outside stream {self.name!r} "
+                    f"with {len(self._epochs)} epoch(s)"
+                )
+            return [
+                document
+                for epoch in self._epochs[lo:hi]
+                for document in epoch
+            ]
+
+    def database_for(self, lo: int, hi: int) -> StringDatabase:
+        """A :class:`StringDatabase` over the interval ``[lo, hi)``, sharing
+        the stream's public alphabet and length bound so every interval
+        build sees identical public metadata."""
+        return StringDatabase(
+            self.documents_in(lo, hi), self._alphabet, self._max_length
+        )
+
+    def full_database(self) -> StringDatabase:
+        """Every document appended so far, as one database."""
+        with self._lock:
+            count = len(self._epochs)
+        if count == 0:
+            raise ReproError(f"stream {self.name!r} holds no epochs yet")
+        return self.database_for(0, count)
+
+    def __len__(self) -> int:
+        return self.num_epochs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CorpusStream(name={self.name!r}, epochs={self.num_epochs}, "
+            f"documents={self.num_documents})"
+        )

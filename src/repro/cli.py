@@ -11,6 +11,8 @@ serving layer from the shell::
                                    #   --profile for per-stage build timings)
     dpsc releases --store ./rel    # inspect (or --build --kind ...) a store
     dpsc releases migrate          # convert JSON releases to binary in place
+    dpsc epochs run --store ./rel  # continual release: stream -> epochs -> store
+    dpsc epochs status --store ./rel   # schedule position and budget spend
     dpsc serve --store ./rel       # serve compiled releases over HTTP (mmap)
     dpsc query GATTACA ACGT        # query a running server
     dpsc bench-load --threads 1,8  # hammer a service, assert bit-identical
@@ -33,7 +35,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.analysis import experiments, reporting
-from repro.api import Dataset, default_registry
+from repro.api import CorpusStream, Dataset, default_registry
 from repro.counting import AUTO_BACKEND, BACKENDS
 from repro.core.mining import mine_frequent_substrings
 from repro.core.params import (
@@ -45,6 +47,7 @@ from repro.dp.composition import PrivacyBudget
 from repro.exceptions import ReproError
 from repro.serving import (
     BudgetLedger,
+    EpochScheduler,
     QueryService,
     ReleaseStore,
     ServingClient,
@@ -160,6 +163,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
         "E27": (
             "Sharded serving tier: worker-count throughput scaling, bit identity, crash drill",
             lambda: experiments.run_serving_scale(),
+        ),
+        "E28": (
+            "Continual release: O(log T) tree-schedule spend, digest-stable replay, hot reload",
+            lambda: experiments.run_continual_release(),
         ),
     }
 
@@ -625,6 +632,120 @@ def _cmd_releases(args: argparse.Namespace) -> int:
     return 0
 
 
+def _epoch_stream(args: argparse.Namespace) -> CorpusStream:
+    """A synthetic append-only stream: the workload's documents split into
+    ``--epochs`` contiguous arrival batches."""
+    database, _rng = _build_workload_database(args.workload, args.n, args.ell, args.seed)
+    documents = list(database)
+    epochs = max(1, args.epochs)
+    if len(documents) < epochs:
+        raise ReproError(
+            f"--epochs {epochs} needs at least that many documents (--n {args.n})"
+        )
+    stream = CorpusStream(name=args.name or args.workload)
+    base, extra = divmod(len(documents), epochs)
+    start = 0
+    for index in range(epochs):
+        size = base + (1 if index < extra else 0)
+        stream.append_epoch(documents[start : start + size])
+        start += size
+    return stream
+
+
+def _open_epoch_ledger(store: ReleaseStore, args: argparse.Namespace) -> BudgetLedger:
+    return BudgetLedger(
+        PrivacyBudget(args.cap_epsilon, args.cap_delta),
+        path=store.root / "ledger.json",
+    )
+
+
+def _cmd_epochs(args: argparse.Namespace) -> int:
+    store = ReleaseStore(args.store)
+    if args.action == "status":
+        ledger_path = store.root / "ledger.json"
+        if not ledger_path.exists():
+            print(f"(no ledger at {ledger_path}: no epochs have been released)")
+            return 0
+        # Open with the *persisted* cap so a read-only status can never
+        # tighten the recorded policy (the ledger keeps component-wise mins).
+        persisted = json.loads(ledger_path.read_text()).get("cap") or {}
+        ledger = BudgetLedger(
+            PrivacyBudget(
+                persisted.get("epsilon", args.cap_epsilon),
+                persisted.get("delta", args.cap_delta),
+            ),
+            path=ledger_path,
+        )
+        names = [args.name] if args.name else ledger.database_ids()
+        shown = 0
+        for name in names:
+            entries = ledger.epoch_entries(name)
+            if not entries:
+                continue
+            shown += 1
+            spent = ledger.spent(name)
+            naive = sum(entry["epsilon"] for entry in entries[:1]) * len(entries)
+            print(
+                f"{name}: {len(entries)} epoch(s) released, "
+                f"spent eps={spent.epsilon:g} delta={spent.delta:g} "
+                f"of cap eps={ledger.cap.epsilon:g} delta={ledger.cap.delta:g} "
+                f"(naive sequential composition: eps={naive:g})"
+            )
+            for entry in entries:
+                print(
+                    f"  epoch {entry['epoch']:<4d} marginal "
+                    f"eps={entry['epsilon']:<8g} delta={entry['delta']:<10g} "
+                    f"label={entry['label']}"
+                )
+        for record in store.list_releases():
+            if record.epoch is not None and (not args.name or record.name == args.name):
+                print(
+                    f"  {record.name} v{record.version} <- epoch {record.epoch}"
+                    + (
+                        f" (parent v{record.parent_version})"
+                        if record.parent_version is not None
+                        else ""
+                    )
+                )
+        if not shown:
+            print("(the ledger has no epoch charges yet)")
+        return 0
+
+    # action == "run": drive the scheduler over a synthetic stream.
+    try:
+        stream = _epoch_stream(args)
+        ledger = _open_epoch_ledger(store, args)
+        scheduler = EpochScheduler(
+            stream,
+            store,
+            ledger,
+            params=_cli_params(args),
+            seed=args.seed,
+            base_kind=args.kind,
+            **_kind_kwargs(args),
+        )
+        released = scheduler.run_pending()
+    except ReproError as error:
+        print(f"refused: {error}", file=sys.stderr)
+        return 2
+    for release in released:
+        print(
+            f"epoch {release.epoch:<4d} -> {stream.name} v{release.version} "
+            f"(marginal eps={release.epsilon:g}, spent eps={release.spent_epsilon:g}, "
+            f"{release.num_patterns} patterns, digest {release.digest[:12]}...)"
+        )
+    if not released:
+        print("(nothing to release: the store is already at the stream head)")
+    status = scheduler.status()
+    print(
+        f"schedule: {status['released_epochs']}/{status['stream_epochs']} epochs, "
+        f"tree-bound eps={status['tree_bound_epsilon']:g} vs "
+        f"naive eps={status['naive_epsilon']:g}, "
+        f"cap eps={status['cap_epsilon']:g}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dpsc",
@@ -823,6 +944,47 @@ def build_parser() -> argparse.ArgumentParser:
     releases_parser.add_argument("--seed", type=int, default=0)
     _add_build_arguments(releases_parser)
     releases_parser.set_defaults(func=_cmd_releases)
+
+    epochs_parser = subparsers.add_parser(
+        "epochs",
+        help="continual release: build one store version per stream epoch "
+        "under the O(log T) dyadic-tree budget schedule",
+    )
+    epochs_parser.add_argument(
+        "action",
+        choices=("run", "status"),
+        help="'run': release every pending epoch of a synthetic workload "
+        "stream; 'status': print the schedule position, per-epoch charges "
+        "and budget spend recorded in the store's ledger",
+    )
+    epochs_parser.add_argument(
+        "--store", required=True, help="release store directory (ledger lives inside)"
+    )
+    epochs_parser.add_argument(
+        "--workload", choices=("genome", "transit"), default="genome"
+    )
+    epochs_parser.add_argument(
+        "--epochs",
+        type=int,
+        default=4,
+        help="number of arrival batches the workload is split into",
+    )
+    epochs_parser.add_argument(
+        "--name", default="", help="release name / database id (default: workload)"
+    )
+    epochs_parser.add_argument("--n", type=int, default=120)
+    epochs_parser.add_argument("--ell", type=int, default=10)
+    epochs_parser.add_argument("--epsilon", type=float, default=20.0)
+    epochs_parser.add_argument(
+        "--cap-epsilon",
+        type=float,
+        default=200.0,
+        help="ledger cap; (floor(log2 T)+1) * --epsilon funds a horizon of T",
+    )
+    epochs_parser.add_argument("--cap-delta", type=float, default=1e-5)
+    epochs_parser.add_argument("--seed", type=int, default=0)
+    _add_build_arguments(epochs_parser)
+    epochs_parser.set_defaults(func=_cmd_epochs)
     return parser
 
 

@@ -1,6 +1,12 @@
 """Differential-privacy substrate: mechanisms, composition, prefix sums."""
 
-from repro.dp.composition import CompositionRecord, PrivacyAccountant, PrivacyBudget
+from repro.dp.composition import (
+    CompositionRecord,
+    ContinualAccountant,
+    EpochCharge,
+    PrivacyAccountant,
+    PrivacyBudget,
+)
 from repro.dp.distributions import (
     gaussian_sum_std,
     gaussian_tail_bound,
@@ -25,6 +31,8 @@ from repro.dp.prefix_sums import (
 
 __all__ = [
     "CompositionRecord",
+    "ContinualAccountant",
+    "EpochCharge",
     "PrivacyAccountant",
     "PrivacyBudget",
     "gaussian_sum_std",

@@ -6,15 +6,30 @@ sequence of ``(epsilon_i, delta_i)``-DP algorithms is
 ``(sum epsilon_i, sum delta_i)``-DP.  :class:`PrivacyBudget` models a budget
 and its splits; :class:`PrivacyAccountant` records what each construction
 stage actually spent, so the total privacy cost of a run can be audited.
+
+:class:`ContinualAccountant` extends the same accounting to *continual
+observation*: a corpus that grows by one epoch at a time and is re-released
+after every epoch.  Naive sequential composition prices ``T`` re-releases at
+``T`` times the per-release budget; charging them against the dyadic-tree
+schedule of :mod:`repro.dp.prefix_sums` (the binary-tree mechanism applied to
+epochs instead of sequence positions) brings the total down to
+``(floor(log2 T) + 1)`` times the per-release budget.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.exceptions import PrivacyParameterError
 
-__all__ = ["PrivacyBudget", "PrivacyAccountant", "CompositionRecord"]
+__all__ = [
+    "PrivacyBudget",
+    "PrivacyAccountant",
+    "CompositionRecord",
+    "ContinualAccountant",
+    "EpochCharge",
+]
 
 
 @dataclass(frozen=True)
@@ -116,3 +131,185 @@ class PrivacyAccountant:
             f"  total: epsilon={self.total_epsilon:.6g}, delta={self.total_delta:.3g}"
         )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class EpochCharge:
+    """The accounting outcome of one epoch under the dyadic-tree schedule."""
+
+    #: 1-based epoch number.
+    epoch: int
+    #: marginal ``(epsilon, delta)`` this epoch added to the running total
+    #: (the full per-level budget when a new tree level opened, zero
+    #: otherwise — see :class:`ContinualAccountant`).
+    epsilon: float
+    delta: float
+    #: whether this epoch opened a new dyadic level (epoch is a power of two).
+    new_level: bool
+    #: dyadic levels in use after this epoch: ``floor(log2 epoch) + 1``.
+    levels_used: int
+    #: the dyadic interval ``[epoch - lowbit(epoch), epoch)`` that *completed*
+    #: at this epoch — the one new per-interval structure a continual builder
+    #: has to construct.
+    new_interval: tuple[int, int]
+    #: canonical dyadic cover of ``[0, epoch)`` — the intervals whose
+    #: structures the epoch's combined release is assembled from.
+    cover: tuple[tuple[int, int], ...]
+
+
+class ContinualAccountant:
+    """Prices ``T`` re-releases of a growing corpus at ``O(log T)`` budget.
+
+    The schedule is the binary-tree mechanism of
+    :mod:`repro.dp.prefix_sums` applied to *epochs*: the release after epoch
+    ``t`` is assembled from one private structure per interval of
+    ``canonical_cover(t, horizon)``, and exactly one new interval —
+    ``[t - lowbit(t), t)``, exposed as :meth:`new_interval` — completes at
+    each epoch.  Each per-interval structure is built over only the
+    documents of its epochs with the full ``epoch_budget``.
+
+    Why that costs ``O(log T)`` instead of ``O(T)``: every document arrives
+    in exactly one epoch, so the intervals of one dyadic *level* are
+    data-disjoint and compose in parallel — the whole level costs one
+    ``epoch_budget`` no matter how many of its intervals are ever built.
+    Levels compose sequentially, and epochs ``1..t`` touch levels
+    ``0..floor(log2 t)``, so the cumulative spend through epoch ``t`` is
+    ``(floor(log2 t) + 1) * epoch_budget``.  The marginal charge of an epoch
+    is therefore the full ``epoch_budget`` exactly when a new level opens
+    (``t`` a power of two) and zero otherwise.  Combining the cover
+    structures into one release is post-processing and free.
+
+    Epochs must be charged in order (1, 2, 3, ...): the schedule's soundness
+    argument is about the *sequence* of releases, not any single one.
+    """
+
+    def __init__(self, epoch_budget: PrivacyBudget, *, horizon: int) -> None:
+        if horizon < 1:
+            raise PrivacyParameterError("horizon must be at least 1 epoch")
+        self.epoch_budget = epoch_budget
+        self.horizon = int(horizon)
+        #: dyadic levels at full horizon: floor(log2 T) + 1.
+        self.levels = int(math.floor(math.log2(self.horizon))) + 1
+        self.accountant = PrivacyAccountant()
+        self.charges: list[EpochCharge] = []
+
+    # ------------------------------------------------------------------
+    # Schedule geometry (pure functions of the epoch number)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def levels_used(epoch: int) -> int:
+        """Dyadic levels in use after ``epoch`` epochs: ``floor(log2 t)+1``."""
+        if epoch < 1:
+            return 0
+        return epoch.bit_length()
+
+    @staticmethod
+    def new_interval(epoch: int) -> tuple[int, int]:
+        """The one dyadic interval that completes at ``epoch``:
+        ``[epoch - lowbit(epoch), epoch)``."""
+        if epoch < 1:
+            raise PrivacyParameterError("epochs are numbered from 1")
+        return (epoch - (epoch & -epoch), epoch)
+
+    def cover(self, epoch: int) -> list[tuple[int, int]]:
+        """Canonical dyadic cover of ``[0, epoch)`` — the per-interval
+        structures the epoch's combined release is built from (reuses
+        :func:`repro.dp.prefix_sums.canonical_cover`)."""
+        from repro.dp.prefix_sums import canonical_cover
+
+        if not 1 <= epoch <= self.horizon:
+            raise PrivacyParameterError(
+                f"epoch {epoch} outside the schedule horizon [1, {self.horizon}]"
+            )
+        return canonical_cover(epoch, self.horizon)
+
+    def marginal(self, epoch: int) -> tuple[float, float]:
+        """The ``(epsilon, delta)`` charging ``epoch`` would add: the full
+        epoch budget when a new level opens, zero otherwise."""
+        if not 1 <= epoch <= self.horizon:
+            raise PrivacyParameterError(
+                f"epoch {epoch} outside the schedule horizon [1, {self.horizon}]"
+            )
+        if epoch & (epoch - 1) == 0:  # power of two: a new level opens
+            return (self.epoch_budget.epsilon, self.epoch_budget.delta)
+        return (0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    @property
+    def current_epoch(self) -> int:
+        """Epochs charged so far (the next charge is ``current_epoch + 1``)."""
+        return len(self.charges)
+
+    def charge_epoch(self, epoch: int | None = None) -> EpochCharge:
+        """Charge the next epoch against the schedule and return its record.
+
+        ``epoch`` defaults to the next epoch in sequence and must equal it
+        when given — the schedule cannot skip or repeat epochs.
+        """
+        expected = self.current_epoch + 1
+        if epoch is None:
+            epoch = expected
+        if epoch != expected:
+            raise PrivacyParameterError(
+                f"epochs must be charged in order: expected epoch {expected}, "
+                f"got {epoch}"
+            )
+        if epoch > self.horizon:
+            raise PrivacyParameterError(
+                f"epoch {epoch} exceeds the schedule horizon {self.horizon}"
+            )
+        epsilon, delta = self.marginal(epoch)
+        self.accountant.spend(f"epoch-{epoch}", epsilon, delta)
+        charge = EpochCharge(
+            epoch=epoch,
+            epsilon=epsilon,
+            delta=delta,
+            new_level=epsilon > 0 or delta > 0 or epoch == 1,
+            levels_used=self.levels_used(epoch),
+            new_interval=self.new_interval(epoch),
+            cover=tuple(self.cover(epoch)),
+        )
+        self.charges.append(charge)
+        return charge
+
+    # ------------------------------------------------------------------
+    # Totals and bounds
+    # ------------------------------------------------------------------
+    @property
+    def total_epsilon(self) -> float:
+        return self.accountant.total_epsilon
+
+    @property
+    def total_delta(self) -> float:
+        return self.accountant.total_delta
+
+    def spent_through(self, epoch: int) -> tuple[float, float]:
+        """The closed-form cumulative spend after ``epoch`` epochs:
+        ``(floor(log2 epoch) + 1) * epoch_budget``."""
+        levels = self.levels_used(epoch)
+        return (
+            levels * self.epoch_budget.epsilon,
+            levels * self.epoch_budget.delta,
+        )
+
+    def total_budget(self) -> PrivacyBudget:
+        """Worst-case spend over the full horizon: ``levels * epoch_budget``
+        — what a :class:`~repro.serving.BudgetLedger` cap must cover."""
+        return PrivacyBudget(
+            self.levels * self.epoch_budget.epsilon,
+            self.levels * self.epoch_budget.delta,
+        )
+
+    def naive_budget(self, epochs: int | None = None) -> PrivacyBudget:
+        """What the same re-releases would cost under naive sequential
+        composition (one full ``epoch_budget`` per epoch) — the comparison
+        point the tree schedule beats for ``epochs >= 3``."""
+        count = self.horizon if epochs is None else int(epochs)
+        if count < 1:
+            raise PrivacyParameterError("epochs must be at least 1")
+        return PrivacyBudget(
+            count * self.epoch_budget.epsilon,
+            count * self.epoch_budget.delta,
+        )

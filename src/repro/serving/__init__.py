@@ -20,6 +20,13 @@ PrivateCountingTrie` to serving millions of pattern queries:
     :class:`BudgetLedger` and :func:`build_release` — cumulative privacy
     accounting across releases of the same database, refusing builds that
     would exceed a global ``(epsilon, delta)`` cap.
+``schedule``
+    :class:`EpochScheduler` — the continual-release loop: watch an
+    append-only :class:`~repro.api.CorpusStream`, build every epoch's
+    release under the ``O(log T)`` dyadic-tree budget schedule
+    (:class:`~repro.dp.ContinualAccountant`), charge the ledger, publish
+    the next store version and hot-reload the serving tier
+    (``dpsc epochs run/status``; see ``docs/CONTINUAL.md``).
 ``server`` / ``client``
     A stdlib ``ThreadingHTTPServer`` JSON API (``/query``, ``/batch``,
     ``/mine``, ``/releases``, ``/healthz``) with request micro-batching and
@@ -57,6 +64,7 @@ from repro.serving.loadtest import (
     run_load_test,
     run_load_test_processes,
 )
+from repro.serving.schedule import EpochRelease, EpochScheduler
 from repro.serving.server import (
     MicroBatcher,
     QueryService,
@@ -70,6 +78,8 @@ __all__ = [
     "Cluster",
     "CacheInfo",
     "CompiledTrie",
+    "EpochRelease",
+    "EpochScheduler",
     "ServingClient",
     "ServingClientError",
     "BudgetLedger",

@@ -29,7 +29,7 @@ from repro.core.database import StringDatabase
 from repro.core.params import ConstructionParams
 from repro.core.private_trie import PrivateCountingTrie
 from repro.dp.composition import CompositionRecord, PrivacyAccountant, PrivacyBudget
-from repro.exceptions import BudgetExceededError
+from repro.exceptions import BudgetExceededError, PrivacyParameterError
 from repro.serving._fsio import (
     FileLock,
     append_jsonl,
@@ -94,6 +94,7 @@ class BudgetLedger:
         else:
             self._audit_path = None
         self._accountants: dict[str, PrivacyAccountant] = {}
+        self._epochs: dict[str, list[dict]] = {}
         self._lock = threading.Lock()
         self._file_lock = (
             FileLock(self._path.with_name(self._path.name + ".lock"))
@@ -136,11 +137,17 @@ class BudgetLedger:
             return self._can_afford(database_id, budget)
 
     def _can_afford(self, database_id: str, budget: PrivacyBudget) -> bool:
+        return self._can_afford_raw(database_id, budget.epsilon, budget.delta)
+
+    def _can_afford_raw(self, database_id: str, epsilon: float, delta: float) -> bool:
+        """Affordability over raw floats — epoch charges may be exactly zero
+        (non-power-of-two epochs of the tree schedule), which
+        :class:`PrivacyBudget` cannot represent."""
         accountant = self._accountant(database_id)
         tolerance = 1e-9
         return (
-            accountant.total_epsilon + budget.epsilon <= self.cap.epsilon + tolerance
-            and accountant.total_delta + budget.delta <= self.cap.delta + tolerance
+            accountant.total_epsilon + epsilon <= self.cap.epsilon + tolerance
+            and accountant.total_delta + delta <= self.cap.delta + tolerance
         )
 
     def charge(
@@ -189,6 +196,95 @@ class BudgetLedger:
         with self._lock:
             self._refresh_if_stale()
             return self._entries(database_id)
+
+    # ------------------------------------------------------------------
+    # Epoch accounting (continual release)
+    # ------------------------------------------------------------------
+    def charge_epoch(
+        self,
+        database_id: str,
+        epoch: int,
+        epsilon: float,
+        delta: float = 0.0,
+        *,
+        label: str = "epoch",
+    ) -> None:
+        """Record one epoch's *marginal* charge under a continual-release
+        schedule (see :class:`repro.dp.ContinualAccountant`).
+
+        Unlike :meth:`charge`, the amounts are raw floats because the tree
+        schedule's marginal is exactly zero at non-power-of-two epochs —
+        those epochs still get a durable ledger entry and an audit record,
+        so the trail shows every release, not just the charged ones.
+        Epochs must arrive in order (1, 2, 3, ...) per database; the charge
+        runs under the same in-process + advisory-file locking and
+        atomic-save discipline as :meth:`charge`, so a crash mid-epoch can
+        never lose or double-book accounting.
+        """
+        with self._lock:
+            if self._file_lock is None:
+                self._charge_epoch_locked(database_id, epoch, epsilon, delta, label)
+                return
+            with self._file_lock:
+                self._refresh_if_stale()
+                self._charge_epoch_locked(database_id, epoch, epsilon, delta, label)
+
+    def _charge_epoch_locked(
+        self, database_id: str, epoch: int, epsilon: float, delta: float, label: str
+    ) -> None:
+        if epsilon < 0 or delta < 0:
+            raise PrivacyParameterError("cannot charge a negative epoch budget")
+        recorded = self._epochs.setdefault(database_id, [])
+        expected = len(recorded) + 1
+        if epoch != expected:
+            raise PrivacyParameterError(
+                f"epochs must be charged in order for {database_id!r}: "
+                f"expected epoch {expected}, got {epoch}"
+            )
+        detail = {"epoch": epoch, "epsilon": epsilon, "delta": delta}
+        if not self._can_afford_raw(database_id, epsilon, delta):
+            accountant = self._accountant(database_id)
+            self._audit("refusal", database_id, label=label, extra=detail)
+            raise BudgetExceededError(
+                f"charging epoch {epoch} ({epsilon:g}, {delta:g}) to "
+                f"{database_id!r} would exceed the global cap "
+                f"({self.cap.epsilon:g}, {self.cap.delta:g}); already spent "
+                f"({accountant.total_epsilon:g}, {accountant.total_delta:g})",
+                requested=(epsilon, delta),
+                spent=(accountant.total_epsilon, accountant.total_delta),
+                cap=(self.cap.epsilon, self.cap.delta),
+            )
+        self._accountant(database_id).spend(label, epsilon, delta)
+        recorded.append({**detail, "label": label})
+        # Same invariant as charge(): audit before the balance save, so a
+        # crash in between over-reports (a charge with no booked balance)
+        # instead of under-reporting.
+        self._audit("charge_epoch", database_id, label=label, extra=detail)
+        self._save()
+
+    def epoch_entries(self, database_id: str | None = None) -> list[dict]:
+        """The durable per-epoch records, in charge order.
+
+        Each entry carries ``epoch``, ``epsilon``, ``delta`` and ``label``;
+        with ``database_id=None`` every database's entries are returned with
+        a ``database_id`` key added.
+        """
+        with self._lock:
+            self._refresh_if_stale()
+            if database_id is not None:
+                return [dict(entry) for entry in self._epochs.get(database_id, [])]
+            return [
+                {"database_id": name, **entry}
+                for name in sorted(self._epochs)
+                for entry in self._epochs[name]
+            ]
+
+    def next_epoch(self, database_id: str) -> int:
+        """The epoch number the next :meth:`charge_epoch` must carry —
+        how a restarted scheduler resumes a persisted schedule."""
+        with self._lock:
+            self._refresh_if_stale()
+            return len(self._epochs.get(database_id, ())) + 1
 
     def _entries(
         self, database_id: str | None = None
@@ -318,6 +414,7 @@ class BudgetLedger:
             self._signature = None
             return
         self._accountants = {}
+        self._epochs = {}
         self._load()
 
     def _save(self) -> None:
@@ -336,6 +433,15 @@ class BudgetLedger:
                 for name, record in self._entries()
             ],
         }
+        if self._epochs:
+            # Continual-release schedules persist their per-epoch records too
+            # (absent for single-shot ledgers, so pre-epoch files keep their
+            # exact shape).
+            payload["epochs"] = {
+                name: [dict(entry) for entry in entries]
+                for name, entries in sorted(self._epochs.items())
+                if entries
+            }
         # Atomic + fsynced: a crash mid-save leaves the previous complete
         # ledger in place — privacy accounting is never lost or truncated.
         atomic_write_json(self._path, payload, indent=2)
@@ -361,6 +467,8 @@ class BudgetLedger:
             self._accountant(entry["database_id"]).spend(
                 entry["label"], entry["epsilon"], entry["delta"]
             )
+        for name, entries in payload.get("epochs", {}).items():
+            self._epochs[name] = [dict(entry) for entry in entries]
         self._signature = signature
 
 

@@ -87,6 +87,11 @@ class ReleaseRecord:
     pinned: bool = False
     #: payload format of this version: ``"json"`` or ``"binary"``.
     format: str = "json"
+    #: 1-based epoch of a continual-release stream (``None`` for single-shot
+    #: releases, which are the trivial one-epoch case).
+    epoch: int | None = None
+    #: the store version this release supersedes (``None`` for the first).
+    parent_version: int | None = None
 
 
 def _digest(payload: str) -> str:
@@ -126,6 +131,7 @@ class ReleaseStore:
         structure: "PrivateCountingTrie | CompiledTrie",
         *,
         format: str | None = None,
+        epoch: int | None = None,
     ) -> ReleaseRecord:
         """Persist ``structure`` as the next version of release ``name``
         (any counter form with the shared payload surface: in-memory
@@ -135,6 +141,12 @@ class ReleaseStore:
         (and an unset store default) means binary.  The recorded digest is
         the canonical JSON content digest in either format, so the two are
         interchangeable under every digest check.
+
+        ``epoch`` tags the version as the release of a continual stream's
+        1-based epoch; the previous latest version is then recorded as its
+        ``parent_version``, so the index carries the full re-release chain.
+        Versions saved without ``epoch`` keep the exact pre-epoch index
+        shape (the keys are simply absent).
         """
         if not name or "/" in name or name.startswith("."):
             raise ReproError(f"invalid release name {name!r}")
@@ -180,7 +192,7 @@ class ReleaseStore:
                 binfmt.write_binary(path, compiled, content_digest=digest)
             else:
                 atomic_write_text(path, payload)
-            entry["versions"][str(version)] = {
+            info = {
                 "digest": digest,
                 "epsilon": structure.metadata.epsilon,
                 "delta": structure.metadata.delta,
@@ -188,6 +200,12 @@ class ReleaseStore:
                 "num_patterns": structure.num_stored_patterns,
                 "format": fmt,
             }
+            if epoch is not None:
+                info["epoch"] = int(epoch)
+                previous = [int(v) for v in entry["versions"]]
+                if previous:
+                    info["parent_version"] = max(previous)
+            entry["versions"][str(version)] = info
             self._write_index()
             return self._record(name, version)
 
@@ -447,6 +465,10 @@ class ReleaseStore:
             num_patterns=info["num_patterns"],
             pinned=pinned,
             format=fmt,
+            # Continual-release chain metadata; absent (None) on indexes
+            # written by the single-shot path, old or new.
+            epoch=info.get("epoch"),
+            parent_version=info.get("parent_version"),
         )
 
     def _write_index(self) -> None:

@@ -135,3 +135,30 @@ class TestShimEquivalence:
         )
         assert old.to_payload()["counts"] == new.to_payload()["counts"]
         assert old.metadata == new.metadata
+
+
+class TestLceParameterShim:
+    """The dead ``lce`` parameter of ``suffix_prefix_overlaps``: accepted,
+    ignored, and announced as deprecated exactly once per process."""
+
+    def test_passing_lce_warns_once_and_changes_nothing(self):
+        from repro.core.candidate_set import suffix_prefix_overlaps
+
+        strings = ["abc", "cab", "bca"]
+        clean = suffix_prefix_overlaps(strings, 1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = suffix_prefix_overlaps(strings, 1, None)
+            suffix_prefix_overlaps(strings, 1, None)  # second call: silent
+        assert shimmed == clean
+        messages = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(messages) == 1
+        assert "lce parameter" in str(messages[0].message)
+
+    def test_not_passing_lce_never_warns(self):
+        from repro.core.candidate_set import suffix_prefix_overlaps
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            suffix_prefix_overlaps(["abc", "cab"], 1)
+        assert not caught

@@ -7,15 +7,23 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.api import Dataset, PrivateCounter, default_registry
+from repro.api import CorpusStream, Dataset, PrivateCounter, default_registry
 from repro.core.private_trie import PrivateCountingTrie
 from repro.serving import CompiledTrie, QueryService, ReleaseStore
 
+DOCUMENTS = ["abab", "abba", "baba", "bbbb", "aabb"]
+
 #: (kind, builder kwargs) for every kind in the default registry; the budget
 #: carries delta > 0 so qgram-t4 builds, and noiseless + threshold 1 make
-#: the structures deterministic and non-empty on the tiny fixture.
+#: the structures deterministic and non-empty on the tiny fixture.  The
+#: continual kind builds the same documents as a one-epoch stream — the
+#: single-shot special case of the tree schedule.
 KIND_KWARGS = {
     "heavy-path": {},
+    "heavy-path-continual": {
+        "stream": CorpusStream.from_epochs([DOCUMENTS]),
+        "seed": 7,
+    },
     "qgram-t3": {"q": 2},
     "qgram-t4": {"q": 2},
     "baseline": {"max_nodes": 500},
@@ -24,9 +32,8 @@ KIND_KWARGS = {
 
 @pytest.fixture(scope="module")
 def counters():
-    database_documents = ["abab", "abba", "baba", "bbbb", "aabb"]
     dataset = (
-        Dataset.from_documents(database_documents)
+        Dataset.from_documents(DOCUMENTS)
         .with_budget(2.0, 1e-6)
         .with_beta(0.1)
         .noiseless()

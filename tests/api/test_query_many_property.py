@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import Dataset, default_registry
+from repro.api import CorpusStream, Dataset, default_registry
 
 #: Patterns probe stored entries, near-misses ("c" is in no document) and
 #: outside-alphabet characters ("z", NUL); uniform-length lists arise
@@ -25,8 +25,14 @@ UNIFORM_PATTERNS = st.integers(1, 4).flatmap(
     )
 )
 
+DOCUMENTS = ["abab", "abba", "baba", "bbbb", "aabb", "abc"]
+
 KIND_KWARGS = {
     "heavy-path": {},
+    "heavy-path-continual": {
+        "stream": CorpusStream.from_epochs([DOCUMENTS]),
+        "seed": 3,
+    },
     "qgram-t3": {"q": 2},
     "qgram-t4": {"q": 2},
     "baseline": {"max_nodes": 500},
@@ -36,7 +42,7 @@ KIND_KWARGS = {
 @pytest.fixture(scope="module")
 def counters():
     dataset = (
-        Dataset.from_documents(["abab", "abba", "baba", "bbbb", "aabb", "abc"])
+        Dataset.from_documents(DOCUMENTS)
         .with_budget(2.0, 1e-6)
         .with_beta(0.1)
         .noiseless()

@@ -29,6 +29,7 @@ class TestDefaultRegistry:
             "qgram-t3",
             "qgram-t4",
             "baseline",
+            "heavy-path-continual",
         ]
 
     def test_unknown_kind_lists_the_registered_ones(self, example_db, params):

@@ -1,0 +1,115 @@
+"""Tests for the continual-observation accountant (the dyadic-tree schedule).
+
+The load-bearing properties: the cumulative spend over ``T`` re-releases
+equals ``bit_length(T)`` epoch budgets (so it fits a ledger cap of
+``levels * epoch_budget``), and from ``T = 4`` on it is *strictly* below
+the ``T * epoch_budget`` of naive sequential composition.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.composition import ContinualAccountant, PrivacyBudget
+from repro.dp.prefix_sums import canonical_cover
+from repro.exceptions import PrivacyParameterError
+
+
+class TestScheduleGeometry:
+    def test_levels_used(self):
+        assert ContinualAccountant.levels_used(0) == 0
+        assert [ContinualAccountant.levels_used(t) for t in range(1, 9)] == [
+            1, 2, 2, 3, 3, 3, 3, 4,
+        ]
+
+    def test_new_interval_is_lowbit_block(self):
+        assert ContinualAccountant.new_interval(1) == (0, 1)
+        assert ContinualAccountant.new_interval(4) == (0, 4)
+        assert ContinualAccountant.new_interval(6) == (4, 6)
+        assert ContinualAccountant.new_interval(7) == (6, 7)
+        with pytest.raises(PrivacyParameterError):
+            ContinualAccountant.new_interval(0)
+
+    def test_cover_reuses_canonical_cover(self):
+        accountant = ContinualAccountant(PrivacyBudget(1.0), horizon=16)
+        for epoch in range(1, 17):
+            assert accountant.cover(epoch) == canonical_cover(epoch, 16)
+            # ...and the epoch's one fresh build is the cover's last block.
+            assert accountant.cover(epoch)[-1] == accountant.new_interval(epoch)
+
+    def test_marginal_only_at_powers_of_two(self):
+        accountant = ContinualAccountant(PrivacyBudget(2.0, 0.1), horizon=16)
+        charged = [t for t in range(1, 17) if accountant.marginal(t) != (0.0, 0.0)]
+        assert charged == [1, 2, 4, 8, 16]
+        assert accountant.marginal(8) == (2.0, 0.1)
+
+    def test_horizon_validation(self):
+        with pytest.raises(PrivacyParameterError):
+            ContinualAccountant(PrivacyBudget(1.0), horizon=0)
+        accountant = ContinualAccountant(PrivacyBudget(1.0), horizon=4)
+        with pytest.raises(PrivacyParameterError):
+            accountant.marginal(5)
+        with pytest.raises(PrivacyParameterError):
+            accountant.cover(0)
+
+
+class TestCharging:
+    def test_epochs_must_arrive_in_order(self):
+        accountant = ContinualAccountant(PrivacyBudget(1.0), horizon=8)
+        accountant.charge_epoch()
+        with pytest.raises(PrivacyParameterError, match="in order"):
+            accountant.charge_epoch(3)  # skipping epoch 2
+        with pytest.raises(PrivacyParameterError, match="in order"):
+            accountant.charge_epoch(1)  # repeating epoch 1
+        charge = accountant.charge_epoch(2)
+        assert charge.new_level and charge.levels_used == 2
+
+    def test_charge_records_and_closed_form_agree(self):
+        budget = PrivacyBudget(3.0, 0.01)
+        accountant = ContinualAccountant(budget, horizon=8)
+        for epoch in range(1, 9):
+            accountant.charge_epoch(epoch)
+            epsilon, delta = accountant.spent_through(epoch)
+            assert accountant.total_epsilon == pytest.approx(epsilon)
+            assert accountant.total_delta == pytest.approx(delta)
+        assert accountant.total_epsilon == pytest.approx(4 * 3.0)
+
+    def test_horizon_is_a_hard_stop(self):
+        accountant = ContinualAccountant(PrivacyBudget(1.0), horizon=2)
+        accountant.charge_epoch()
+        accountant.charge_epoch()
+        with pytest.raises(PrivacyParameterError, match="horizon"):
+            accountant.charge_epoch()
+
+
+class TestBudgetProperties:
+    @given(
+        epochs=st.integers(1, 64),
+        epsilon=st.floats(0.05, 50.0),
+        delta=st.floats(0.0, 0.01),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_spend_never_exceeds_ledger_cap(self, epochs, epsilon, delta):
+        budget = PrivacyBudget(epsilon, delta)
+        accountant = ContinualAccountant(budget, horizon=epochs)
+        for epoch in range(1, epochs + 1):
+            accountant.charge_epoch(epoch)
+        cap = accountant.total_budget()
+        assert accountant.total_epsilon <= cap.epsilon + 1e-9
+        assert accountant.total_delta <= cap.delta + 1e-9
+        # The closed form: bit_length(T) epoch budgets, exactly.
+        assert accountant.total_epsilon == pytest.approx(
+            epochs.bit_length() * epsilon
+        )
+
+    @given(epochs=st.integers(4, 64), epsilon=st.floats(0.05, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_strictly_cheaper_than_naive_composition(self, epochs, epsilon):
+        accountant = ContinualAccountant(PrivacyBudget(epsilon), horizon=epochs)
+        for epoch in range(1, epochs + 1):
+            accountant.charge_epoch(epoch)
+        naive = accountant.naive_budget()
+        assert naive.epsilon == pytest.approx(epochs * epsilon)
+        assert accountant.total_epsilon < naive.epsilon - 1e-12
