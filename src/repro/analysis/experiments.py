@@ -111,6 +111,8 @@ __all__ = [
     "run_concurrent_serving",
     "run_construction_benchmark",
     "run_serving_scale",
+    "run_continual_release",
+    "run_chaos_drill",
 ]
 
 
@@ -2497,4 +2499,268 @@ def run_continual_release(
                     ),
                 }
             )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E29: chaos drill — seeded fault injection against the resilient tier.
+# ----------------------------------------------------------------------
+def run_chaos_drill(
+    workers: int = 4,
+    *,
+    seed: int = 29,
+    target_nodes: int = 40_000,
+    clients: int = 4,
+    requests_per_client: int = 40,
+    batch_size: int = 256,
+    request_deadline: float = 10.0,
+    worker_every: int = 5,
+    relay_every: int = 9,
+    overhead_repeats: int = 40,
+) -> list[dict]:
+    """E29 — the resilience layer under seeded, replayable fault injection.
+
+    A synthetic release is served by a ``workers``-worker cluster whose
+    failpoints are armed from one seed: every ``worker_every``-th handled
+    worker request raises an injected 500 (``worker.handle``, armed via the
+    inherited environment in every spawned worker) and every
+    ``relay_every``-th router→worker round-trip raises an injected
+    connection reset (``router.relay``, armed in the router process).
+    Resilient :class:`~repro.serving.ServingClient`\\ s then hammer
+    ``/query`` and ``/batch`` under a per-request deadline while one worker
+    is ``kill -9``'d mid-run.  The drill row records three gates measured,
+    not assumed:
+
+    * **zero client-visible errors** — every injected fault and the crash
+      are absorbed by retries, breakers and respawn; every answer is
+      bit-identical to the in-process reference;
+    * **bounded tail latency** — client p99 stays under the per-request
+      deadline (nothing hung on a dead worker);
+    * **replay-identical injection** — the injection logs written by the
+      router and by every worker verify exactly against the pure
+      recomputation of the seeded schedule
+      (:func:`repro.faults.verify_log`).
+
+    The overhead row prices the framework when *disarmed*: min-of-N
+    ``/batch`` round-trips against a single-process server with fault
+    injection fully off versus armed at an irrelevant site (so every
+    serving-path failpoint runs its not-armed fast path) — the ratio must
+    stay within noise of 1.
+    """
+    import json
+    import os
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from repro import faults
+    from repro.serving import (
+        Cluster,
+        QueryService,
+        ReleaseStore,
+        ServingClient,
+        create_server,
+    )
+
+    compiled = _synthetic_release(target_nodes, seed=seed)
+    pattern_rng = np.random.default_rng(seed + 1)
+    chars = sorted(compiled._vocab)
+    patterns = [
+        "".join(chars[pattern_rng.integers(len(chars))] for _ in range(4))
+        for _ in range(batch_size)
+    ]
+    expected_batch = [float(count) for count in compiled.batch_query(patterns)]
+    expected_single = {
+        pattern: expected_batch[index] for index, pattern in enumerate(patterns)
+    }
+
+    worker_spec = faults.FaultSpec(
+        site="worker.handle", action="raise", exc="fault", every=worker_every
+    )
+    relay_spec = faults.FaultSpec(
+        site="router.relay", action="raise", exc="connection", every=relay_every
+    )
+
+    rows: list[dict] = []
+    env_keys = (faults.ENV_SPECS, faults.ENV_SEED, faults.ENV_SCOPE, faults.ENV_LOG)
+    saved_env = {key: os.environ.get(key) for key in env_keys}
+    with tempfile.TemporaryDirectory(prefix="e29-") as scratch:
+        store = ReleaseStore(Path(scratch) / "store")
+        store.save("e29", compiled, format="binary")
+        worker_log = Path(scratch) / "faults-workers.jsonl"
+
+        # Workers arm from the environment they inherit at spawn; the
+        # router process arms directly (its log stays in memory).
+        os.environ.update(
+            faults.env_for(
+                [worker_spec], seed=seed, scope="worker", log_path=worker_log
+            )
+        )
+        try:
+            faults.arm([relay_spec], seed=seed, scope="router")
+            with Cluster(store, workers=workers) as cluster:
+                url = cluster.url
+                latencies: list[float] = []
+                client_errors: list[str] = []
+                mismatches = [0]
+                retries_total = [0]
+                lock = threading.Lock()
+
+                def hammer(client_index: int) -> None:
+                    client = ServingClient(
+                        url,
+                        timeout=request_deadline,
+                        retries=8,
+                        seed=seed * 1000 + client_index,
+                    )
+                    rng = np.random.default_rng(seed + 100 + client_index)
+                    local_latencies = []
+                    for step in range(requests_per_client):
+                        started = time.perf_counter()
+                        try:
+                            if step % 4 == 0:
+                                lo = int(rng.integers(0, batch_size - 16))
+                                subset = patterns[lo : lo + 16]
+                                counts = client.batch(subset)
+                                ok = counts == [
+                                    expected_single[p] for p in subset
+                                ]
+                            else:
+                                pattern = patterns[int(rng.integers(batch_size))]
+                                ok = client.query(pattern) == expected_single[
+                                    pattern
+                                ]
+                            if not ok:
+                                with lock:
+                                    mismatches[0] += 1
+                        except Exception as error:  # client-visible failure
+                            with lock:
+                                client_errors.append(repr(error))
+                        local_latencies.append(time.perf_counter() - started)
+                    with lock:
+                        latencies.extend(local_latencies)
+                        retries_total[0] += client.num_retries
+
+                threads = [
+                    threading.Thread(target=hammer, args=(index,), daemon=True)
+                    for index in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                time.sleep(0.2)  # let traffic get in flight, then crash one
+                cluster.workers()[0].kill()
+                for thread in threads:
+                    thread.join(timeout=120)
+                deadline = time.monotonic() + 30
+                while (
+                    len(cluster.table.live()) < workers
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.05)
+                health = cluster.router.health()
+                respawns = int(cluster.respawns)
+                live_after = len(cluster.table.live())
+            router_entries = faults.injection_log()
+        finally:
+            faults.disarm_all()
+            faults.clear_log()
+            for key, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+        worker_entries = faults.read_log(worker_log)
+        problems = faults.verify_log(
+            router_entries + worker_entries,
+            [worker_spec, relay_spec],
+            seed=seed,
+        )
+        ordered = sorted(latencies)
+        p50 = ordered[len(ordered) // 2] if ordered else 0.0
+        p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))] if ordered else 0.0
+        rows.append(
+            {
+                "mode": "chaos-drill",
+                "workers": workers,
+                "clients": clients,
+                "requests_total": clients * requests_per_client,
+                "client_errors": len(client_errors),
+                "mismatches": mismatches[0],
+                "zero_failures": not client_errors and not mismatches[0],
+                "client_retries": retries_total[0],
+                "router_retries": int(health["retries"]),
+                "sheds": int(health["sheds"]),
+                "deadline_exceeded": int(health["deadline_exceeded"]),
+                "respawns": respawns,
+                "workers_live_after": live_after,
+                "injected_router": len(router_entries),
+                "injected_worker": len(worker_entries),
+                "replay_identical": not problems,
+                "replay_problems": problems[:3],
+                "p50_ms": p50 * 1e3,
+                "p99_ms": p99 * 1e3,
+                "deadline_s": request_deadline,
+                "p99_under_deadline": bool(p99 < request_deadline),
+            }
+        )
+
+        # ---------------- disarmed-overhead row ----------------------
+        body = json.dumps({"patterns": patterns}).encode("utf-8")
+        service = QueryService.from_store(store, micro_batch=False)
+        server = create_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        port = server.server_address[1]
+
+        def min_batch_seconds() -> float:
+            import http.client as http_client
+
+            connection = http_client.HTTPConnection("127.0.0.1", port, timeout=60)
+            try:
+                best = float("inf")
+                for _ in range(overhead_repeats):
+                    started = time.perf_counter()
+                    connection.request(
+                        "POST", "/batch", body, {"Content-Type": "application/json"}
+                    )
+                    response = connection.getresponse()
+                    response.read()
+                    if response.status != 200:
+                        raise AssertionError(
+                            f"overhead batch failed: HTTP {response.status}"
+                        )
+                    best = min(best, time.perf_counter() - started)
+                return best
+            finally:
+                connection.close()
+
+        try:
+            faults.disarm_all()
+            disarmed = min_batch_seconds()
+            # Armed at a site the serving path never hits: every serving
+            # failpoint now runs its armed-elsewhere fast path.
+            faults.arm(
+                [{"site": "fsio.write", "action": "raise"}],
+                seed=seed,
+                scope="overhead",
+            )
+            armed_elsewhere = min_batch_seconds()
+        finally:
+            faults.disarm_all()
+            faults.clear_log()
+            server.shutdown()
+            server.server_close()
+            service.close()
+        rows.append(
+            {
+                "mode": "disarmed-overhead",
+                "batch_size": batch_size,
+                "repeats": overhead_repeats,
+                "disarmed_ms": disarmed * 1e3,
+                "armed_elsewhere_ms": armed_elsewhere * 1e3,
+                "overhead_ratio": (
+                    armed_elsewhere / disarmed if disarmed else 0.0
+                ),
+            }
+        )
     return rows

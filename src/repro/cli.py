@@ -168,6 +168,10 @@ def _registry() -> dict[str, tuple[str, Callable[[], list[dict]]]]:
             "Continual release: O(log T) tree-schedule spend, digest-stable replay, hot reload",
             lambda: experiments.run_continual_release(),
         ),
+        "E29": (
+            "Chaos drill: seeded fault injection + worker kills, zero client errors, replayable",
+            lambda: experiments.run_chaos_drill(),
+        ),
     }
 
 
@@ -307,6 +311,12 @@ def _build_workload_database(workload: str, n: int, ell: int, seed: int):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import faults
+
+    # DPSC_FAULTS et al. arm a chaos schedule for this process (workers
+    # additionally arm themselves from the inherited environment).
+    if faults.arm_from_env():
+        print("fault injection armed from DPSC_FAULTS", file=sys.stderr)
     store = ReleaseStore(args.store)
     if args.workers > 1:
         from repro.serving import Cluster
@@ -360,7 +370,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    client = ServingClient(args.url)
+    client = ServingClient(args.url, timeout=args.timeout)
     if not args.patterns and args.mine is None:
         print("error: provide at least one pattern or --mine THRESHOLD", file=sys.stderr)
         return 2
@@ -380,6 +390,79 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Inspect and arm the deterministic failpoint framework
+    (docs/RESILIENCE.md)."""
+    from repro import faults
+    import repro.serving  # noqa: F401 - importing registers every failpoint site
+    import repro.serving.cluster  # noqa: F401 - router/worker sites
+    import repro.serving.schedule  # noqa: F401 - scheduler site
+
+    if args.action == "list":
+        sites = sorted(faults.list_failpoints(), key=lambda site: site.name)
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "site": site.name,
+                            "description": site.description,
+                            "armed": site.armed_spec.to_dict()
+                            if site.armed_spec is not None
+                            else None,
+                        }
+                        for site in sites
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            for site in sites:
+                print(f"{site.name:24s} {site.description}")
+        return 0
+    # arm: validate a spec file and print the environment that arms it
+    if not args.spec:
+        print("error: 'faults arm' needs a SPEC.json file", file=sys.stderr)
+        return 2
+    try:
+        with open(args.spec, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {args.spec}: {error}", file=sys.stderr)
+        return 2
+    if isinstance(raw, dict):
+        raw = [raw]
+    try:
+        specs = [faults.FaultSpec.from_dict(entry) for entry in raw]
+        env = faults.env_for(
+            specs, seed=args.seed, scope=args.scope, log_path=args.log or None
+        )
+    except (TypeError, ValueError) as error:
+        print(f"error: invalid fault spec: {error}", file=sys.stderr)
+        return 2
+    registered = {site.name for site in faults.list_failpoints()}
+    for spec in specs:
+        if spec.site not in registered:
+            print(
+                f"warning: no registered failpoint named {spec.site!r} "
+                f"(known: {sorted(registered)})",
+                file=sys.stderr,
+            )
+    for key, value in env.items():
+        print(f"export {key}={json.dumps(value)}")
+    if args.preview:
+        scope = args.scope or "main"
+        for spec in specs:
+            fired = faults.replay_decisions(
+                spec, seed=args.seed, scope=scope, count=args.preview
+            )
+            print(
+                f"# {spec.site}: fires at hit indices {fired} "
+                f"of the first {args.preview} (scope {scope!r}, seed {args.seed})"
+            )
     return 0
 
 
@@ -423,7 +506,7 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
     service = None
     cluster = None
     if args.url:
-        target = ServingClient(args.url)
+        target = ServingClient(args.url, timeout=args.timeout)
         verify_counters = False  # other clients may share the live server
     elif args.store and args.workers:
         from repro.serving import Cluster
@@ -440,7 +523,7 @@ def _cmd_bench_load(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         # exclusive loopback tier: the counter-delta checks stay exact
-        target = ServingClient(cluster.url)
+        target = ServingClient(cluster.url, timeout=args.timeout)
         verify_counters = True
         print(f"started a {args.workers}-worker cluster on {cluster.url}")
     elif args.store:
@@ -839,7 +922,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="mine frequent patterns at this threshold instead of querying",
     )
     query_parser.add_argument("--limit", type=int, default=20)
+    query_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="total per-call budget in seconds, retries included (default: "
+        "per-endpoint — /healthz 5s, /query 30s, /mine 120s; see "
+        "docs/RESILIENCE.md)",
+    )
     query_parser.set_defaults(func=_cmd_query)
+
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="list failpoint sites or validate/arm a chaos schedule "
+        "(docs/RESILIENCE.md)",
+    )
+    faults_parser.add_argument(
+        "action",
+        choices=("list", "arm"),
+        help="'list': every registered failpoint site; 'arm': validate a "
+        "fault-spec JSON file and print the DPSC_FAULTS environment that "
+        "arms it for 'dpsc serve'",
+    )
+    faults_parser.add_argument(
+        "spec", nargs="?", default=None, help="fault-spec JSON file (for 'arm')"
+    )
+    faults_parser.add_argument("--json", action="store_true", help="JSON output")
+    faults_parser.add_argument(
+        "--seed", type=int, default=0, help="injection schedule seed"
+    )
+    faults_parser.add_argument(
+        "--scope", default=None, help="decision-stream scope (default 'main')"
+    )
+    faults_parser.add_argument(
+        "--log", default="", help="append the injection log to this JSONL file"
+    )
+    faults_parser.add_argument(
+        "--preview",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print which of the first N hits would fire per site",
+    )
+    faults_parser.set_defaults(func=_cmd_faults)
 
     bench_parser = subparsers.add_parser(
         "bench-load",
@@ -901,6 +1026,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write every replay row (throughput + per-endpoint "
         "latency percentiles) as JSON to PATH",
+    )
+    bench_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="total per-call client budget in seconds, retries included "
+        "(default: per-endpoint; only meaningful for HTTP targets)",
     )
     _add_build_arguments(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench_load)

@@ -1,0 +1,54 @@
+"""Deterministic, seeded fault injection (failpoints) for chaos drills.
+
+See :mod:`repro.faults.registry` for the full model and
+``docs/RESILIENCE.md`` for the failpoint catalogue, the arming formats and
+the chaos-drill methodology (E29, ``dpsc faults list/arm``).
+"""
+
+from repro.faults.registry import (
+    ENV_LOG,
+    ENV_SCOPE,
+    ENV_SEED,
+    ENV_SPECS,
+    Failpoint,
+    FaultDropConnection,
+    FaultInjected,
+    FaultSpec,
+    active,
+    arm,
+    arm_from_env,
+    armed,
+    clear_log,
+    disarm_all,
+    env_for,
+    failpoint,
+    injection_log,
+    list_failpoints,
+    read_log,
+    replay_decisions,
+    verify_log,
+)
+
+__all__ = [
+    "ENV_LOG",
+    "ENV_SCOPE",
+    "ENV_SEED",
+    "ENV_SPECS",
+    "Failpoint",
+    "FaultDropConnection",
+    "FaultInjected",
+    "FaultSpec",
+    "active",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "clear_log",
+    "disarm_all",
+    "env_for",
+    "failpoint",
+    "injection_log",
+    "list_failpoints",
+    "read_log",
+    "replay_decisions",
+    "verify_log",
+]

@@ -41,6 +41,13 @@ PrivateCountingTrie` to serving millions of pattern queries:
     public port over N pre-forked workers mmap-sharing one release copy,
     with crash respawn, atomic hot reload and tier-wide metrics
     aggregation (``dpsc serve --workers N``, E27).
+``resilience``
+    The failure-handling primitives the tier composes end to end: seeded
+    decorrelated-jitter :class:`BackoffPolicy`, per-worker
+    :class:`CircuitBreaker`, propagated per-request :class:`Deadline`
+    (:data:`DEADLINE_HEADER`), :class:`AdmissionGate` load shedding and
+    :func:`call_with_retries` — exercised under seeded fault injection
+    (:mod:`repro.faults`) by the chaos drill (E29; ``docs/RESILIENCE.md``).
 
 Everything above is safe under the concurrency it advertises: compiled
 tries are immutable snapshots with lock-protected caches, and the ledger
@@ -53,8 +60,20 @@ for the command-line entry points.
 from repro.serving.binfmt import read_binary, write_binary
 from repro.serving.cluster import Cluster
 from repro.serving.compiled import CacheInfo, CompiledTrie
-from repro.serving.client import ServingClient, ServingClientError
+from repro.serving.client import (
+    DEFAULT_ENDPOINT_TIMEOUTS,
+    ServingClient,
+    ServingClientError,
+)
 from repro.serving.ledger import BudgetLedger, build_release
+from repro.serving.resilience import (
+    DEADLINE_HEADER,
+    AdmissionGate,
+    BackoffPolicy,
+    CircuitBreaker,
+    Deadline,
+    call_with_retries,
+)
 from repro.serving.loadtest import (
     LoadTestError,
     LoadTestResult,
@@ -82,6 +101,13 @@ __all__ = [
     "EpochScheduler",
     "ServingClient",
     "ServingClientError",
+    "DEFAULT_ENDPOINT_TIMEOUTS",
+    "DEADLINE_HEADER",
+    "AdmissionGate",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "call_with_retries",
     "BudgetLedger",
     "build_release",
     "LoadTestError",

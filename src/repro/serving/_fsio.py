@@ -39,6 +39,8 @@ import json
 import os
 from pathlib import Path
 
+from repro import faults
+
 try:  # POSIX advisory locking; absent on some platforms.
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
@@ -58,6 +60,16 @@ __all__ = [
 #: platforms where FileLock is a no-op); next() is atomic under the GIL.
 _tmp_counter = itertools.count()
 
+#: chaos-drill injection sites: both fire *before* any byte is written, so
+#: an injected OSError exercises exactly the crash window the atomic
+#: write/append discipline already defends (nothing partial ever lands).
+_FP_WRITE = faults.failpoint(
+    "fsio.write", "Entry of every atomic write (text, bytes or JSON)."
+)
+_FP_APPEND = faults.failpoint(
+    "fsio.append", "Entry of every durable JSONL append (audit trails)."
+)
+
 
 def atomic_write_text(path: str | Path, text: str) -> None:
     """Write ``text`` to ``path`` atomically and durably.
@@ -68,6 +80,7 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     or the new complete file — never a truncated hybrid.  The directory is
     fsynced best-effort afterwards so the rename itself survives power loss.
     """
+    _FP_WRITE.hit()
     path = Path(path)
     tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}.{next(_tmp_counter)}")
     try:
@@ -93,6 +106,7 @@ def atomic_write_bytes(path: str | Path, chunks: "bytes | list[bytes]") -> None:
     ``chunks`` may be one ``bytes`` object or a list written in order, so a
     large columnar payload never has to be concatenated in memory first.
     """
+    _FP_WRITE.hit()
     path = Path(path)
     if isinstance(chunks, (bytes, bytearray, memoryview)):
         chunks = [bytes(chunks)]
@@ -141,6 +155,7 @@ def append_jsonl(path: str | Path, payload: object) -> None:
     appender crashed mid-write — the new record starts on a fresh line, so
     one torn record never corrupts its successors.
     """
+    _FP_APPEND.hit()
     path = Path(path)
     line = json.dumps(payload, separators=(",", ":"))
     if "\n" in line:  # pragma: no cover - json.dumps never emits newlines

@@ -45,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.core.private_trie import StructureMetadata, payload_metadata
 from repro.exceptions import ReleaseFormatError
 from repro.serving._fsio import atomic_write_bytes
@@ -81,6 +82,13 @@ ARRAY_FIELDS = (
 )
 
 _PREAMBLE_NBYTES = 12  # magic + u32 version + u32 header length
+
+#: chaos-drill injection site: ``raise``/``delay`` fire at the top of every
+#: binary load, ``corrupt`` flips one trailer byte so the format's own
+#: checksum rejection (``ReleaseFormatError``) is what surfaces.
+_FP_READ = faults.failpoint(
+    "binfmt.read", "Entry of every binary (.dpsb) release read."
+)
 
 
 def _aligned(offset: int) -> int:
@@ -265,6 +273,7 @@ def read_binary(
     """
     from repro.serving.compiled import CompiledTrie
 
+    _FP_READ.hit()
     path = Path(path)
     header = read_header(path)
     if expected_digest is not None and header["content_digest"] != expected_digest:
@@ -279,7 +288,9 @@ def read_binary(
         data_nbytes = header["data_nbytes"]
         trailer_start = data_start + data_nbytes
         handle.seek(trailer_start)
-        trailer_bytes = handle.read(header["trailer_nbytes"])
+        # The corrupt-bytes failpoint flips one deterministic byte here, so
+        # chaos drills exercise the real checksum rejection path below.
+        trailer_bytes = _FP_READ.corrupt(handle.read(header["trailer_nbytes"]))
         if hashlib.sha256(trailer_bytes).hexdigest() != header["trailer_sha256"]:
             raise _format_error(path, "trailer checksum mismatch (corrupted bytes)")
         data: bytes | None = None

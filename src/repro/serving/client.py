@@ -1,83 +1,279 @@
-"""A tiny stdlib HTTP client for the ``dpsc`` query server.
+"""A resilient stdlib HTTP client for the ``dpsc`` query server.
 
 Analysts talk to a running server (``dpsc serve``) through this class or
 plain ``curl``; the wire format is the JSON API documented in
 :mod:`repro.serving.server`.  Only :mod:`urllib.request` is used, so the
 client works anywhere the library does.
+
+Resilience (docs/RESILIENCE.md):
+
+* **Per-request deadline.**  ``timeout`` is the *total* budget for one API
+  call, retries included — per-endpoint defaults
+  (:data:`DEFAULT_ENDPOINT_TIMEOUTS`: ``/healthz`` short, ``/mine`` long)
+  unless a flat ``timeout`` overrides them.  The deadline is stamped on the
+  wire as ``X-DPSC-Deadline`` so routers and workers can refuse work nobody
+  is waiting for, and each attempt's socket timeout is the time remaining.
+* **Retries with seeded backoff.**  Connection-level failures and HTTP 5xx
+  responses are retried (every endpoint is an idempotent read) up to
+  ``retries`` times within the deadline, sleeping decorrelated-jitter
+  delays from a seeded :class:`~repro.serving.resilience.BackoffPolicy` —
+  deterministic per ``(seed, request sequence)``.  A ``Retry-After`` header
+  on 503 (the router's load-shedding and no-live-worker answers) overrides
+  the backoff delay.  HTTP 4xx is never retried.
+* **Surfaced error payloads.**  :class:`ServingClientError` carries the
+  server's JSON error payload, the endpoint, the HTTP status and the
+  attempt count instead of swallowing the response body.
 """
 
 from __future__ import annotations
 
+import http.client
+import itertools
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.exceptions import ReproError
+from repro.obs import MetricsRegistry
+from repro.serving.resilience import DEADLINE_HEADER, BackoffPolicy, Deadline
 
-__all__ = ["ServingClient", "ServingClientError"]
+__all__ = [
+    "ServingClient",
+    "ServingClientError",
+    "DEFAULT_ENDPOINT_TIMEOUTS",
+    "DEFAULT_TIMEOUT",
+]
+
+#: total per-call budgets by endpoint: liveness probes must fail fast,
+#: server-side mining walks the whole released structure.
+DEFAULT_ENDPOINT_TIMEOUTS: Mapping[str, float] = {
+    "/healthz": 5.0,
+    "/metrics": 10.0,
+    "/releases": 10.0,
+    "/query": 30.0,
+    "/batch": 60.0,
+    "/mine": 120.0,
+}
+
+#: budget for endpoints not in :data:`DEFAULT_ENDPOINT_TIMEOUTS`.
+DEFAULT_TIMEOUT = 30.0
+
+#: HTTP statuses worth retrying: every 5xx is either an upstream failure
+#: (502/503/504 from the router) or an injected/unexpected server error on
+#: an idempotent read.  4xx means the request itself is wrong — never retry.
+_RETRYABLE_STATUSES = range(500, 600)
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """``Retry-After`` as delta-seconds (our servers send fractional
+    seconds; the RFC's HTTP-date form is not used by this stack)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return seconds if seconds >= 0 else None
 
 
 class ServingClientError(ReproError):
-    """The server answered with an error status (the message is the
-    server-side error string)."""
+    """The request failed; carries everything the server said.
 
-    def __init__(self, message: str, status: int) -> None:
+    ``status`` is the HTTP status (0 for connection-level failures and
+    exhausted deadlines), ``endpoint`` the API path, ``payload`` the
+    server's parsed JSON error body (``None`` when unreachable), and
+    ``attempts`` how many tries the client made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        *,
+        endpoint: str | None = None,
+        payload: dict | None = None,
+        attempts: int = 1,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.endpoint = endpoint
+        self.payload = payload
+        self.attempts = attempts
 
 
 class ServingClient:
-    """Query, batch-query and mine against a running ``dpsc serve``."""
+    """Query, batch-query and mine against a running ``dpsc serve``.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``timeout`` is the flat total budget per call; ``None`` (the default)
+    uses :data:`DEFAULT_ENDPOINT_TIMEOUTS` per endpoint.  ``retries`` caps
+    re-attempts on connection failures and 5xx responses; ``seed`` makes
+    the backoff delays replayable.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float | None = None,
+        *,
+        retries: int = 4,
+        backoff: BackoffPolicy | None = None,
+        seed: int = 0,
+        endpoint_timeouts: Mapping[str, float] | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = backoff if backoff is not None else BackoffPolicy(cap=1.0)
+        self.seed = seed
+        self.endpoint_timeouts = dict(
+            DEFAULT_ENDPOINT_TIMEOUTS if endpoint_timeouts is None else endpoint_timeouts
+        )
+        #: per-instance registry (``metrics`` stays the server-scrape method
+        #: for backwards compatibility, so the client's own counters live
+        #: under ``telemetry``).
+        self.telemetry = MetricsRegistry()
+        self._retries_total = self.telemetry.counter(
+            "dpsc_client_retries_total",
+            "Attempts retried after a connection failure or 5xx response.",
+        )
+        self._deadline_exceeded = self.telemetry.counter(
+            "dpsc_client_deadline_exceeded_total",
+            "API calls abandoned because their total deadline ran out.",
+        )
+        #: per-request sequence feeding the backoff seed, so concurrent
+        #: requests draw independent (but replayable) delay schedules.
+        self._sequence = itertools.count()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request(self, path: str, payload: dict | None = None) -> dict:
+    def timeout_for(self, endpoint: str) -> float:
+        """The total budget for one call to ``endpoint``."""
+        if self.timeout is not None:
+            return self.timeout
+        return self.endpoint_timeouts.get(endpoint, DEFAULT_TIMEOUT)
+
+    @property
+    def num_retries(self) -> int:
+        return int(self._retries_total.value)
+
+    def _request(
+        self,
+        path: str,
+        payload: dict | None = None,
+        *,
+        timeout: float | None = None,
+        decode: str = "json",
+    ):
+        endpoint = path.split("?", 1)[0]
+        budget = timeout if timeout is not None else self.timeout_for(endpoint)
+        deadline = Deadline.after(budget)
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {
+            "Accept": "application/json" if decode == "json" else "text/plain",
+            DEADLINE_HEADER: deadline.header_value(),
+        }
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
+        delays = self.backoff.iter_delays(f"{self.seed}:{next(self._sequence)}")
+        attempts = 0
+        last_failure = "no attempt was made"
+        last_status = 0
+        last_payload: dict | None = None
+        while True:
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                self._deadline_exceeded.inc()
+                raise ServingClientError(
+                    f"deadline of {budget:g}s exceeded for {endpoint} after "
+                    f"{attempts} attempt(s); last failure: {last_failure}",
+                    last_status,
+                    endpoint=endpoint,
+                    payload=last_payload,
+                    attempts=attempts,
+                ) from None
+            request = urllib.request.Request(url, data=data, headers=headers)
+            attempts += 1
+            retry_after = None
             try:
-                message = json.loads(error.read().decode("utf-8")).get("error", "")
-            except (ValueError, UnicodeDecodeError):
-                message = ""
-            raise ServingClientError(
-                message or f"server returned HTTP {error.code}", error.code
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServingClientError(
-                f"cannot reach {url}: {error.reason}", status=0
-            ) from None
+                with urllib.request.urlopen(request, timeout=remaining) as response:
+                    body = response.read()
+                if decode == "json":
+                    return json.loads(body.decode("utf-8"))
+                return body.decode("utf-8")
+            except urllib.error.HTTPError as error:
+                body = error.read()
+                try:
+                    parsed = json.loads(body.decode("utf-8"))
+                    last_payload = parsed if isinstance(parsed, dict) else None
+                except (ValueError, UnicodeDecodeError):
+                    last_payload = None
+                last_status = error.code
+                message = (last_payload or {}).get("error") or (
+                    f"server returned HTTP {error.code}"
+                )
+                if error.code not in _RETRYABLE_STATUSES:
+                    raise ServingClientError(
+                        message,
+                        error.code,
+                        endpoint=endpoint,
+                        payload=last_payload,
+                        attempts=attempts,
+                    ) from None
+                last_failure = f"HTTP {error.code}: {message}"
+                retry_after = _parse_retry_after(error.headers.get("Retry-After"))
+            except (urllib.error.URLError, OSError, http.client.HTTPException) as error:
+                # URLError wraps the transport error in .reason; raw socket
+                # timeouts/resets mid-read arrive as OSError/HTTPException.
+                reason = getattr(error, "reason", error)
+                last_status = 0
+                last_payload = None
+                last_failure = f"cannot reach {url}: {reason}"
+            if attempts > self.retries:
+                raise ServingClientError(
+                    f"{endpoint} failed after {attempts} attempt(s); "
+                    f"last failure: {last_failure}",
+                    last_status,
+                    endpoint=endpoint,
+                    payload=last_payload,
+                    attempts=attempts,
+                ) from None
+            self._retries_total.inc()
+            delay = next(delays) if retry_after is None else retry_after
+            time.sleep(max(0.0, min(delay, deadline.remaining())))
 
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
-    def query(self, pattern: str, release: str | None = None) -> float:
+    def query(
+        self, pattern: str, release: str | None = None, *, timeout: float | None = None
+    ) -> float:
         """Noisy count of one pattern."""
         payload: dict = {"pattern": pattern}
         if release is not None:
             payload["release"] = release
-        return float(self._request("/query", payload)["count"])
+        return float(self._request("/query", payload, timeout=timeout)["count"])
 
-    def batch(self, patterns: Sequence[str], release: str | None = None) -> list[float]:
+    def batch(
+        self,
+        patterns: Sequence[str],
+        release: str | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> list[float]:
         """Noisy counts of many patterns in one round trip."""
         payload: dict = {"patterns": list(patterns)}
         if release is not None:
             payload["release"] = release
-        return [float(c) for c in self._request("/batch", payload)["counts"]]
+        return [
+            float(c)
+            for c in self._request("/batch", payload, timeout=timeout)["counts"]
+        ]
 
     def mine(
         self,
@@ -87,6 +283,7 @@ class ServingClient:
         min_length: int = 1,
         max_length: int | None = None,
         exact_length: int | None = None,
+        timeout: float | None = None,
     ) -> list[tuple[str, float]]:
         """Frequent stored patterns at ``threshold`` (server-side mining)."""
         payload: dict = {"threshold": threshold, "min_length": min_length}
@@ -98,7 +295,9 @@ class ServingClient:
             payload["exact_length"] = exact_length
         return [
             (pattern, float(count))
-            for pattern, count in self._request("/mine", payload)["patterns"]
+            for pattern, count in self._request("/mine", payload, timeout=timeout)[
+                "patterns"
+            ]
         ]
 
     def releases(self) -> list[dict]:
@@ -111,19 +310,7 @@ class ServingClient:
 
     def metrics(self) -> str:
         """The server's metrics in Prometheus text exposition format."""
-        url = f"{self.base_url}/metrics"
-        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as error:
-            raise ServingClientError(
-                f"server returned HTTP {error.code}", error.code
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServingClientError(
-                f"cannot reach {url}: {error.reason}", status=0
-            ) from None
+        return self._request("/metrics", decode="text")
 
     def metrics_snapshot(self) -> dict:
         """The server's raw metrics registry snapshot (``/metrics?format=json``)."""

@@ -40,6 +40,7 @@ test's exact counter-delta checks meaningful for the whole tier.
 
 from __future__ import annotations
 
+import contextlib
 import http.client
 import itertools
 import json
@@ -50,8 +51,15 @@ from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro import faults
 from repro.obs import MetricsRegistry, log_buckets, merge_snapshots, render_snapshot
 from repro.serving.cluster.workers import WorkerHandle, WorkerTable
+from repro.serving.resilience import (
+    DEADLINE_HEADER,
+    AdmissionGate,
+    CircuitBreaker,
+    Deadline,
+)
 
 __all__ = ["Router", "RouterHTTPError", "create_router_server", "shard_of"]
 
@@ -61,8 +69,20 @@ _FLUSH_SIZE_BUCKETS = log_buckets(1.0, 512.0, 2.0)
 #: *error response* is not among them — that is the worker answering.
 _RETRYABLE = (OSError, http.client.HTTPException)
 
+#: what :meth:`Router.forward_any` retries: the connection-level failures
+#: plus injected faults from the ``router.relay`` failpoint (whatever their
+#: configured exception kind, they model a failed relay, not a bad request).
+_RELAY_RETRYABLE = (*_RETRYABLE, faults.FaultInjected, faults.FaultDropConnection)
+
 #: Knuth's multiplicative constant (2^32 / phi); see :func:`shard_of`.
 _HASH_MULTIPLIER = 2654435761
+
+#: chaos-drill injection site: fires before each router -> worker HTTP
+#: round-trip, so injected connection errors exercise the exact retry /
+#: circuit-breaker path a crashed worker would.
+_FP_RELAY = faults.failpoint(
+    "router.relay", "Entry of every router -> worker HTTP round-trip."
+)
 
 
 def shard_of(index: int, shards: int) -> int:
@@ -87,12 +107,20 @@ def _error_message(body: bytes, status: int) -> str:
 
 
 class RouterHTTPError(Exception):
-    """An error to relay to the client as a JSON ``{"error": ...}`` body."""
+    """An error to relay to the client as a JSON ``{"error": ...}`` body.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` (fractional seconds) becomes a ``Retry-After`` response
+    header — the router's hint to a resilient client about when a shed
+    request is worth re-sending.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class _PendingRouted:
@@ -231,6 +259,11 @@ class Router:
         retry_wait: float = 0.05,
         scrape_timeout: float = 5.0,
         split_threads: int = 16,
+        max_inflight: int | None = 256,
+        shed_retry_after: float = 0.25,
+        breaker_threshold: int = 5,
+        breaker_recovery: float = 1.0,
+        breaker_probes: int = 1,
     ) -> None:
         self.table = table
         self.split_min_patterns = split_min_patterns
@@ -238,6 +271,10 @@ class Router:
         self.retry_timeout = retry_timeout
         self.retry_wait = retry_wait
         self.scrape_timeout = scrape_timeout
+        self.shed_retry_after = shed_retry_after
+        self.breaker_threshold = breaker_threshold
+        self.breaker_recovery = breaker_recovery
+        self.breaker_probes = breaker_probes
         self.started_at = time.time()
         #: set by the supervisor once it exists; ``/admin/reload`` is a 503
         #: until then (a bare router has nothing to reload).
@@ -280,6 +317,37 @@ class Router:
             "dpsc_router_scrape_failures_total",
             "Worker /metrics scrapes that failed during aggregation.",
         )
+        self._shed = self.metrics.counter(
+            "dpsc_router_shed_total",
+            "Requests refused with 503 + Retry-After by admission control.",
+        )
+        self._deadline_exceeded = self.metrics.counter(
+            "dpsc_router_deadline_exceeded_total",
+            "Requests refused or abandoned because their deadline expired.",
+        )
+        self._breaker_transitions = {
+            state: self.metrics.counter(
+                "dpsc_router_breaker_transitions_total",
+                "Per-worker circuit-breaker state transitions, by new state.",
+                {"to": state},
+            )
+            for state in (
+                CircuitBreaker.CLOSED,
+                CircuitBreaker.OPEN,
+                CircuitBreaker.HALF_OPEN,
+            )
+        }
+        #: one breaker per worker *port* (ports are unique per spawn, so a
+        #: respawned worker always starts with a fresh closed breaker).
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._gate = AdmissionGate(max_inflight) if max_inflight else None
+        if self._gate is not None:
+            gate = self._gate
+            self.metrics.gauge(
+                "dpsc_router_inflight",
+                "Requests currently admitted and in flight at the router.",
+            ).set_function(lambda: float(gate.inflight))
         self.metrics.gauge(
             "dpsc_router_uptime_seconds", "Seconds since the router started."
         ).set_function(lambda: time.time() - self.started_at)
@@ -346,14 +414,17 @@ class Router:
         *,
         pooled: bool = True,
         timeout: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes]:
         """One HTTP round-trip to one worker; raises on connection failure.
 
         Pooled connections are keep-alive (workers speak HTTP/1.1) and
         thread-local, so handler threads and shard-executor threads never
         contend on a socket.  Unpooled mode is for scrapes, which want a
-        short timeout instead of the batch-sized one.
+        short timeout instead of the batch-sized one.  ``headers`` rides on
+        top of the defaults (deadline propagation uses it).
         """
+        _FP_RELAY.hit()
         if pooled:
             conn = self._connection(worker.port)
         else:
@@ -361,8 +432,12 @@ class Router:
                 worker.port, timeout or self.scrape_timeout
             )
         try:
-            headers = {"Content-Type": "application/json"} if body is not None else {}
-            conn.request(method, path, body=body, headers=headers)
+            send_headers = (
+                {"Content-Type": "application/json"} if body is not None else {}
+            )
+            if headers:
+                send_headers.update(headers)
+            conn.request(method, path, body=body, headers=send_headers)
             response = conn.getresponse()
             data = response.read()
             status = response.status
@@ -376,6 +451,60 @@ class Router:
             conn.close()
         return status, data
 
+    def _breaker(self, worker: WorkerHandle) -> CircuitBreaker:
+        """The circuit breaker guarding one worker (keyed by port, so a
+        respawned worker always starts with a fresh closed breaker)."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(worker.port)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    recovery_time=self.breaker_recovery,
+                    half_open_max_probes=self.breaker_probes,
+                    on_transition=lambda old, new: (
+                        self._breaker_transitions[new].inc()
+                    ),
+                )
+                self._breakers[worker.port] = breaker
+                self.metrics.gauge(
+                    "dpsc_router_breaker_state",
+                    "Per-worker breaker state (0 closed, 1 half-open, 2 open).",
+                    {"worker": worker.worker_id},
+                ).set_function(lambda b=breaker: b.state_code)
+            return breaker
+
+    @contextlib.contextmanager
+    def admission(self):
+        """Admission control around one client request (load shedding).
+
+        When more than ``max_inflight`` requests are already inside, the
+        request is shed immediately with ``503 + Retry-After`` instead of
+        queueing behind work the tier cannot absorb.
+        """
+        gate = self._gate
+        if gate is None:
+            yield
+            return
+        if not gate.try_enter():
+            self._shed.inc()
+            raise RouterHTTPError(
+                503,
+                f"router at capacity ({gate.limit} requests in flight)",
+                retry_after=self.shed_retry_after,
+            )
+        try:
+            yield
+        finally:
+            gate.leave()
+
+    @staticmethod
+    def _deadline_headers(deadline: Deadline | None) -> dict[str, str] | None:
+        return (
+            None
+            if deadline is None
+            else {DEADLINE_HEADER: deadline.header_value()}
+        )
+
     def forward_any(
         self,
         method: str,
@@ -383,66 +512,126 @@ class Router:
         body: bytes | None = None,
         *,
         preferred: WorkerHandle | None = None,
+        deadline: Deadline | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes]:
-        """Forward to some live worker, retrying others on connection failure.
+        """Forward to some admitted live worker, retrying on failure.
 
         Safe because every endpoint is an idempotent read: re-executing a
         query on a second worker after the first died mid-response returns
-        the same deterministic counts.  Blocks (bounded by
-        ``retry_timeout``) while no worker is live, which is exactly the
-        crash-respawn window — the supervisor races this deadline.
+        the same deterministic counts.  Candidates pass through their
+        per-worker circuit breaker (an open breaker skips a worker that has
+        recently failed repeatedly, instead of burning a timeout on it);
+        worker 5xx responses count as breaker failures and are retried
+        elsewhere, with the freshest 5xx relayed if retries run out.
+        Blocks (bounded by ``retry_timeout``) while no worker is admitted,
+        which is exactly the crash-respawn window — the supervisor races
+        this deadline.  An expired request ``deadline`` stops the loop
+        early with 504: nobody is waiting for the answer any more.
         """
-        deadline = time.monotonic() + self.retry_timeout
+        retry_deadline = time.monotonic() + self.retry_timeout
         tried: set[int] = set()
+        last_error: tuple[int, bytes] | None = None
         use_preferred = preferred is not None
         while True:
+            if deadline is not None and deadline.expired():
+                self._deadline_exceeded.inc()
+                raise RouterHTTPError(
+                    504, f"deadline expired while forwarding {method} {path}"
+                )
+            worker = None
+            breaker = None
             if use_preferred and preferred.is_alive():
-                worker = preferred
-            else:
+                candidate_breaker = self._breaker(preferred)
+                if candidate_breaker.try_acquire():
+                    worker, breaker = preferred, candidate_breaker
+            use_preferred = False
+            if worker is None:
                 workers = self.table.live()
                 pool = [w for w in workers if w.port not in tried] or workers
-                if not pool:
-                    if time.monotonic() >= deadline:
-                        raise RouterHTTPError(
-                            503, "no live workers to forward to"
-                        )
-                    time.sleep(self.retry_wait)
-                    continue
-                worker = pool[next(self._rr) % len(pool)]
-            use_preferred = False
+                if pool:
+                    start = next(self._rr)
+                    for offset in range(len(pool)):
+                        candidate = pool[(start + offset) % len(pool)]
+                        candidate_breaker = self._breaker(candidate)
+                        if candidate_breaker.try_acquire():
+                            worker, breaker = candidate, candidate_breaker
+                            break
+            if worker is None:
+                # nothing live, or every live worker's breaker is open
+                if time.monotonic() >= retry_deadline:
+                    if last_error is not None:
+                        return last_error
+                    raise RouterHTTPError(503, "no live workers to forward to")
+                time.sleep(self.retry_wait)
+                continue
             try:
-                return self.forward(worker, method, path, body)
-            except _RETRYABLE:
+                status, data = self.forward(
+                    worker, method, path, body, headers=headers
+                )
+            except _RELAY_RETRYABLE:
+                breaker.record_failure()
                 tried.add(worker.port)
                 self._retries.inc()
                 self.table.note_failure(worker)
-                if time.monotonic() >= deadline:
+                if time.monotonic() >= retry_deadline:
+                    if last_error is not None:
+                        return last_error
                     raise RouterHTTPError(
                         503,
                         f"workers unavailable after retries on {method} {path}",
                     ) from None
                 time.sleep(self.retry_wait)
+                continue
+            if status >= 500:
+                # the worker answered, but with a server-side failure on an
+                # idempotent read — count it against the breaker and retry
+                # elsewhere; keep the freshest body in case retries run out.
+                breaker.record_failure()
+                last_error = (status, data)
+                tried.add(worker.port)
+                self._retries.inc()
+                if time.monotonic() >= retry_deadline:
+                    return last_error
+                time.sleep(self.retry_wait)
+                continue
+            breaker.record_success()
+            return status, data
 
     # ------------------------------------------------------------------
     # Endpoint logic (the handler below is a thin shim over these)
     # ------------------------------------------------------------------
-    def route_query(self, pattern: str, release: str | None) -> float:
+    def route_query(
+        self, pattern: str, release: str | None, deadline: Deadline | None = None
+    ) -> float:
         self._requests["query"].inc()
         with self._latency["query"].time():
             if self._batcher is not None:
+                # coalesced queries share a flush; the flush carries no
+                # single request's deadline (workers answer micro-batches
+                # in well under any sane per-request budget).
                 return self._batcher.submit(pattern, release)
             payload: dict = {"pattern": pattern}
             if release is not None:
                 payload["release"] = release
             status, body = self.forward_any(
-                "POST", "/query", json.dumps(payload).encode("utf-8")
+                "POST",
+                "/query",
+                json.dumps(payload).encode("utf-8"),
+                deadline=deadline,
+                headers=self._deadline_headers(deadline),
             )
             if status != 200:
                 raise RouterHTTPError(status, _error_message(body, status))
             return float(json.loads(body.decode("utf-8"))["count"])
 
     def route_batch(
-        self, raw: bytes, payload: dict, patterns: list[str], release: str | None
+        self,
+        raw: bytes,
+        payload: dict,
+        patterns: list[str],
+        release: str | None,
+        deadline: Deadline | None = None,
     ) -> tuple[int, bytes]:
         """Dispatch one validated ``/batch``: split when profitable, else
         forward the original bytes untouched."""
@@ -459,11 +648,21 @@ class Router:
                 and set(payload) <= {"patterns", "release"}
             )
             if not splittable:
-                return self.forward_any("POST", "/batch", raw)
-            return self._split_batch(live, patterns, release)
+                return self.forward_any(
+                    "POST",
+                    "/batch",
+                    raw,
+                    deadline=deadline,
+                    headers=self._deadline_headers(deadline),
+                )
+            return self._split_batch(live, patterns, release, deadline)
 
     def _split_batch(
-        self, live: list[WorkerHandle], patterns: list[str], release: str | None
+        self,
+        live: list[WorkerHandle],
+        patterns: list[str],
+        release: str | None,
+        deadline: Deadline | None = None,
     ) -> tuple[int, bytes]:
         shards = len(live)
         assignment: list[list[tuple[int, str]]] = [[] for _ in range(shards)]
@@ -485,6 +684,8 @@ class Router:
                         "/batch",
                         json.dumps(sub).encode("utf-8"),
                         preferred=live[shard_index],
+                        deadline=deadline,
+                        headers=self._deadline_headers(deadline),
                     ),
                 )
             )
@@ -493,7 +694,16 @@ class Router:
         counts = [0.0] * len(patterns)
         relay: tuple[int, bytes] | None = None
         for members, future in futures:
-            status, body = future.result()
+            try:
+                status, body = future.result()
+            except RouterHTTPError as error:
+                # still join the remaining futures so no shard outlives the
+                # request, then relay the first failure
+                relay = relay or (
+                    error.status,
+                    json.dumps({"error": error.message}).encode("utf-8"),
+                )
+                continue
             if status != 200:
                 # relay the first upstream error verbatim (still joining the
                 # remaining futures so no shard outlives the request)
@@ -509,10 +719,18 @@ class Router:
         ).encode("utf-8")
         return 200, body
 
-    def route_mine(self, raw: bytes) -> tuple[int, bytes]:
+    def route_mine(
+        self, raw: bytes, deadline: Deadline | None = None
+    ) -> tuple[int, bytes]:
         self._requests["mine"].inc()
         with self._latency["mine"].time():
-            return self.forward_any("POST", "/mine", raw)
+            return self.forward_any(
+                "POST",
+                "/mine",
+                raw,
+                deadline=deadline,
+                headers=self._deadline_headers(deadline),
+            )
 
     def route_releases(self) -> tuple[int, bytes]:
         return self.forward_any("GET", "/releases")
@@ -538,6 +756,8 @@ class Router:
                 "mines": int(self._requests["mine"].value),
                 "split_batches": int(self._split_batches.value),
                 "retries": int(self._retries.value),
+                "sheds": int(self._shed.value),
+                "deadline_exceeded": int(self._deadline_exceeded.value),
                 "workers": {
                     "total": len(workers),
                     "alive": len(live),
@@ -616,12 +836,32 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, message: str, status: int) -> None:
-        self._respond({"error": message}, status=status)
+    def _error(
+        self, message: str, status: int, retry_after: float | None = None
+    ) -> None:
+        body = json.dumps({"error": message}).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(body)
 
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length", "0"))
         return self.rfile.read(length) if length else b""
+
+    def _request_deadline(self):
+        """The request's :class:`Deadline` (or ``None``); raises 504 when it
+        already expired — no point routing work nobody is waiting for."""
+        deadline = Deadline.from_header(self.headers.get(DEADLINE_HEADER))
+        if deadline is not None and deadline.expired():
+            self.router._deadline_exceeded.inc()
+            raise RouterHTTPError(
+                504, "request deadline expired before routing began"
+            )
+        return deadline
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -646,20 +886,23 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 status, body = self.router.route_releases()
                 self._respond_raw(status, body)
             elif parsed.path == "/query":
+                deadline = self._request_deadline()
                 query = parse_qs(parsed.query)
                 pattern = query.get("pattern", [""])[0]
                 release = query.get("release", [None])[0]
+                with self.router.admission():
+                    count = self.router.route_query(pattern, release, deadline)
                 self._respond(
                     {
                         "pattern": pattern,
                         "release": release or self.router.default_release,
-                        "count": self.router.route_query(pattern, release),
+                        "count": count,
                     }
                 )
             else:
                 self._error(f"unknown path {parsed.path!r}", 404)
         except RouterHTTPError as error:
-            self._error(error.message, error.status)
+            self._error(error.message, error.status, error.retry_after)
         except Exception as error:  # noqa: BLE001 - JSON 500, not a raw traceback
             self._error(f"internal error: {error}", 500)
 
@@ -669,7 +912,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
             if self.path == "/mine":
                 # Validation happens at the worker (identical handler code),
                 # so error bodies relay verbatim without a router-side parse.
-                status, body = self.router.route_mine(raw)
+                deadline = self._request_deadline()
+                with self.router.admission():
+                    status, body = self.router.route_mine(raw, deadline)
                 self._respond_raw(status, body)
                 return
             if self.path == "/admin/reload":
@@ -693,11 +938,14 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 if not isinstance(pattern, str):
                     self._error("'pattern' must be a string", 400)
                     return
+                deadline = self._request_deadline()
+                with self.router.admission():
+                    count = self.router.route_query(pattern, release, deadline)
                 self._respond(
                     {
                         "pattern": pattern,
                         "release": release or self.router.default_release,
-                        "count": self.router.route_query(pattern, release),
+                        "count": count,
                     }
                 )
             elif self.path == "/batch":
@@ -707,14 +955,16 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 ):
                     self._error("'patterns' must be a list of strings", 400)
                     return
-                status, body = self.router.route_batch(
-                    raw, payload, patterns, release
-                )
+                deadline = self._request_deadline()
+                with self.router.admission():
+                    status, body = self.router.route_batch(
+                        raw, payload, patterns, release, deadline
+                    )
                 self._respond_raw(status, body)
             else:
                 self._error(f"unknown path {self.path!r}", 404)
         except RouterHTTPError as error:
-            self._error(error.message, error.status)
+            self._error(error.message, error.status, error.retry_after)
         except Exception as error:  # noqa: BLE001 - JSON 500, not a raw traceback
             self._error(f"internal error: {error}", 500)
 

@@ -71,6 +71,10 @@ class Cluster:
         heartbeat_timeout: float = 5.0,
         spawn_timeout: float = 60.0,
         retry_timeout: float = 15.0,
+        max_inflight: int | None = 256,
+        shed_retry_after: float = 0.25,
+        breaker_threshold: int = 5,
+        breaker_recovery: float = 1.0,
         verbose: bool = False,
     ) -> None:
         if workers < 1:
@@ -100,6 +104,10 @@ class Cluster:
             max_wait=max_wait,
             split_min_patterns=split_min_patterns,
             retry_timeout=retry_timeout,
+            max_inflight=max_inflight,
+            shed_retry_after=shed_retry_after,
+            breaker_threshold=breaker_threshold,
+            breaker_recovery=breaker_recovery,
         )
         self._server = None
         self._serve_thread: threading.Thread | None = None

@@ -77,10 +77,15 @@ def worker_main(config: dict, conn) -> None:
     """
     # Imports happen in the child (spawn re-imports the world anyway); kept
     # inside the function so importing this module stays cheap.
+    from repro import faults
     from repro.serving.server import QueryService, create_server, install_graceful_shutdown
     from repro.serving.store import ReleaseStore
 
     try:
+        # Chaos schedules travel by environment (spawn inherits os.environ):
+        # DPSC_FAULTS / _SEED / _SCOPE / _LOG arm this worker's failpoints
+        # before any release is loaded, so every site is in scope.
+        faults.arm_from_env()
         store = ReleaseStore(config["store_root"])
         service = QueryService.from_store(
             store,

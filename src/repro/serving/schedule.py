@@ -32,10 +32,13 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro import faults
 from repro.core.params import ConstructionParams
 from repro.dp.composition import ContinualAccountant, PrivacyBudget
 from repro.exceptions import ReleaseNotFoundError, ReproError
+from repro.obs import MetricsRegistry
 from repro.serving.ledger import BudgetLedger
+from repro.serving.resilience import BackoffPolicy, call_with_retries
 from repro.serving.store import ReleaseStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,6 +51,18 @@ __all__ = ["EpochScheduler", "EpochRelease"]
 #: default schedule horizon: ample for any realistic stream, and irrelevant
 #: to the marginal charges (which depend only on the epoch number).
 DEFAULT_HORIZON = 1 << 20
+
+#: chaos-drill injection site: fires at the top of each epoch build attempt,
+#: inside the scheduler's retry loop (transient build failures are retried
+#: with backoff; the privacy ledger is only charged after a build succeeds).
+_FP_EPOCH_BUILD = faults.failpoint(
+    "schedule.epoch_build", "Entry of every epoch release build attempt."
+)
+
+#: exceptions worth a build retry: environmental/injected trouble.  Privacy
+#: refusals (``BudgetExceededError``) and schedule misuse (``ReproError``)
+#: must always propagate — a refused charge is not a transient fault.
+_BUILD_TRANSIENT = (OSError, faults.FaultInjected)
 
 
 @dataclass(frozen=True)
@@ -118,6 +133,8 @@ class EpochScheduler:
         cluster: "Cluster | None" = None,
         on_release: Callable[[EpochRelease], None] | None = None,
         horizon: int = DEFAULT_HORIZON,
+        build_retries: int = 3,
+        retry_backoff: BackoffPolicy | None = None,
         **build_kwargs,
     ) -> None:
         self.stream = stream
@@ -137,7 +154,29 @@ class EpochScheduler:
         self.registry = registry
         self.cluster = cluster
         self.on_release = on_release
+        self.build_retries = int(build_retries)
+        self.retry_backoff = (
+            retry_backoff
+            if retry_backoff is not None
+            else BackoffPolicy(base=0.02, cap=0.5)
+        )
         self.build_kwargs = dict(build_kwargs)
+        self.metrics = MetricsRegistry()
+        self._build_retries_total = self.metrics.counter(
+            "dpsc_scheduler_retries_total",
+            "Epoch pipeline attempts retried after a transient failure, by stage.",
+            {"stage": "build"},
+        )
+        self._reload_retries_total = self.metrics.counter(
+            "dpsc_scheduler_retries_total",
+            "Epoch pipeline attempts retried after a transient failure, by stage.",
+            {"stage": "reload"},
+        )
+        self._reload_failures = self.metrics.counter(
+            "dpsc_scheduler_reload_failures_total",
+            "Hot reloads abandoned after retries (the release stays "
+            "published; the next epoch's swap serves it).",
+        )
         self.continual = ContinualAccountant(params.budget, horizon=horizon)
         #: per-interval structure cache: one fresh build per epoch.
         self._cache: dict[tuple[int, int], object] = {}
@@ -228,16 +267,30 @@ class EpochScheduler:
                     self.database_id, epoch, epsilon, delta, label=self.label
                 )
             # The builder contract's database positional is unused by the
-            # continual kind (the stream is the data source).
-            structure = self.registry.build(
-                self.kind,
-                None,
-                self.params,
-                stream=self.stream,
-                epoch=epoch,
-                seed=self.seed,
-                cache=self._cache,
-                **self.build_kwargs,
+            # continual kind (the stream is the data source).  Transient
+            # build failures (I/O trouble, injected faults) are retried with
+            # seeded backoff — safe before any charge: a failed attempt has
+            # touched no ledger state and published nothing.
+            def _build():
+                _FP_EPOCH_BUILD.hit()
+                return self.registry.build(
+                    self.kind,
+                    None,
+                    self.params,
+                    stream=self.stream,
+                    epoch=epoch,
+                    seed=self.seed,
+                    cache=self._cache,
+                    **self.build_kwargs,
+                )
+
+            structure = call_with_retries(
+                _build,
+                retries=self.build_retries,
+                transient=_BUILD_TRANSIENT,
+                backoff=self.retry_backoff,
+                seed=f"{self.seed}:build:{epoch}",
+                on_retry=lambda _error: self._build_retries_total.inc(),
             )
             # Durable accounting first (audited, crash-safe), then the
             # artifact: a crash in between leaves a charge whose release
@@ -312,7 +365,22 @@ class EpochScheduler:
     def _trigger_reload(self) -> bool:
         if self.cluster is None:
             return False
-        summary = self.cluster.reload()
+        try:
+            summary = call_with_retries(
+                self.cluster.reload,
+                retries=self.build_retries,
+                transient=(ReproError, OSError),
+                backoff=self.retry_backoff,
+                seed=f"{self.seed}:reload",
+                on_retry=lambda _error: self._reload_retries_total.inc(),
+            )
+        except (ReproError, OSError):
+            # The release is already published and accounted; a failed swap
+            # only delays serving it — the next epoch's reload (or a manual
+            # /admin/reload) picks it up.  Swallowing is safe, losing the
+            # already-charged release would not be.
+            self._reload_failures.inc()
+            return False
         return bool(summary.get("reloaded"))
 
     def current_service(self, **kwargs) -> "QueryService":

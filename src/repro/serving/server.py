@@ -40,10 +40,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Mapping, Sequence
 from urllib.parse import parse_qs, urlparse
 
+from repro import faults
 from repro.core.private_trie import PrivateCountingTrie
 from repro.exceptions import ReleaseNotFoundError, ReproError
 from repro.obs import MetricsRegistry, log_buckets, render_prometheus
 from repro.serving.compiled import CompiledTrie
+from repro.serving.resilience import DEADLINE_HEADER, Deadline
 from repro.serving.store import ReleaseStore
 
 __all__ = [
@@ -60,6 +62,13 @@ _ENDPOINTS = ("query", "batch", "mine", "healthz")
 #: micro-batch flush sizes are small integers; powers of two up to the
 #: default ``max_batch`` resolve them exactly enough.
 _FLUSH_SIZE_BUCKETS = log_buckets(1.0, 512.0, 2.0)
+
+#: chaos-drill injection site at the entry of every query-serving handler
+#: (``/query``, ``/batch``, ``/mine`` — health probes and metric scrapes
+#: stay clean so supervision and scraping remain deterministic under chaos).
+_FP_HANDLE = faults.failpoint(
+    "worker.handle", "Entry of every /query, /batch and /mine HTTP handler."
+)
 
 
 class _PendingQuery:
@@ -247,6 +256,11 @@ class QueryService:
             "dpsc_batch_patterns_total",
             "Patterns answered across all /batch requests.",
         )
+        self._deadline_exceeded = self.metrics.counter(
+            "dpsc_deadline_exceeded_total",
+            "Requests refused with 504 because their X-DPSC-Deadline had "
+            "already expired on arrival.",
+        )
         self.metrics.gauge(
             "dpsc_uptime_seconds", "Seconds since the service started."
         ).set_function(lambda: time.time() - self.started_at)
@@ -354,6 +368,13 @@ class QueryService:
     @property
     def num_mines(self) -> int:
         return int(self._requests["mine"].value)
+
+    @property
+    def num_deadline_exceeded(self) -> int:
+        return int(self._deadline_exceeded.value)
+
+    def note_deadline_exceeded(self) -> None:
+        self._deadline_exceeded.inc()
 
     def health(self) -> dict:
         self._requests["healthz"].inc()
@@ -467,6 +488,32 @@ class _Handler(BaseHTTPRequestHandler):
             return {}
         return json.loads(self.rfile.read(length).decode("utf-8"))
 
+    def _refuse_or_inject(self) -> bool:
+        """Deadline refusal + the ``worker.handle`` failpoint; ``True`` when
+        the request was already answered (or the connection dropped).
+
+        Called with the request body consumed, so an error response leaves
+        the keep-alive connection in sync.  An expired ``X-DPSC-Deadline``
+        means nobody is waiting for the answer anymore — refuse with 504
+        instead of burning worker time (the client's retry, if any budget
+        remains, carries a fresh deadline).
+        """
+        deadline = Deadline.from_header(self.headers.get(DEADLINE_HEADER))
+        if deadline is not None and deadline.expired():
+            self.service.note_deadline_exceeded()
+            self._error("deadline expired before the server began handling", 504)
+            return True
+        try:
+            _FP_HANDLE.hit()
+        except faults.FaultDropConnection:
+            # no response at all: the peer sees the socket close mid-request
+            self.close_connection = True
+            return True
+        except faults.FaultInjected as fault:
+            self._error(str(fault), 500)
+            return True
+        return False
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         parsed = urlparse(self.path)
@@ -491,6 +538,8 @@ class _Handler(BaseHTTPRequestHandler):
             elif parsed.path == "/releases":
                 self._respond({"releases": self.service.releases_info()})
             elif parsed.path == "/query":
+                if self._refuse_or_inject():
+                    return
                 query = parse_qs(parsed.query)
                 pattern = query.get("pattern", [""])[0]
                 release = query.get("release", [None])[0]
@@ -520,6 +569,8 @@ class _Handler(BaseHTTPRequestHandler):
             # Valid JSON but not an object (e.g. a bare list or string)
             # must be a JSON 400 too, not an unhandled AttributeError.
             self._error("request body must be a JSON object", 400)
+            return
+        if self._refuse_or_inject():
             return
         release = payload.get("release")
         try:

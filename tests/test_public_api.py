@@ -84,7 +84,8 @@ class TestSubpackages:
     def test_cli_registry_covers_design_index(self):
         from repro.cli import EXPERIMENT_REGISTRY
 
-        # E1-E24 plus E26 (release formats), E27 (serving scale) and E28
-        # (continual release); E25 is intentionally unassigned.
-        expected = {f"E{i}" for i in range(1, 25)} | {"E26", "E27", "E28"}
+        # E1-E24 plus E26 (release formats), E27 (serving scale), E28
+        # (continual release) and E29 (chaos drill); E25 is intentionally
+        # unassigned.
+        expected = {f"E{i}" for i in range(1, 25)} | {"E26", "E27", "E28", "E29"}
         assert set(EXPERIMENT_REGISTRY) == expected
